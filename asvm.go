@@ -1,0 +1,87 @@
+// Package asvm is a simulation-faithful reproduction of the Advanced
+// Shared Virtual Memory system from "A New Approach to Distributed Memory
+// Management in the Mach Microkernel" (Zeisset, Tritscher, Mairandres;
+// USENIX Annual Technical Conference, January 1996), together with the
+// NMK13 XMM baseline it was measured against and the simulated
+// Paragon-class multicomputer both run on.
+//
+// This root package is the public facade: it re-exports the types needed
+// to assemble a machine, share memory across nodes, fork tasks remotely,
+// and run the paper's workloads. The implementation lives in the internal
+// packages (see DESIGN.md for the inventory):
+//
+//	internal/sim      deterministic discrete-event engine
+//	internal/mesh     2-D wormhole mesh interconnect
+//	internal/node     message processors and disks
+//	internal/norma    NORMA-IPC transport model (XMM's transport)
+//	internal/sts      SVM Transport Service (ASVM's transport)
+//	internal/vm       Mach VM: objects, shadow/copy chains, EMMI
+//	internal/pager    default pager and file pager on I/O nodes
+//	internal/xmm      the centralized-manager baseline
+//	internal/asvm     the paper's contribution
+//	internal/machine  cluster assembly and calibration constants
+//	internal/workload the paper's three benchmark workloads
+//	internal/exp      table/figure regeneration harness
+//
+// Quick start:
+//
+//	params := asvm.DefaultParams(4)
+//	params.TrackData = true
+//	cluster := asvm.New(params)
+//	region := cluster.NewSharedRegion("r", 8, []int{0, 1, 2, 3})
+//	task, _ := cluster.TaskOn(0, "t", region, 0)
+//	cluster.Spawn("main", func(p *asvm.Proc) {
+//		task.WriteU64(p, 0, 42)
+//	})
+//	cluster.Run()
+package asvm
+
+import (
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+	"asvm/internal/workload"
+)
+
+// Re-exported machine assembly types.
+type (
+	// Params configures a simulated multicomputer; see machine.Params.
+	Params = machine.Params
+	// Cluster is an assembled machine.
+	Cluster = machine.Cluster
+	// Region is a shared memory object mapped across nodes.
+	Region = machine.Region
+	// System selects the memory system under test.
+	System = machine.System
+	// Proc is a simulated sequential process.
+	Proc = sim.Proc
+	// Task is a user task with an address space.
+	Task = vm.Task
+)
+
+// The two memory systems the paper compares.
+const (
+	SysASVM = machine.SysASVM
+	SysXMM  = machine.SysXMM
+)
+
+// PageSize is the simulated machine's page size (8 KB, like the Paragon).
+const PageSize = vm.PageSize
+
+// DefaultParams returns the calibrated configuration for n nodes.
+func DefaultParams(n int) Params { return machine.DefaultParams(n) }
+
+// New assembles a cluster.
+func New(p Params) *Cluster { return machine.New(p) }
+
+// EM3DConfig parameterizes the EM3D benchmark application.
+type EM3DConfig = workload.EM3DConfig
+
+// DefaultEM3D returns the paper's EM3D configuration for a problem size
+// and node count.
+func DefaultEM3D(cells, nodes, iters int) EM3DConfig {
+	return workload.DefaultEM3D(cells, nodes, iters)
+}
+
+// RunEM3D executes the EM3D benchmark on a fresh cluster.
+var RunEM3D = workload.RunEM3D

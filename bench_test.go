@@ -1,0 +1,190 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per artifact; DESIGN.md §4 maps them). Each iteration
+// runs the full deterministic simulation; the interesting output is the
+// reported custom metrics (simulated milliseconds, MB/s, simulated
+// seconds), which correspond directly to the paper's numbers.
+//
+// Run: go test -bench=. -benchmem
+package asvm_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"asvm/internal/exp"
+	"asvm/internal/machine"
+	"asvm/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table 1: the seven basic page-fault
+// scenarios under both systems. Metrics: simulated milliseconds per fault.
+func BenchmarkTable1(b *testing.B) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, sc := range workload.Table1Scenarios() {
+			b.Run(fmt.Sprintf("%v/%s", sys, sc.Name), func(b *testing.B) {
+				var lat time.Duration
+				for i := 0; i < b.N; i++ {
+					var err error
+					lat, err = workload.MeasureFault(sys, sc, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(lat)/1e6, "sim-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: write-fault latency vs. the
+// number of read copies, for plain and upgrade faults.
+func BenchmarkFigure10(b *testing.B) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, readers := range []int{1, 2, 8, 32, 64} {
+			for _, upgrade := range []bool{false, true} {
+				kind := "write"
+				if upgrade {
+					kind = "upgrade"
+				}
+				b.Run(fmt.Sprintf("%v/%s/readers=%d", sys, kind, readers), func(b *testing.B) {
+					var lat time.Duration
+					for i := 0; i < b.N; i++ {
+						var err error
+						lat, err = workload.MeasureFault(sys, workload.FaultScenario{
+							Readers: readers, Write: true, FaulterHasCopy: upgrade,
+						}, 1)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(lat)/1e6, "sim-ms")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: inherited-memory fault latency
+// across copy chains of growing length (lb + n*la).
+func BenchmarkFigure11(b *testing.B) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, chain := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%v/chain=%d", sys, chain), func(b *testing.B) {
+				var lat time.Duration
+				for i := 0; i < b.N; i++ {
+					var err error
+					lat, err = workload.MeasureChainFault(sys, chain, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(lat)/1e6, "sim-ms/page")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (and Figures 12/13): mapped-file
+// write and read transfer rates per node.
+func BenchmarkTable2(b *testing.B) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, nodes := range []int{1, 2, 8, 32, 64} {
+			b.Run(fmt.Sprintf("%v/write/nodes=%d", sys, nodes), func(b *testing.B) {
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					var err error
+					rate, err = workload.MeasureFileWrite(sys, nodes, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rate, "sim-MB/s")
+			})
+			b.Run(fmt.Sprintf("%v/read/nodes=%d", sys, nodes), func(b *testing.B) {
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					var err error
+					rate, err = workload.MeasureFileRead(sys, nodes, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rate, "sim-MB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: EM3D execution times (scaled to
+// the paper's 100 iterations). Only memory-feasible combinations run; the
+// paper marks the rest **.
+func BenchmarkTable3(b *testing.B) {
+	iters := 2
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, cells := range []int{64000, 256000} {
+			for _, nodes := range []int{1, 2, 8, 32} {
+				cfg := workload.DefaultEM3D(cells, nodes, iters)
+				if nodes == 1 {
+					cfg.MemMB = 0
+				}
+				if !cfg.Feasible() || cells%nodes != 0 {
+					continue
+				}
+				b.Run(fmt.Sprintf("%v/cells=%d/nodes=%d", sys, cells, nodes), func(b *testing.B) {
+					var d time.Duration
+					for i := 0; i < b.N; i++ {
+						var err error
+						d, err = workload.RunEM3D(sys, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(d.Seconds()*100/float64(iters), "sim-s/100iters")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationForwarding (A1) compares the three request-forwarding
+// strategies on an ownership-migration workload.
+func BenchmarkAblationForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationForwarding(io.Discard, 8, 4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransport (A2) carries the ASVM protocol over
+// NORMA-IPC vs. the dedicated STS.
+func BenchmarkAblationTransport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationTransport(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInternodePaging (A3) measures memory pressure with and
+// without internode paging.
+func BenchmarkAblationInternodePaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationInternodePaging(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: events
+// executed per wall-clock second on a busy 16-node coherence workload —
+// the cost of the reproduction, not a paper artifact.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.MeasureFileRead(machine.SysASVM, 16, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command asvmbench regenerates the paper's evaluation: every table and
+// figure of "A New Approach to Distributed Memory Management in the Mach
+// Microkernel" (USENIX '96), plus the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	asvmbench -exp table1            # one experiment
+//	asvmbench -exp all -quick        # everything, reduced sweeps
+//	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asvm/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|all")
+		quick = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
+		iters = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
+		seed  = flag.Uint64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	nodesSweep := []int{1, 2, 4, 8, 16, 32, 64}
+	readerSweep := []int{1, 2, 4, 8, 16, 32, 64}
+	chainSweep := []int{1, 2, 4, 8, 12, 16}
+	em3dSizes := []int{64000, 256000, 1024000}
+	em3dNodes := []int{1, 2, 4, 8, 16, 32, 64}
+	if *quick {
+		nodesSweep = []int{1, 2, 4, 8}
+		readerSweep = []int{1, 2, 8}
+		chainSweep = []int{1, 2, 4}
+		em3dSizes = []int{64000}
+		em3dNodes = []int{1, 2, 4, 8}
+		if *iters > 3 {
+			*iters = 3
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "asvmbench: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	all := *which == "all"
+	if all || *which == "table1" {
+		run("table1", func() error { return exp.Table1(os.Stdout, *seed) })
+	}
+	if all || *which == "fig10" {
+		run("fig10", func() error { return exp.Figure10(os.Stdout, readerSweep, *seed) })
+	}
+	if all || *which == "fig11" {
+		run("fig11", func() error { return exp.Figure11(os.Stdout, chainSweep, *seed) })
+	}
+	if all || *which == "table2" {
+		run("table2", func() error { return exp.Table2(os.Stdout, nodesSweep, *seed) })
+	}
+	if all || *which == "table3" {
+		run("table3", func() error { return exp.Table3(os.Stdout, em3dSizes, em3dNodes, *iters, *seed) })
+	}
+	if all || *which == "dist" {
+		run("dist", func() error { return exp.Distribution(os.Stdout, 8, 16, 4, *seed) })
+	}
+	if all || *which == "ablations" {
+		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed) })
+		run("ablation-transport", func() error { return exp.AblationTransport(os.Stdout, *seed) })
+		run("ablation-internode-paging", func() error { return exp.AblationInternodePaging(os.Stdout, *seed) })
+		run("ablation-chain-threads", func() error { return exp.AblationChainThreads(os.Stdout, *seed) })
+	}
+}

@@ -1,0 +1,71 @@
+// Command meshsim explores the simulated Paragon interconnect and
+// transport stack in isolation: round-trip latencies and streaming
+// bandwidth between arbitrary nodes, over NORMA-IPC and the STS — the raw
+// numbers underneath every experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/norma"
+	"asvm/internal/sim"
+	"asvm/internal/sts"
+	"asvm/internal/xport"
+)
+
+func main() {
+	var (
+		n    = flag.Int("nodes", 64, "mesh size")
+		src  = flag.Int("src", 0, "source node")
+		dst  = flag.Int("dst", -1, "destination node (-1 = farthest corner)")
+		page = flag.Bool("page", false, "carry an 8 KB page payload")
+	)
+	flag.Parse()
+	if *dst < 0 {
+		*dst = *n - 1
+	}
+
+	build := func(mk func(e *sim.Engine, net *mesh.Network, nodes []*node.Node) xport.Transport) (xport.Transport, *sim.Engine) {
+		e := sim.NewEngine()
+		net := mesh.New(e, *n, mesh.DefaultConfig(*n))
+		hw := make([]*node.Node, *n)
+		for i := range hw {
+			hw[i] = node.New(e, mesh.NodeID(i))
+		}
+		return mk(e, net, hw), e
+	}
+
+	payload := 0
+	if *page {
+		payload = 8192
+	}
+
+	for _, name := range []string{"sts", "norma"} {
+		var tr xport.Transport
+		var e *sim.Engine
+		switch name {
+		case "sts":
+			tr, e = build(func(e *sim.Engine, net *mesh.Network, hw []*node.Node) xport.Transport {
+				return sts.New(e, net, hw, sts.DefaultCosts())
+			})
+		case "norma":
+			tr, e = build(func(e *sim.Engine, net *mesh.Network, hw []*node.Node) xport.Transport {
+				return norma.New(e, net, hw, norma.DefaultCosts())
+			})
+		}
+		var rtt time.Duration
+		tr.Register(mesh.NodeID(*dst), "ping", func(from mesh.NodeID, m interface{}) {
+			tr.Send(mesh.NodeID(*dst), from, "pong", payload, m)
+		})
+		tr.Register(mesh.NodeID(*src), "pong", func(from mesh.NodeID, m interface{}) {
+			rtt = e.Now()
+		})
+		tr.Send(mesh.NodeID(*src), mesh.NodeID(*dst), "ping", 0, "x")
+		e.Run()
+		fmt.Printf("%-6s %d->%d round trip (reply payload %d B): %v\n", name, *src, *dst, payload, rtt)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a 4-node simulated Paragon running ASVM, share a
+// memory region between tasks on different nodes, and watch coherence and
+// ownership migration at work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+func main() {
+	// A 4-node machine with the calibrated Paragon parameters. TrackData
+	// carries real page contents so we can check values end to end.
+	params := machine.DefaultParams(4)
+	params.System = machine.SysASVM
+	params.TrackData = true
+	cluster := machine.New(params)
+
+	// One shared memory object, 8 pages, mapped on every node.
+	region := cluster.NewSharedRegion("demo", 8, []int{0, 1, 2, 3})
+
+	// A task per node, each mapping the region at address 0.
+	tasks := make([]*vm.Task, 4)
+	for n := range tasks {
+		t, err := cluster.TaskOn(n, fmt.Sprintf("task%d", n), region, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks[n] = t
+	}
+
+	cluster.Spawn("demo", func(p *sim.Proc) {
+		// Node 0 writes: the first touch zero-fills and makes node 0 the
+		// page owner.
+		if err := tasks[0].WriteU64(p, 0, 42); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%8v  node 0 wrote 42 (owner: node 0)\n", p.Now())
+
+		// Nodes 1..3 read: each fault is forwarded to the owner, which
+		// grants read copies and remembers the readers.
+		for n := 1; n < 4; n++ {
+			v, err := tasks[n].ReadU64(p, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%8v  node %d read %d\n", p.Now(), n, v)
+		}
+
+		// Node 3 writes: the owner invalidates all read copies, then
+		// transfers the page and its ownership.
+		if err := tasks[3].WriteU64(p, 0, 43); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%8v  node 3 wrote 43 (ownership migrated to node 3)\n", p.Now())
+
+		// Node 1 reads again: its dynamic hint cache already points at the
+		// new owner, so the request takes the short path.
+		v, err := tasks[1].ReadU64(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%8v  node 1 read %d (via dynamic owner hint)\n", p.Now(), v)
+	})
+	cluster.Run()
+
+	fmt.Println("\nper-node ASVM statistics:")
+	for n, a := range cluster.ASVMs {
+		fmt.Printf("  node %d:", n)
+		for _, name := range a.Ctr.Names() {
+			fmt.Printf(" %s=%d", name, a.Ctr.Get(name))
+		}
+		fmt.Println()
+	}
+}

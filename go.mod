@@ -1,0 +1,3 @@
+module asvm
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package asvm implements the paper's contribution: the Advanced Shared
+// Virtual Memory system. Each page has a dynamic distributed manager — its
+// *owner*, the node that most recently had write access — found through a
+// layered request redirector (dynamic owner-hint caches, static hash-
+// distributed ownership managers, global ring scan). Physical memory of all
+// mapping nodes forms a cache for each memory object (internode paging),
+// and the asymmetric delayed-copy strategy is extended across nodes with
+// version-counted pushes, push scans and shadow-chain pulls. All state
+// transitions are asynchronous: no kernel thread ever blocks inside the
+// protocol. Traffic rides the dedicated STS transport.
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/pager"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+	"asvm/internal/xport"
+)
+
+// Config tunes the forwarding machinery (paper §3.4 allows disabling
+// dynamic and/or static forwarding per memory object).
+type Config struct {
+	// DynamicForwarding enables per-node owner-hint caches.
+	DynamicForwarding bool
+	// StaticForwarding enables the hash-distributed ownership managers.
+	StaticForwarding bool
+	// DynamicCacheSize bounds each node's dynamic hint cache (entries).
+	DynamicCacheSize int
+	// StaticCacheSize bounds each static manager's cache (entries).
+	StaticCacheSize int
+	// PageOfferReserve is the minimum free pages a node must keep to
+	// accept an internode page transfer.
+	PageOfferReserve int
+
+	// DisableInternodePaging skips eviction steps 2 and 3 (ownership
+	// transfer to readers, page transfer to free nodes): evicted owner
+	// pages go straight to the pager. Ablation A3.
+	DisableInternodePaging bool
+}
+
+// DefaultConfig enables everything with generous caches.
+func DefaultConfig() Config {
+	return Config{
+		DynamicForwarding: true,
+		StaticForwarding:  true,
+		DynamicCacheSize:  4096,
+		StaticCacheSize:   16384,
+		PageOfferReserve:  4,
+	}
+}
+
+// Node is the per-node ASVM runtime.
+type Node struct {
+	Self mesh.NodeID
+	Eng  *sim.Engine
+	K    *vm.Kernel
+	TR   xport.Transport
+	Cfg  Config
+
+	instances map[vm.ObjID]*Instance
+
+	Ctr *sim.Counters
+}
+
+// NewNode creates the ASVM runtime for one node and registers its
+// transport handler.
+func NewNode(eng *sim.Engine, k *vm.Kernel, tr xport.Transport, cfg Config) *Node {
+	n := &Node{
+		Self: k.Node, Eng: eng, K: k, TR: tr, Cfg: cfg,
+		instances: make(map[vm.ObjID]*Instance),
+		Ctr:       sim.NewCounters(),
+	}
+	tr.Register(n.Self, Proto, n.handle)
+	return n
+}
+
+// Instance returns this node's instance of a domain, or nil.
+func (n *Node) Instance(id vm.ObjID) *Instance { return n.instances[id] }
+
+func (n *Node) inst(id vm.ObjID) *Instance {
+	in := n.instances[id]
+	if in == nil {
+		panic(fmt.Sprintf("asvm: node %d has no instance of %v", n.Self, id))
+	}
+	return in
+}
+
+func (n *Node) handle(src mesh.NodeID, m interface{}) {
+	n.Ctr.Inc("msgs", 1)
+	switch msg := m.(type) {
+	case accessReq:
+		n.inst(msg.Obj).handleRequest(msg)
+	case grantMsg:
+		n.inst(msg.Obj).handleGrant(msg)
+	case invalMsg:
+		n.inst(msg.Obj).handleInval(msg)
+	case invalAck:
+		n.inst(msg.Obj).handleInvalAck(msg)
+	case ownerUpdate:
+		n.inst(msg.Obj).handleOwnerUpdate(msg)
+	case ownerXfer:
+		n.inst(msg.Obj).handleOwnerXfer(msg)
+	case ownerXferAck:
+		n.inst(msg.Obj).handleOwnerXferAck(msg)
+	case pageOffer:
+		n.inst(msg.Obj).handlePageOffer(msg)
+	case pageOfferAck:
+		n.inst(msg.Obj).handlePageOfferAck(msg)
+	case toPager:
+		n.inst(msg.Obj).handleToPager(msg)
+	case toPagerAck:
+		n.inst(msg.Obj).handleToPagerAck(msg)
+	case pushScanAck:
+		n.inst(msg.SrcObj).handlePushScanAck(msg)
+	default:
+		panic(fmt.Sprintf("asvm: unknown message %T", m))
+	}
+}
+
+// DomainInfo is the cluster-wide description of an ASVM-managed memory
+// object. It is established at setup time (mapping registration carries no
+// modelled cost; the paper's benchmarks exclude it too).
+type DomainInfo struct {
+	ID        vm.ObjID
+	SizePages vm.PageIdx
+
+	// Home is the node that speaks for the pager: the pager's node for
+	// pager-backed domains, the creating (peer) node for copy domains. It
+	// is the serialization point for no-owner resolution.
+	Home mesh.NodeID
+
+	// Mapping lists the nodes with instances, in a fixed order used by
+	// static hashing and the global ring scan.
+	Mapping []mesh.NodeID
+
+	// Version counts copies made from this domain (paper §3.7.2).
+	Version uint64
+
+	// Copy is the newest copy domain (pushes go there); Source is the
+	// domain this one was copied from (pulls resolve through it at Home).
+	Copy, Source *DomainInfo
+
+	// Cfg is the per-object forwarding configuration.
+	Cfg Config
+}
+
+// staticNode returns the static ownership manager for a page.
+func (d *DomainInfo) staticNode(idx vm.PageIdx) mesh.NodeID {
+	return d.Mapping[int(idx)%len(d.Mapping)]
+}
+
+// mappingIndex returns a node's position in the mapping ring, or -1.
+func (d *DomainInfo) mappingIndex(n mesh.NodeID) int {
+	for i, m := range d.Mapping {
+		if m == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextInRing returns the mapping node after n.
+func (d *DomainInfo) nextInRing(n mesh.NodeID) mesh.NodeID {
+	i := d.mappingIndex(n)
+	return d.Mapping[(i+1)%len(d.Mapping)]
+}
+
+// Setup creates an ASVM domain across the given runtimes. home indexes
+// into nodes; pagerSrv may be nil (anonymous: zero-fill at home, page-out
+// parks at home in memory). Returns the per-node vm objects, aligned with
+// nodes.
+func Setup(id vm.ObjID, sizePages vm.PageIdx, nodes []*Node, home int, pagerSrv *pager.Server, cfg Config) (*DomainInfo, []*vm.Object) {
+	info := &DomainInfo{
+		ID: id, SizePages: sizePages,
+		Home: nodes[home].Self,
+		Cfg:  cfg,
+	}
+	for _, n := range nodes {
+		info.Mapping = append(info.Mapping, n.Self)
+	}
+	objs := make([]*vm.Object, len(nodes))
+	for i, n := range nodes {
+		in := newInstance(n, info)
+		if i == home && pagerSrv != nil {
+			in.pagerCli = pager.NewClient(n.Eng, n.TR, n.Self, pagerSrv)
+		}
+		objs[i] = in.o
+	}
+	return info, objs
+}
+
+// AddNode extends an existing domain to one more node (used when remote
+// forks establish sharing of a source object). Returns the new instance.
+func AddNode(info *DomainInfo, n *Node) *Instance {
+	if in := n.instances[info.ID]; in != nil {
+		return in
+	}
+	info.Mapping = append(info.Mapping, n.Self)
+	return newInstance(n, info)
+}
+
+// Teardown removes a domain from every node: local vm objects are
+// destroyed (frames freed) and instances dropped. The caller must have
+// quiesced the domain (no faults in flight), as with Mach's
+// memory_object_terminate.
+func Teardown(cluster []*Node, info *DomainInfo) {
+	for _, nid := range info.Mapping {
+		nd := nodeByID(cluster, nid)
+		in := nd.instances[info.ID]
+		if in == nil {
+			continue
+		}
+		nd.K.DestroyObject(in.o)
+		delete(nd.instances, info.ID)
+	}
+}

@@ -1,0 +1,168 @@
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// This file implements ASVM's cross-node delayed copy support (paper
+// §3.7): version-counted pushes with push scans, and pulls that traverse
+// local shadow chains via each copy object's peer (home) node.
+
+// pushIfNeeded runs before any write grant: if a copy of the domain was
+// made since this page was last pushed, the pre-write contents must reach
+// the newest copy domain first.
+func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
+	if in.info.Copy == nil || ps.version == in.info.Version {
+		cont()
+		return
+	}
+	cInst := in.nd.instances[in.info.Copy.ID]
+	if cInst == nil {
+		panic(fmt.Sprintf("asvm: node %d shares %v but has no instance of its copy %v",
+			in.self(), in.info.ID, in.info.Copy.ID))
+	}
+	if in.pendPush[idx] != nil {
+		panic(fmt.Sprintf("asvm: concurrent pushes for %v page %d", in.info.ID, idx))
+	}
+	in.nd.Ctr.Inc("pushes_started", 1)
+	in.pendPush[idx] = func(found bool) {
+		if !found {
+			// No owner in the copy domain: insert the pre-write contents
+			// into our local representation of the copy object
+			// (data_supply in push mode) and own them there.
+			pg := in.o.Pages[idx]
+			if pg == nil {
+				panic(fmt.Sprintf("asvm: push source page %d vanished", idx))
+			}
+			in.nd.K.DataSupply(in.o, idx, pg.Data, vm.ProtRead, true)
+			if cpg := cInst.o.Pages[idx]; cpg != nil {
+				cpg.Dirty = true
+				cpg.Lock = vm.ProtRead
+			}
+			cInst.pages[idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: 0}
+			cInst.announceOwner(idx)
+			in.nd.Ctr.Inc("pushes_installed", 1)
+		} else {
+			in.nd.Ctr.Inc("pushes_cancelled", 1)
+		}
+		ps.version = in.info.Version
+		cont()
+	}
+	// Push scan: does the copy domain already have an owner for the page?
+	cInst.forward(accessReq{
+		Obj: in.info.Copy.ID, Target: in.info.ID, Idx: idx,
+		Kind: kindPushScan, Origin: in.self(), LastFrom: in.self(),
+	})
+}
+
+// homePushScan resolves a push scan that found no owner: if the copy
+// domain's backing (home store/pager) already has the contents the push is
+// unnecessary; otherwise the page slot is reserved for the pusher.
+func (in *Instance) homePushScan(req accessReq, hs *homeState) {
+	found := hs.granted || hs.atPager
+	if !found {
+		// Reserve: the pusher is about to own this page.
+		hs.granted = true
+		in.dyn.Put(req.Idx, req.Origin)
+	} else if hs.granted && !hs.atPager {
+		// An owner exists but the scan missed it (in-flight transfer);
+		// answering found=true is safe: the contents exist in the domain.
+		in.nd.Ctr.Inc("pushscan_inflight", 1)
+	}
+	in.send(req.Origin, 0, pushScanAck{SrcObj: req.Target, Idx: req.Idx, Found: found})
+}
+
+func (in *Instance) handlePushScanAck(msg pushScanAck) {
+	cb := in.pendPush[msg.Idx]
+	if cb == nil {
+		panic(fmt.Sprintf("asvm: stray push scan ack for %v page %d", msg.SrcObj, msg.Idx))
+	}
+	delete(in.pendPush, msg.Idx)
+	cb(msg.Found)
+}
+
+// pullLocal resolves a request at a copy domain's home (= peer) node: the
+// VM system traverses the local shadow chain (memory_object_pull_request);
+// a managed shadow object re-enters the forwarding machinery in the source
+// domain with the target unchanged (paper §3.7.3, Figure 9).
+func (in *Instance) pullLocal(req accessReq, hs *homeState) {
+	if hs.atPager {
+		// The copy page went out to this domain's backing store.
+		hs.granted = true
+		hs.atPager = false
+		in.dyn.Put(req.Idx, req.Origin)
+		in.homePagerIn(req.Idx, func(data []byte, found bool) {
+			if !found {
+				panic(fmt.Sprintf("asvm: atPager page %d missing from store", req.Idx))
+			}
+			in.send(req.Origin, payloadFor(data), grantMsg{
+				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+				Data: copyData(data), HasData: true, Ownership: true,
+				From: in.self(),
+			})
+		})
+		return
+	}
+	in.nd.Ctr.Inc("pulls", 1)
+	// The pull traverses the local shadow chain through the EMMI
+	// (pull_request/pull_completed): charge one interface crossing.
+	in.nd.Eng.Schedule(in.nd.K.Costs.EMMILocal, func() {
+		in.pullNow(req, hs)
+	})
+}
+
+func (in *Instance) pullNow(req accessReq, hs *homeState) {
+	in.nd.K.PullRequest(in.o, req.Idx, func(res vm.PullResult, data []byte, shadow *vm.Object) {
+		switch res {
+		case vm.PullData:
+			hs.granted = true
+			in.dyn.Put(req.Idx, req.Origin)
+			in.send(req.Origin, payloadFor(data), grantMsg{
+				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+				Data: copyData(data), HasData: true,
+				Ownership: true, Version: 0, From: in.self(),
+			})
+		case vm.PullZeroFill:
+			hs.granted = true
+			in.dyn.Put(req.Idx, req.Origin)
+			in.send(req.Origin, 0, grantMsg{
+				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+				Fresh: true, Ownership: true, From: in.self(),
+			})
+		case vm.PullAskManager:
+			srcInst, ok := shadow.Mgr.(*Instance)
+			if !ok {
+				// An unmanaged shadow holding the page at the default
+				// pager: fault it in locally, then retry the pull.
+				in.pullThroughLocalFault(req, hs, shadow)
+				return
+			}
+			// Reserve at this home: the origin will own the page once the
+			// source domain answers.
+			hs.granted = true
+			in.dyn.Put(req.Idx, req.Origin)
+			fwd := req
+			fwd.Obj = srcInst.info.ID
+			fwd.Kind = kindPull
+			fwd.Scanning = false
+			fwd.Hops = 0
+			fwd.LastFrom = in.self()
+			srcInst.forward(fwd)
+		}
+	})
+}
+
+// pullThroughLocalFault pages an unmanaged shadow page back in (it sits at
+// the default pager) and then serves the pull from it.
+func (in *Instance) pullThroughLocalFault(req accessReq, hs *homeState, shadow *vm.Object) {
+	in.nd.Eng.Spawn("asvm-pullin", func(p *sim.Proc) {
+		if _, err := in.nd.K.FaultObject(p, shadow, req.Idx, vm.ProtRead); err != nil {
+			panic(fmt.Sprintf("asvm: pull page-in failed: %v", err))
+		}
+		in.pullLocal(req, hs)
+	})
+}

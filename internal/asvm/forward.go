@@ -1,0 +1,318 @@
+package asvm
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/vm"
+)
+
+// hintCache is a bounded FIFO cache of page -> probable-owner hints (the
+// dynamic forwarding cache, Figure 6).
+type hintCache struct {
+	max   int
+	m     map[vm.PageIdx]mesh.NodeID
+	order []vm.PageIdx
+}
+
+func newHintCache(max int) *hintCache {
+	if max < 1 {
+		max = 1
+	}
+	return &hintCache{max: max, m: make(map[vm.PageIdx]mesh.NodeID)}
+}
+
+// Get returns the hinted owner for a page.
+func (h *hintCache) Get(idx vm.PageIdx) (mesh.NodeID, bool) {
+	n, ok := h.m[idx]
+	return n, ok
+}
+
+// Put records a hint, evicting the oldest when full.
+func (h *hintCache) Put(idx vm.PageIdx, n mesh.NodeID) {
+	if _, exists := h.m[idx]; !exists {
+		if len(h.order) >= h.max {
+			old := h.order[0]
+			h.order = h.order[1:]
+			delete(h.m, old)
+		}
+		h.order = append(h.order, idx)
+	}
+	h.m[idx] = n
+}
+
+// Delete removes a hint (leaves the order slot; it ages out).
+func (h *hintCache) Delete(idx vm.PageIdx) { delete(h.m, idx) }
+
+// Len reports the live entry count.
+func (h *hintCache) Len() int { return len(h.m) }
+
+// staticLRU is the bounded static ownership-manager cache: owner hints
+// plus the paper's "paged" markers.
+type staticLRU struct {
+	max   int
+	m     map[vm.PageIdx]staticEntry
+	order []vm.PageIdx
+}
+
+func newStaticLRU(max int) *staticLRU {
+	if max < 1 {
+		max = 1
+	}
+	return &staticLRU{max: max, m: make(map[vm.PageIdx]staticEntry)}
+}
+
+// Get looks up an entry.
+func (s *staticLRU) Get(idx vm.PageIdx) (staticEntry, bool) {
+	e, ok := s.m[idx]
+	return e, ok
+}
+
+// Put inserts or refreshes an entry.
+func (s *staticLRU) Put(idx vm.PageIdx, e staticEntry) {
+	if _, exists := s.m[idx]; !exists {
+		if len(s.order) >= s.max {
+			old := s.order[0]
+			s.order = s.order[1:]
+			delete(s.m, old)
+		}
+		s.order = append(s.order, idx)
+	}
+	s.m[idx] = e
+}
+
+// ---------------------------------------------------------------------------
+// The request redirector
+
+// homeRetryDelay paces re-forwarding when an in-flight ownership transfer
+// makes a page momentarily ownerless.
+const homeRetryDelay = 300 * time.Microsecond
+
+// handleRequest is the transport entry point for forwarded requests.
+func (in *Instance) handleRequest(req accessReq) {
+	in.forward(req)
+}
+
+// forward implements the layered redirector: owner short-circuit, request
+// combining, dynamic hints, static managers, global ring scan, and finally
+// the home/pager (paper §3.4).
+func (in *Instance) forward(req accessReq) {
+	self := in.self()
+	// Owner short-circuit: the request has arrived.
+	if in.pages[req.Idx] != nil {
+		in.handleAsOwner(req)
+		return
+	}
+	// Home-directed requests go straight to the resolution logic — they
+	// must not re-enter hint chasing or scan escalation.
+	if req.ForHome {
+		req.ForHome = false
+		if in.info.Home == self {
+			in.handleAtHome(req)
+			return
+		}
+		// Stale routing (home moved? never happens today); fall through.
+	}
+	// Note: requests are never parked at a node that is itself waiting for
+	// a grant — holding them would form circular waits between concurrent
+	// writers. They keep chasing hints; the hop limit, ring scan and paced
+	// home retry below bound the chase.
+	if req.Scanning {
+		in.continueScan(req)
+		return
+	}
+	cfg := in.info.Cfg
+	if req.Hops > 2*len(in.info.Mapping)+8 {
+		// Hint chasing has gone on too long: escalate to the ring scan,
+		// which terminates deterministically.
+		in.nd.Ctr.Inc("hop_escalations", 1)
+		in.startScan(req)
+		return
+	}
+	if cfg.DynamicForwarding {
+		if h, ok := in.dyn.Get(req.Idx); ok && h != self && h != req.LastFrom {
+			in.nd.Ctr.Inc("fwd_dynamic", 1)
+			in.sendReq(h, req)
+			return
+		}
+	}
+	if cfg.StaticForwarding {
+		sm := in.info.staticNode(req.Idx)
+		if sm == self {
+			in.forwardAtStatic(req)
+			return
+		}
+		if sm != req.LastFrom {
+			in.nd.Ctr.Inc("fwd_static", 1)
+			in.sendReq(sm, req)
+			return
+		}
+	}
+	if in.info.Home == self {
+		in.handleAtHome(req)
+		return
+	}
+	in.startScan(req)
+}
+
+// forwardAtStatic consults the static ownership cache on the page's static
+// manager node.
+func (in *Instance) forwardAtStatic(req accessReq) {
+	if e, ok := in.static.Get(req.Idx); ok {
+		if e.paged {
+			// "paged" hint: straight to the pager's node, skipping the
+			// global scan (paper §3.4).
+			in.nd.Ctr.Inc("static_paged_hits", 1)
+			in.toHome(req)
+			return
+		}
+		if e.owner != in.self() && e.owner != req.LastFrom {
+			in.nd.Ctr.Inc("static_owner_hits", 1)
+			in.sendReq(e.owner, req)
+			return
+		}
+	}
+	// Miss: the home node authoritatively resolves fresh/paged/granted
+	// (absence here means "fresh" for never-touched pages, and the home
+	// confirms).
+	in.nd.Ctr.Inc("static_misses", 1)
+	in.toHome(req)
+}
+
+func (in *Instance) toHome(req accessReq) {
+	if in.info.Home == in.self() {
+		in.handleAtHome(req)
+		return
+	}
+	req.ForHome = true
+	in.sendReq(in.info.Home, req)
+}
+
+// startScan begins the global-forwarding ring walk from this node.
+func (in *Instance) startScan(req accessReq) {
+	in.nd.Ctr.Inc("fwd_global", 1)
+	req.Scanning = true
+	req.ScanStart = in.self()
+	in.continueScan(req)
+}
+
+// continueScan passes the request around the mapping ring; a full circle
+// with no owner ends at the home/pager.
+func (in *Instance) continueScan(req accessReq) {
+	next := in.info.nextInRing(in.self())
+	if next == req.ScanStart {
+		// Full circle: no owner anywhere.
+		req.Scanning = false
+		req.ScannedAll = true
+		in.toHome(req)
+		return
+	}
+	in.sendReq(next, req)
+}
+
+func (in *Instance) sendReq(to mesh.NodeID, req accessReq) {
+	req.Hops++
+	req.LastFrom = in.self()
+	if req.Hops > 10000 {
+		panic(fmt.Sprintf("asvm: forwarding livelock for %v page %d", req.Obj, req.Idx))
+	}
+	in.send(to, 0, req)
+}
+
+// handleAtHome resolves requests for pages with no owner: from the pager,
+// by zero fill, or — for copy domains — by pulling through the local
+// shadow chain (the home of a copy domain is its peer node).
+func (in *Instance) handleAtHome(req accessReq) {
+	if in.info.Home != in.self() {
+		panic(fmt.Sprintf("asvm: handleAtHome on node %d, home is %d", in.self(), in.info.Home))
+	}
+	hs := in.home[req.Idx]
+	if hs == nil {
+		hs = &homeState{}
+		in.home[req.Idx] = hs
+	}
+	if req.Kind == kindPushScan {
+		in.homePushScan(req, hs)
+		return
+	}
+	if hs.granted {
+		// An owner exists (or a grant is in flight) but forwarding missed
+		// it. Chase the freshest hint; without one, walk the whole ring;
+		// if even that failed, the ownership transfer is in flight — pace
+		// a retry.
+		if h, ok := in.dyn.Get(req.Idx); ok && h != in.self() && h != req.LastFrom {
+			in.sendReq(h, req)
+			return
+		}
+		if !req.ScannedAll {
+			in.startScan(req)
+			return
+		}
+		in.nd.Ctr.Inc("home_retries", 1)
+		retry := req
+		retry.Scanning = false
+		retry.ScannedAll = false
+		retry.Hops = 0
+		in.nd.Eng.Schedule(homeRetryDelay, func() { in.forward(retry) })
+		return
+	}
+	if in.info.Source != nil {
+		// Copy domain: resolve through the local shadow chain (pull).
+		in.pullLocal(req, hs)
+		return
+	}
+	// Pager-backed or anonymous domain.
+	hs.granted = true
+	in.dyn.Put(req.Idx, req.Origin)
+	hs.atPager = false
+	in.homePagerIn(req.Idx, func(data []byte, found bool) {
+		if found {
+			in.nd.Ctr.Inc("home_pager_supplies", 1)
+			in.send(req.Origin, payloadFor(data), grantMsg{
+				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+				Data: copyData(data), HasData: true, Ownership: true,
+				AtPagerCopy: true, From: in.self(),
+			})
+		} else {
+			in.nd.Ctr.Inc("home_fresh_grants", 1)
+			trace("t fresh: home %d fresh-grants %v p%d to %d", in.self(), in.info.ID, req.Idx, req.Origin)
+			in.send(req.Origin, 0, grantMsg{
+				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+				Fresh: true, Ownership: true, From: in.self(),
+			})
+		}
+	})
+}
+
+// homePagerIn fetches backing contents at the home: from the pager if one
+// is configured, else from the in-memory parking store.
+func (in *Instance) homePagerIn(idx vm.PageIdx, cb func(data []byte, found bool)) {
+	if in.pagerCli != nil {
+		in.pagerCli.PageIn(in.info.ID, idx, cb)
+		return
+	}
+	data, ok := in.store[idx]
+	in.nd.Eng.Schedule(0, func() { cb(data, ok) })
+}
+
+// homePagerOut stores contents at the home's backing store.
+func (in *Instance) homePagerOut(idx vm.PageIdx, data []byte, dirty bool, cb func()) {
+	if in.pagerCli != nil {
+		if !dirty {
+			// The pager already holds identical contents.
+			in.nd.Eng.Schedule(0, cb)
+			return
+		}
+		in.pagerCli.PageOut(in.info.ID, idx, data, dirty, cb)
+		return
+	}
+	if dirty {
+		buf := copyData(data)
+		if buf == nil {
+			buf = []byte{} // metadata-only run: remember existence
+		}
+		in.store[idx] = buf
+	}
+	in.nd.Eng.Schedule(0, cb)
+}

@@ -1,0 +1,108 @@
+package asvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+func TestHintCacheBasics(t *testing.T) {
+	h := newHintCache(4)
+	if _, ok := h.Get(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	h.Put(1, 10)
+	h.Put(2, 20)
+	if n, ok := h.Get(1); !ok || n != 10 {
+		t.Fatalf("Get(1) = %v/%v", n, ok)
+	}
+	h.Put(1, 11) // update in place
+	if n, _ := h.Get(1); n != 11 {
+		t.Fatalf("update lost: %v", n)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	h.Delete(1)
+	if _, ok := h.Get(1); ok {
+		t.Fatal("deleted entry still present")
+	}
+}
+
+func TestHintCacheEvictsOldest(t *testing.T) {
+	h := newHintCache(3)
+	for i := 0; i < 5; i++ {
+		h.Put(vm.PageIdx(i), mesh.NodeID(i))
+	}
+	if _, ok := h.Get(0); ok {
+		t.Fatal("oldest entry survived")
+	}
+	if _, ok := h.Get(1); ok {
+		t.Fatal("second-oldest entry survived")
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := h.Get(vm.PageIdx(i)); !ok {
+			t.Fatalf("recent entry %d evicted", i)
+		}
+	}
+}
+
+func TestHintCacheNeverExceedsCapacity(t *testing.T) {
+	check := func(seed uint64) bool {
+		const cap = 8
+		h := newHintCache(cap)
+		r := sim.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			h.Put(vm.PageIdx(r.Intn(64)), mesh.NodeID(r.Intn(16)))
+			if h.Len() > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticLRUBasics(t *testing.T) {
+	s := newStaticLRU(2)
+	s.Put(1, staticEntry{owner: 5})
+	s.Put(2, staticEntry{paged: true})
+	if e, ok := s.Get(1); !ok || e.owner != 5 {
+		t.Fatalf("Get(1) = %+v/%v", e, ok)
+	}
+	if e, ok := s.Get(2); !ok || !e.paged {
+		t.Fatalf("Get(2) = %+v/%v", e, ok)
+	}
+	s.Put(3, staticEntry{owner: 7}) // evicts page 1
+	if _, ok := s.Get(1); ok {
+		t.Fatal("LRU entry survived over capacity")
+	}
+}
+
+func TestMappingRingHelpers(t *testing.T) {
+	d := &DomainInfo{Mapping: []mesh.NodeID{3, 7, 11}}
+	if d.staticNode(0) != 3 || d.staticNode(1) != 7 || d.staticNode(5) != 11 {
+		t.Fatal("staticNode hashing wrong")
+	}
+	if d.mappingIndex(7) != 1 || d.mappingIndex(99) != -1 {
+		t.Fatal("mappingIndex wrong")
+	}
+	if d.nextInRing(11) != 3 || d.nextInRing(3) != 7 {
+		t.Fatal("nextInRing wrong")
+	}
+}
+
+func TestSortNodeIDs(t *testing.T) {
+	ns := []mesh.NodeID{5, 1, 4, 1, 9}
+	sortNodeIDs(ns)
+	for i := 1; i < len(ns); i++ {
+		if ns[i] < ns[i-1] {
+			t.Fatalf("not sorted: %v", ns)
+		}
+	}
+}

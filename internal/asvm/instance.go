@@ -1,0 +1,329 @@
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/pager"
+	"asvm/internal/vm"
+)
+
+// pageState is the owner-side state of a page. Only owners hold one — the
+// paper's invariant that a node keeps state only for pages in its VM cache.
+type pageState struct {
+	readers map[mesh.NodeID]bool
+	version uint64 // push version (paper §3.7.2)
+	busy    bool
+	queue   []accessReq
+	// held marks a range-locked page (§6 extension): foreign requests
+	// queue until release.
+	held bool
+}
+
+// pendingFault tracks a fault this node has in flight.
+type pendingFault struct {
+	want    vm.Prot
+	retries int
+}
+
+// homeState is the home node's authoritative view of a page's relationship
+// to the pager (conceptually the pager's own metadata).
+type homeState struct {
+	granted bool // an owner exists (or a grant is in flight)
+	atPager bool // latest contents are at the pager
+}
+
+// staticEntry is a static ownership manager cache entry.
+type staticEntry struct {
+	owner mesh.NodeID
+	paged bool
+}
+
+// Instance is one node's ASVM representation of a memory object.
+type Instance struct {
+	nd   *Node
+	info *DomainInfo
+	o    *vm.Object
+
+	pagerCli pager.PagerIO
+
+	pages  map[vm.PageIdx]*pageState
+	pend   map[vm.PageIdx]*pendingFault
+	dyn    *hintCache
+	static *staticLRU
+	home   map[vm.PageIdx]*homeState
+	store  map[vm.PageIdx][]byte // home-side parking when no pager is configured
+
+	seq       uint64
+	pendInval map[uint64]*invalBatch
+	pendXfer  map[uint64]func(accepted bool)
+	pendPush  map[vm.PageIdx]func(found bool)
+	pendPgr   map[uint64]func()
+
+	// transferring suppresses DataReturn while the kernel drops a page
+	// whose contents just left with an ownership grant.
+	transferring bool
+
+	// Internode paging target selection (paper §3.6).
+	pageoutCounter int
+	lastAccepted   mesh.NodeID
+}
+
+// newInstance creates (or adopts) the node's vm object for the domain and
+// wires the instance in as its memory manager.
+func newInstance(nd *Node, info *DomainInfo) *Instance {
+	in := &Instance{
+		nd: nd, info: info,
+		pages:     make(map[vm.PageIdx]*pageState),
+		pend:      make(map[vm.PageIdx]*pendingFault),
+		dyn:       newHintCache(info.Cfg.DynamicCacheSize),
+		static:    newStaticLRU(info.Cfg.StaticCacheSize),
+		home:      make(map[vm.PageIdx]*homeState),
+		store:     make(map[vm.PageIdx][]byte),
+		pendInval: make(map[uint64]*invalBatch),
+		pendXfer:  make(map[uint64]func(bool)),
+		pendPush:  make(map[vm.PageIdx]func(bool)),
+		pendPgr:   make(map[uint64]func()),
+
+		lastAccepted: -1,
+	}
+	if o := nd.K.Object(info.ID); o != nil {
+		// Adopt an existing object (promotion of previously node-private
+		// memory to an ASVM domain): resident pages become owned here.
+		in.o = o
+		o.Mgr = in
+		o.Strategy = vm.CopyAsymmetric
+		for idx := range o.Pages {
+			in.pages[idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: info.Version}
+			if nd.Self == info.Home {
+				in.home[idx] = &homeState{granted: true}
+			}
+		}
+	} else {
+		in.o = nd.K.NewObject(info.ID, info.SizePages, in, vm.CopyAsymmetric)
+	}
+	nd.instances[info.ID] = in
+	return in
+}
+
+// SetPager overrides the home instance's backing-store interface — used
+// to wire in a striped multi-pager file (paper §6).
+func (in *Instance) SetPager(io pager.PagerIO) { in.pagerCli = io }
+
+// Obj returns the instance's local vm object.
+func (in *Instance) Obj() *vm.Object { return in.o }
+
+// Info returns the domain description.
+func (in *Instance) Info() *DomainInfo { return in.info }
+
+// Owns reports whether this node currently owns the page.
+func (in *Instance) Owns(idx vm.PageIdx) bool { return in.pages[idx] != nil }
+
+func (in *Instance) self() mesh.NodeID { return in.nd.Self }
+
+func (in *Instance) send(to mesh.NodeID, payload int, m interface{}) {
+	in.nd.TR.Send(in.self(), to, Proto, payload, m)
+}
+
+// copyData snapshots page contents for a message (nil stays nil in
+// metadata-only runs).
+func copyData(d []byte) []byte {
+	if d == nil {
+		return nil
+	}
+	buf := make([]byte, len(d))
+	copy(buf, d)
+	return buf
+}
+
+// payloadFor is the wire payload for a message carrying one page: always a
+// full page, whether or not this run tracks real contents.
+func payloadFor(d []byte) int { return vm.PageSize }
+
+// ---------------------------------------------------------------------------
+// EMMI surface (vm.MemoryManager)
+
+// DataRequest implements vm.MemoryManager: the local VM cache misses.
+func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
+	in.nd.Ctr.Inc("data_requests", 1)
+	pf := in.pend[idx]
+	if pf == nil {
+		pf = &pendingFault{}
+		in.pend[idx] = pf
+	}
+	if desired > pf.want {
+		pf.want = desired
+	}
+	in.forward(accessReq{
+		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+		Want: desired, Kind: kindAccess,
+		Origin: in.self(), LastFrom: in.self(),
+	})
+}
+
+// DataUnlock implements vm.MemoryManager: a write upgrade on a resident
+// page. If we own the page this is transition 7 of the state machine; else
+// the owner sees us on its reader list and grants without contents.
+func (in *Instance) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
+	in.nd.Ctr.Inc("data_unlocks", 1)
+	if ps := in.pages[idx]; ps != nil {
+		req := accessReq{
+			Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+			Want: desired, Kind: kindAccess,
+			Origin: in.self(), LastFrom: in.self(),
+		}
+		in.handleAsOwner(req)
+		return
+	}
+	pf := in.pend[idx]
+	if pf == nil {
+		pf = &pendingFault{}
+		in.pend[idx] = pf
+	}
+	if desired > pf.want {
+		pf.want = desired
+	}
+	in.forward(accessReq{
+		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+		Want: desired, Kind: kindAccess,
+		Origin: in.self(), LastFrom: in.self(),
+	})
+}
+
+// Terminate implements vm.MemoryManager.
+func (in *Instance) Terminate(o *vm.Object) {}
+
+// ---------------------------------------------------------------------------
+// Grant / invalidation handling
+
+func (in *Instance) handleGrant(g grantMsg) {
+	pf := in.pend[g.Idx]
+	if g.Retry {
+		if pf == nil {
+			return // request already satisfied through another path
+		}
+		pf.retries++
+		if pf.retries > 10000 {
+			panic(fmt.Sprintf("asvm: grant retry livelock on %v page %d at node %d", in.info.ID, g.Idx, in.self()))
+		}
+		in.nd.Ctr.Inc("grant_retries", 1)
+		in.forward(accessReq{
+			Obj: in.info.ID, Target: in.info.ID, Idx: g.Idx,
+			Want: pf.want, Kind: kindAccess,
+			Origin: in.self(), LastFrom: in.self(),
+		})
+		return
+	}
+	switch {
+	case g.Fresh:
+		in.nd.Ctr.Inc("fresh_grants", 1)
+		in.nd.K.DataUnavailable(in.o, g.Idx, g.Lock)
+	case g.HasData:
+		in.nd.K.DataSupply(in.o, g.Idx, g.Data, g.Lock, false)
+	default:
+		in.nd.K.LockGrant(in.o, g.Idx, g.Lock)
+	}
+	delete(in.pend, g.Idx)
+	if g.Ownership {
+		trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, g.Idx, g.Fresh, g.HasData, g.Lock, g.From, pf == nil)
+		readers := make(map[mesh.NodeID]bool, len(g.Readers))
+		for _, r := range g.Readers {
+			if r != in.self() {
+				readers[r] = true
+			}
+		}
+		in.pages[g.Idx] = &pageState{readers: readers, version: g.Version}
+		if pg := in.o.Pages[g.Idx]; pg != nil && !g.AtPagerCopy {
+			// Unless the pager also holds these contents, the owner is
+			// solely responsible for them: never drop silently.
+			pg.Dirty = true
+		}
+		in.announceOwner(g.Idx)
+	}
+}
+
+// announceOwner refreshes the static ownership manager's cache.
+func (in *Instance) announceOwner(idx vm.PageIdx) {
+	if !in.info.Cfg.StaticForwarding {
+		return
+	}
+	sm := in.info.staticNode(idx)
+	upd := ownerUpdate{Obj: in.info.ID, Idx: idx, Owner: in.self()}
+	if sm == in.self() {
+		in.handleOwnerUpdate(upd)
+		return
+	}
+	in.send(sm, 0, upd)
+}
+
+func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
+	if u.Paged {
+		in.static.Put(u.Idx, staticEntry{paged: true})
+		return
+	}
+	in.static.Put(u.Idx, staticEntry{owner: u.Owner})
+}
+
+// invalBatch tracks one round of reader invalidations.
+type invalBatch struct {
+	remaining int
+	cont      func()
+}
+
+// invalidateReaders sends invalidations to every reader except keep, waits
+// for all acks, clears the reader list and continues (transitions 6/7).
+func (in *Instance) invalidateReaders(ps *pageState, idx vm.PageIdx, newOwner mesh.NodeID, cont func()) {
+	var targets []mesh.NodeID
+	for r := range ps.readers {
+		if r != newOwner && r != in.self() {
+			targets = append(targets, r)
+		}
+	}
+	sortNodeIDs(targets)
+	if len(targets) == 0 {
+		ps.readers = make(map[mesh.NodeID]bool)
+		cont()
+		return
+	}
+	in.seq++
+	seq := in.seq
+	in.pendInval[seq] = &invalBatch{remaining: len(targets), cont: func() {
+		ps.readers = make(map[mesh.NodeID]bool)
+		cont()
+	}}
+	for _, r := range targets {
+		in.nd.Ctr.Inc("invalidations", 1)
+		in.send(r, 0, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
+	}
+}
+
+func (in *Instance) handleInval(iv invalMsg) {
+	// Transition 8: drop the read copy and learn the new owner.
+	in.nd.K.LockRequest(in.o, iv.Idx, vm.ProtNone, false, nil)
+	if in.info.Cfg.DynamicForwarding {
+		in.dyn.Put(iv.Idx, iv.NewOwner)
+	}
+	in.send(iv.From, 0, invalAck{Obj: in.info.ID, Idx: iv.Idx, Seq: iv.Seq})
+}
+
+func (in *Instance) handleInvalAck(ack invalAck) {
+	b := in.pendInval[ack.Seq]
+	if b == nil {
+		panic(fmt.Sprintf("asvm: stray invalidation ack seq %d", ack.Seq))
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		delete(in.pendInval, ack.Seq)
+		b.cont()
+	}
+}
+
+func sortNodeIDs(ns []mesh.NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+var _ vm.MemoryManager = (*Instance)(nil)

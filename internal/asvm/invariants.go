@@ -1,0 +1,114 @@
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/vm"
+)
+
+// CheckInvariants validates a quiesced domain's global state across all
+// its nodes — the properties §3.5/§3.6 of the paper promise:
+//
+//  1. single writer or multiple readers: at most one owner per page, and
+//     if any node holds write access it is the owner and nobody else has
+//     the page;
+//  2. the owner invariant: every owner holds the page in its VM cache;
+//  3. readers known to the owner: every node holding a (non-owner) copy
+//     appears on the owner's reader list;
+//  4. home bookkeeping: an owner exists if and only if the home believes
+//     the page is granted (never both granted and at-pager);
+//  5. no dangling protocol state: no busy pages, queued requests, pending
+//     faults, or unacknowledged transfers.
+//
+// It must be called with the simulation drained (Engine.Pending() == 0).
+func CheckInvariants(cluster []*Node, info *DomainInfo) error {
+	type holder struct {
+		node mesh.NodeID
+		pg   *vm.Page
+		in   *Instance
+	}
+	holders := make(map[vm.PageIdx][]holder)
+	owners := make(map[vm.PageIdx][]*Instance)
+
+	for _, nid := range info.Mapping {
+		nd := nodeByID(cluster, nid)
+		in := nd.instances[info.ID]
+		if in == nil {
+			return fmt.Errorf("asvm: node %d lost its instance of %v", nid, info.ID)
+		}
+		if len(in.pend) != 0 {
+			return fmt.Errorf("asvm: node %d has %d pending faults", nid, len(in.pend))
+		}
+		if len(in.pendInval) != 0 || len(in.pendXfer) != 0 || len(in.pendPush) != 0 || len(in.pendPgr) != 0 {
+			return fmt.Errorf("asvm: node %d has dangling protocol completions", nid)
+		}
+		for idx, ps := range in.pages {
+			if ps.busy {
+				return fmt.Errorf("asvm: node %d page %d still busy", nid, idx)
+			}
+			if len(ps.queue) != 0 {
+				return fmt.Errorf("asvm: node %d page %d has %d queued requests", nid, idx, len(ps.queue))
+			}
+			owners[idx] = append(owners[idx], in)
+			if !in.o.Resident(idx) {
+				return fmt.Errorf("asvm: node %d owns page %d without holding it (owner invariant)", nid, idx)
+			}
+		}
+		for idx, pg := range in.o.Pages {
+			holders[idx] = append(holders[idx], holder{nid, pg, in})
+		}
+	}
+
+	for idx, os := range owners {
+		if len(os) > 1 {
+			ns := make([]mesh.NodeID, len(os))
+			for i, in := range os {
+				ns[i] = in.self()
+			}
+			return fmt.Errorf("asvm: page %d has %d owners: %v", idx, len(os), ns)
+		}
+	}
+
+	for idx, hs := range holders {
+		os := owners[idx]
+		if len(os) == 0 {
+			return fmt.Errorf("asvm: page %d resident on %d nodes with no owner", idx, len(hs))
+		}
+		owner := os[0]
+		writers := 0
+		for _, h := range hs {
+			if h.pg.Lock >= vm.ProtWrite {
+				writers++
+				if h.in != owner {
+					return fmt.Errorf("asvm: page %d write-held by non-owner node %d", idx, h.node)
+				}
+			}
+			if h.in != owner && !owner.pages[idx].readers[h.node] {
+				return fmt.Errorf("asvm: page %d held by node %d unknown to owner %d",
+					idx, h.node, owner.self())
+			}
+		}
+		if writers > 0 && len(hs) > 1 {
+			return fmt.Errorf("asvm: page %d has a writer and %d other copies", idx, len(hs)-1)
+		}
+	}
+
+	// Home bookkeeping.
+	home := nodeByID(cluster, info.Home).instances[info.ID]
+	for idx, hs := range home.home {
+		hasOwner := len(owners[idx]) > 0
+		if hs.granted && hs.atPager {
+			return fmt.Errorf("asvm: page %d both granted and at pager", idx)
+		}
+		if hs.granted != hasOwner {
+			return fmt.Errorf("asvm: page %d home granted=%v but owner-exists=%v", idx, hs.granted, hasOwner)
+		}
+	}
+	for idx := range owners {
+		if hs := home.home[idx]; hs == nil || !hs.granted {
+			return fmt.Errorf("asvm: page %d owned but home unaware", idx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package asvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+func TestInvariantsHoldAfterSimpleRun(t *testing.T) {
+	c := newCluster(t, 4, 0, DefaultConfig())
+	tasks := c.shared(t, 8, DefaultConfig())
+	info := c.asvms[0].Instance(sharedID).Info()
+	c.run(t, func(p *sim.Proc) error {
+		for i := 0; i < 8; i++ {
+			if err := tasks[i%4].WriteU64(p, vm.Addr(i*vm.PageSize), uint64(i)); err != nil {
+				return err
+			}
+			if _, err := tasks[(i+1)%4].ReadU64(p, vm.Addr(i*vm.PageSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := CheckInvariants(c.asvms, info); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsDetectDoubleOwner(t *testing.T) {
+	c := newCluster(t, 2, 0, DefaultConfig())
+	tasks := c.shared(t, 2, DefaultConfig())
+	info := c.asvms[0].Instance(sharedID).Info()
+	c.run(t, func(p *sim.Proc) error {
+		return tasks[0].WriteU64(p, 0, 1)
+	})
+	// Corrupt: force a second owner.
+	in1 := c.asvms[1].Instance(sharedID)
+	c.kerns[1].InstallPage(in1.o, 0, nil, vm.ProtWrite)
+	in1.pages[0] = &pageState{readers: map[mesh.NodeID]bool{}}
+	if err := CheckInvariants(c.asvms, info); err == nil {
+		t.Fatal("double owner not detected")
+	}
+}
+
+// TestInvariantsUnderRandomConcurrentLoad drives random concurrent
+// read/write/eviction activity from every node, drains the simulation, and
+// requires the paper's global invariants to hold — across seeds.
+func TestInvariantsUnderRandomConcurrentLoad(t *testing.T) {
+	check := func(seed uint64) bool {
+		cfg := DefaultConfig()
+		cfg.DynamicCacheSize = 8 // small caches: exercise fallbacks
+		cfg.StaticCacheSize = 8
+		c := newCluster(t, 5, 48, cfg) // bounded memory: exercise internode paging
+		tasks := c.shared(t, 24, cfg)
+		info := c.asvms[0].Instance(sharedID).Info()
+		rng := sim.NewRNG(seed)
+		ok := true
+		for n := 0; n < 5; n++ {
+			n := n
+			order := rng.Perm(24)
+			writes := rng.Uint64()
+			c.eng.Spawn("stress", func(p *sim.Proc) {
+				for round := 0; round < 3; round++ {
+					for _, pg := range order {
+						want := vm.ProtRead
+						if (writes>>(uint(pg)%64))&1 == 1 {
+							want = vm.ProtWrite
+						}
+						if _, err := tasks[n].Touch(p, vm.Addr(pg*vm.PageSize), want); err != nil {
+							t.Logf("seed %d node %d: %v", seed, n, err)
+							ok = false
+							return
+						}
+					}
+				}
+			})
+		}
+		c.eng.Run()
+		if !ok {
+			return false
+		}
+		if c.eng.LiveProcs() != 0 {
+			t.Logf("seed %d: %d procs leaked", seed, c.eng.LiveProcs())
+			return false
+		}
+		if err := CheckInvariants(c.asvms, info); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

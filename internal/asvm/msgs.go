@@ -1,0 +1,163 @@
+package asvm
+
+import (
+	"asvm/internal/mesh"
+	"asvm/internal/vm"
+)
+
+// Proto is the STS channel ASVM traffic rides on.
+const Proto = "asvm"
+
+// reqKind distinguishes the three request flavours that flow through the
+// forwarding machinery.
+type reqKind int
+
+const (
+	// kindAccess is an ordinary shared-memory access request.
+	kindAccess reqKind = iota
+	// kindPull is a request that originated in a copy object and is being
+	// resolved through shadow chains; the grant is delivered into Target.
+	kindPull
+	// kindPushScan probes a copy domain for an existing page owner before
+	// a push (paper §3.7.2).
+	kindPushScan
+)
+
+// Wire message types. Every ASVM message is a fixed 32-byte untyped block,
+// optionally followed by one page of contents (paper §3.1).
+type (
+	// accessReq travels through the request redirector to the page owner
+	// (or the pager when no owner exists).
+	accessReq struct {
+		Obj    vm.ObjID // domain currently being searched
+		Target vm.ObjID // domain the grant must be delivered into
+		Idx    vm.PageIdx
+		Want   vm.Prot
+		Kind   reqKind
+		Origin mesh.NodeID
+		Hops   int
+		// Scanning marks a request in the global-forwarding ring walk.
+		Scanning bool
+		// ScannedAll marks a request whose ring walk completed without
+		// finding an owner (the home then knows a transfer is in flight).
+		ScannedAll bool
+		// ForHome routes the request to the home's resolution logic on
+		// arrival (set when forwarding decides the pager must answer).
+		ForHome bool
+		// ScanStart is where the ring walk began (to detect completion).
+		ScanStart mesh.NodeID
+		// LastFrom is the node that forwarded the request last (loop
+		// avoidance for hint chasing).
+		LastFrom mesh.NodeID
+	}
+
+	// grantMsg answers an accessReq at its origin.
+	grantMsg struct {
+		Obj       vm.ObjID // == req.Target
+		Idx       vm.PageIdx
+		Lock      vm.Prot
+		Data      []byte
+		HasData   bool
+		Fresh     bool // zero-fill grant
+		Ownership bool
+		Readers   []mesh.NodeID // transferred reader list
+		Version   uint64        // push version of the page
+		Retry     bool          // push/eviction race: re-forward the request
+		// AtPagerCopy marks contents the pager also holds (a clean page-in
+		// grant): the new owner's copy may stay clean.
+		AtPagerCopy bool
+		From        mesh.NodeID
+	}
+
+	// invalMsg removes a read copy; the reader learns the new owner for
+	// its dynamic hint cache.
+	invalMsg struct {
+		Obj      vm.ObjID
+		Idx      vm.PageIdx
+		NewOwner mesh.NodeID
+		Seq      uint64
+		From     mesh.NodeID
+	}
+
+	// invalAck confirms an invalidation.
+	invalAck struct {
+		Obj vm.ObjID
+		Idx vm.PageIdx
+		Seq uint64
+	}
+
+	// ownerUpdate refreshes the static ownership manager's cache (and
+	// marks pages paged out).
+	ownerUpdate struct {
+		Obj   vm.ObjID
+		Idx   vm.PageIdx
+		Owner mesh.NodeID
+		Paged bool
+	}
+
+	// ownerXfer offers ownership to a node on the reader list during
+	// eviction (internode paging step 2 — no page contents needed).
+	ownerXfer struct {
+		Obj     vm.ObjID
+		Idx     vm.PageIdx
+		Readers []mesh.NodeID
+		Version uint64
+		Seq     uint64
+		From    mesh.NodeID
+	}
+
+	// ownerXferAck accepts or declines an ownership transfer.
+	ownerXferAck struct {
+		Obj      vm.ObjID
+		Idx      vm.PageIdx
+		Seq      uint64
+		Accepted bool
+		From     mesh.NodeID
+	}
+
+	// pageOffer offers page contents to a node with free memory
+	// (internode paging step 3).
+	pageOffer struct {
+		Obj     vm.ObjID
+		Idx     vm.PageIdx
+		Data    []byte
+		Version uint64
+		Seq     uint64
+		From    mesh.NodeID
+	}
+
+	// pageOfferAck accepts or declines a page transfer.
+	pageOfferAck struct {
+		Obj      vm.ObjID
+		Idx      vm.PageIdx
+		Seq      uint64
+		Accepted bool
+		From     mesh.NodeID
+	}
+
+	// toPager returns a page to the memory object's pager (internode
+	// paging step 4), via the domain's home instance.
+	toPager struct {
+		Obj   vm.ObjID
+		Idx   vm.PageIdx
+		Data  []byte
+		Dirty bool
+		Seq   uint64
+		From  mesh.NodeID
+	}
+
+	// toPagerAck confirms the page reached the pager.
+	toPagerAck struct {
+		Obj vm.ObjID
+		Idx vm.PageIdx
+		Seq uint64
+	}
+
+	// pushScanAck answers a kindPushScan request back at the pushing
+	// owner. Found=true cancels the push.
+	pushScanAck struct {
+		SrcObj vm.ObjID // the source domain whose owner is pushing
+		Idx    vm.PageIdx
+		Found  bool
+	}
+)

@@ -1,0 +1,184 @@
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/vm"
+)
+
+// handleAsOwner runs the page state machine (Figure 7) at the page owner.
+// Operations on one page are serialized: a busy page queues requests.
+func (in *Instance) handleAsOwner(req accessReq) {
+	ps := in.pages[req.Idx]
+	if ps == nil {
+		// Ownership left between queueing and processing: chase it.
+		in.forward(req)
+		return
+	}
+	if ps.busy || (ps.held && req.Origin != in.self()) {
+		ps.queue = append(ps.queue, req)
+		return
+	}
+	in.process(req, ps)
+}
+
+// process executes one request at the owner. It must be entered with
+// ps.busy == false and leaves through done().
+func (in *Instance) process(req accessReq, ps *pageState) {
+	ps.busy = true
+	idx := req.Idx
+	done := func() {
+		ps.busy = false
+		in.drainQueue(idx, ps)
+	}
+	switch req.Kind {
+	case kindPushScan:
+		// We own this page of the copy domain: the push is unnecessary.
+		in.send(req.Origin, 0, pushScanAck{SrcObj: req.Target, Idx: idx, Found: true})
+		done()
+	case kindPull:
+		in.servePull(req, ps, done)
+	case kindAccess:
+		if req.Want == vm.ProtRead {
+			in.serveRead(req, ps, done)
+		} else {
+			in.serveWrite(req, ps, done)
+		}
+	default:
+		panic(fmt.Sprintf("asvm: unknown request kind %d", req.Kind))
+	}
+}
+
+// drainQueue continues with queued work after an operation completes. If
+// ownership moved away, everything queued chases the new owner.
+func (in *Instance) drainQueue(idx vm.PageIdx, ps *pageState) {
+	if len(ps.queue) == 0 {
+		return
+	}
+	if in.pages[idx] == nil {
+		q := ps.queue
+		ps.queue = nil
+		for _, r := range q {
+			in.forward(r)
+		}
+		return
+	}
+	next := ps.queue[0]
+	if ps.held && next.Origin != in.self() {
+		return // range-locked: foreign requests wait for ReleaseRange
+	}
+	ps.queue = ps.queue[1:]
+	in.process(next, ps)
+}
+
+// serveRead is transition 5: grant read access, remember the reader.
+func (in *Instance) serveRead(req accessReq, ps *pageState, done func()) {
+	pg := in.o.Pages[req.Idx]
+	if pg == nil {
+		// Shouldn't happen (owners keep the page resident) but recover by
+		// chasing forwarding.
+		delete(in.pages, req.Idx)
+		in.forward(req)
+		done()
+		return
+	}
+	in.nd.Ctr.Inc("read_grants", 1)
+	ps.readers[req.Origin] = true
+	in.send(req.Origin, payloadFor(pg.Data), grantMsg{
+		Obj: req.Target, Idx: req.Idx, Lock: vm.ProtRead,
+		Data: copyData(pg.Data), HasData: true, From: in.self(),
+	})
+	// Single writer or multiple readers: handing out a read copy
+	// downgrades our own access too; our next write re-enters the state
+	// machine as transition 7 and invalidates the readers.
+	if pg.Lock > vm.ProtRead {
+		in.nd.K.LockRequest(in.o, req.Idx, vm.ProtRead, false, nil)
+	}
+	done()
+}
+
+// serveWrite is transitions 2/3/4/6/7: push if a delayed copy needs the
+// old contents, invalidate all readers, then grant write (with ownership
+// when the requester is remote).
+func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
+	idx := req.Idx
+	in.pushIfNeeded(ps, idx, func() {
+		upgrade := ps.readers[req.Origin]
+		in.invalidateReaders(ps, idx, req.Origin, func() {
+			if req.Origin == in.self() {
+				// Transition 7: our own upgrade; we stay owner.
+				in.nd.Ctr.Inc("self_upgrades", 1)
+				in.nd.K.LockGrant(in.o, idx, vm.ProtWrite)
+				if pg := in.o.Pages[idx]; pg != nil {
+					pg.Dirty = true
+				}
+				done()
+				return
+			}
+			// Transitions 4/6: grant write and transfer ownership.
+			pg := in.o.Pages[idx]
+			g := grantMsg{
+				Obj: req.Target, Idx: idx, Lock: vm.ProtWrite,
+				Ownership: true, Version: ps.version, From: in.self(),
+			}
+			payload := 0
+			if !upgrade {
+				if pg == nil {
+					// Our copy vanished mid-protocol (cancelled eviction
+					// lost the race): fall back to retrying the request.
+					g.Retry = true
+				} else {
+					g.Data = copyData(pg.Data)
+					g.HasData = true
+					payload = payloadFor(pg.Data)
+				}
+			}
+			in.nd.Ctr.Inc("write_grants", 1)
+			trace("t xfer: node %d grants ownership of %v p%d to %d (upgrade=%v)", in.self(), in.info.ID, idx, req.Origin, upgrade)
+			in.send(req.Origin, payload, g)
+			if g.Retry {
+				done()
+				return
+			}
+			// Drop our copy; the contents just left with the grant.
+			in.transferring = true
+			in.nd.K.LockRequest(in.o, idx, vm.ProtNone, false, nil)
+			in.transferring = false
+			delete(in.pages, idx)
+			in.dyn.Put(idx, req.Origin)
+			done()
+		})
+	})
+}
+
+// servePull answers a request that originated in a copy object and was
+// forwarded into this (source) domain. If the page has already been pushed
+// for the newest copy, its current contents may postdate the copy — the
+// requester must retry in the copy domain, where the pushed page now has
+// an owner (the paper's push/pull synchronization).
+func (in *Instance) servePull(req accessReq, ps *pageState, done func()) {
+	if in.info.Copy != nil && ps.version == in.info.Version {
+		in.nd.Ctr.Inc("pull_retries", 1)
+		in.send(req.Origin, 0, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
+		done()
+		return
+	}
+	pg := in.o.Pages[req.Idx]
+	if pg == nil {
+		delete(in.pages, req.Idx)
+		in.forward(req)
+		done()
+		return
+	}
+	// The contents are still those the copy snapshotted (no push has
+	// happened, so no write has happened since the copy was made): supply
+	// them into the copy object at the origin, which becomes their owner
+	// there. Version 0 keeps the copy's own future pushes armed.
+	in.nd.Ctr.Inc("pull_grants", 1)
+	in.send(req.Origin, payloadFor(pg.Data), grantMsg{
+		Obj: req.Target, Idx: req.Idx, Lock: req.Want,
+		Data: copyData(pg.Data), HasData: true,
+		Ownership: true, Version: 0, From: in.self(),
+	})
+	done()
+}

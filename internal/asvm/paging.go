@@ -1,0 +1,285 @@
+package asvm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/vm"
+)
+
+// This file implements internode paging (paper §3.6): the physical memory
+// of all mapping nodes is a cache for the memory object. Eviction of an
+// owned page prefers (1) ownership transfer to a surviving reader — no
+// contents on the wire, (2) a page transfer to a node with free memory —
+// selected by a cycling counter that locks onto accepting nodes, and only
+// then (3) pageout to the memory object's pager.
+
+// DataReturn implements vm.MemoryManager: the local kernel is evicting (or
+// cleaning) a page.
+func (in *Instance) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty, kept bool) {
+	if in.transferring {
+		return // contents just left with an ownership grant
+	}
+	if kept {
+		// Clean-in-place downgrade (during copy creation): the owner keeps
+		// content responsibility; nothing to do.
+		return
+	}
+	ps := in.pages[idx]
+	if ps == nil {
+		// Not the owner: a read copy is simply discarded (step 1). The
+		// owner's reader list self-corrects on its next probe.
+		in.nd.Ctr.Inc("evict_discard", 1)
+		in.nd.K.RemovePage(o, idx)
+		return
+	}
+	if ps.busy || ps.held || in.pendPush[idx] != nil {
+		// Mid-protocol: let this round of pageout skip the page.
+		in.nd.K.CancelEviction(o, idx)
+		return
+	}
+	ps.busy = true
+	in.nd.Ctr.Inc("evict_owner", 1)
+	if in.info.Cfg.DisableInternodePaging {
+		in.evictToPager(idx, ps, copyData(data), dirty)
+		return
+	}
+	in.evictTryReaders(idx, ps, copyData(data), dirty)
+}
+
+// evictTryReaders is step 2: ask readers one after another; the first that
+// still holds the page takes ownership (no page contents needed).
+func (in *Instance) evictTryReaders(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+	var reader mesh.NodeID = -1
+	for r := range ps.readers {
+		if reader == -1 || r < reader {
+			reader = r
+		}
+	}
+	if reader == -1 {
+		in.evictTryTransfer(idx, ps, data, dirty)
+		return
+	}
+	others := make([]mesh.NodeID, 0, len(ps.readers)-1)
+	for r := range ps.readers {
+		if r != reader {
+			others = append(others, r)
+		}
+	}
+	sortNodeIDs(others)
+	in.seq++
+	seq := in.seq
+	in.pendXfer[seq] = func(accepted bool) {
+		if accepted {
+			in.nd.Ctr.Inc("evict_owner_xfer", 1)
+			in.evictFinish(idx, ps, reader)
+			return
+		}
+		delete(ps.readers, reader)
+		in.evictTryReaders(idx, ps, data, dirty)
+	}
+	in.send(reader, 0, ownerXfer{
+		Obj: in.info.ID, Idx: idx, Readers: others,
+		Version: ps.version, Seq: seq, From: in.self(),
+	})
+}
+
+// evictTryTransfer is step 3: offer the page to another mapping node with
+// free memory, cycling through the mapping and locking onto the last
+// accepter.
+func (in *Instance) evictTryTransfer(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+	target := in.nextPageoutTarget()
+	if target == -1 {
+		in.evictToPager(idx, ps, data, dirty)
+		return
+	}
+	in.offerPage(idx, ps, data, dirty, target, func(accepted bool) {
+		if accepted {
+			in.lastAccepted = target
+			in.nd.Ctr.Inc("evict_page_xfer", 1)
+			in.evictFinish(idx, ps, target)
+			return
+		}
+		// Ask the node that most recently accepted a transfer.
+		last := in.lastAccepted
+		if last != -1 && last != target && last != in.self() {
+			in.offerPage(idx, ps, data, dirty, last, func(accepted bool) {
+				if accepted {
+					in.nd.Ctr.Inc("evict_page_xfer", 1)
+					in.evictFinish(idx, ps, last)
+					return
+				}
+				in.lastAccepted = -1
+				in.evictToPager(idx, ps, data, dirty)
+			})
+			return
+		}
+		in.evictToPager(idx, ps, data, dirty)
+	})
+}
+
+// nextPageoutTarget returns the next candidate from the cycling counter,
+// or -1 when this node is the only mapper.
+func (in *Instance) nextPageoutTarget() mesh.NodeID {
+	m := in.info.Mapping
+	if len(m) <= 1 {
+		return -1
+	}
+	for tries := 0; tries < len(m); tries++ {
+		t := m[in.pageoutCounter%len(m)]
+		in.pageoutCounter++
+		if t != in.self() {
+			return t
+		}
+	}
+	return -1
+}
+
+func (in *Instance) offerPage(idx vm.PageIdx, ps *pageState, data []byte, dirty bool, to mesh.NodeID, cb func(bool)) {
+	in.seq++
+	seq := in.seq
+	in.pendXfer[seq] = cb
+	in.send(to, payloadFor(data), pageOffer{
+		Obj: in.info.ID, Idx: idx, Data: copyData(data),
+		Version: ps.version, Seq: seq, From: in.self(),
+	})
+	_ = dirty
+}
+
+// evictToPager is step 4: return the page to the memory object's pager via
+// the home instance.
+func (in *Instance) evictToPager(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+	in.nd.Ctr.Inc("evict_to_pager", 1)
+	if in.info.Home == in.self() {
+		in.homePagerOut(idx, data, dirty, func() {
+			hs := in.home[idx]
+			if hs == nil {
+				hs = &homeState{}
+				in.home[idx] = hs
+			}
+			hs.granted = false
+			hs.atPager = true
+			in.announcePaged(idx)
+			in.evictFinish(idx, ps, -1)
+		})
+		return
+	}
+	in.seq++
+	seq := in.seq
+	in.pendPgr[seq] = func() {
+		in.evictFinish(idx, ps, -1)
+	}
+	payload := 0
+	if dirty {
+		payload = payloadFor(data)
+	}
+	in.send(in.info.Home, payload, toPager{
+		Obj: in.info.ID, Idx: idx, Data: copyData(data),
+		Dirty: dirty, Seq: seq, From: in.self(),
+	})
+}
+
+// announcePaged plants the "paged" hint at the static manager.
+func (in *Instance) announcePaged(idx vm.PageIdx) {
+	if !in.info.Cfg.StaticForwarding {
+		return
+	}
+	sm := in.info.staticNode(idx)
+	upd := ownerUpdate{Obj: in.info.ID, Idx: idx, Paged: true}
+	if sm == in.self() {
+		in.handleOwnerUpdate(upd)
+		return
+	}
+	in.send(sm, 0, upd)
+}
+
+// evictFinish drops local state and releases the frame; queued requests
+// chase the new owner (or the pager).
+func (in *Instance) evictFinish(idx vm.PageIdx, ps *pageState, newOwner mesh.NodeID) {
+	delete(in.pages, idx)
+	in.nd.K.RemovePage(in.o, idx)
+	if newOwner >= 0 {
+		in.dyn.Put(idx, newOwner)
+	} else {
+		in.dyn.Delete(idx)
+	}
+	ps.busy = false
+	in.drainQueue(idx, ps)
+}
+
+// ---------------------------------------------------------------------------
+// Receiving side
+
+func (in *Instance) handleOwnerXfer(x ownerXfer) {
+	pg := in.o.Pages[x.Idx]
+	accept := pg != nil && !pg.Evicting && in.pages[x.Idx] == nil
+	if accept {
+		readers := make(map[mesh.NodeID]bool, len(x.Readers))
+		for _, r := range x.Readers {
+			if r != in.self() {
+				readers[r] = true
+			}
+		}
+		in.pages[x.Idx] = &pageState{readers: readers, version: x.Version}
+		pg.Dirty = true // contents now live here alone
+		in.announceOwner(x.Idx)
+		in.nd.Ctr.Inc("ownerxfer_accepted", 1)
+	}
+	in.send(x.From, 0, ownerXferAck{Obj: in.info.ID, Idx: x.Idx, Seq: x.Seq, Accepted: accept})
+}
+
+func (in *Instance) handleOwnerXferAck(a ownerXferAck) {
+	cb := in.pendXfer[a.Seq]
+	if cb == nil {
+		panic(fmt.Sprintf("asvm: stray owner transfer ack seq %d", a.Seq))
+	}
+	delete(in.pendXfer, a.Seq)
+	cb(a.Accepted)
+}
+
+func (in *Instance) handlePageOffer(po pageOffer) {
+	accept := in.nd.K.Mem.FreePages() > in.info.Cfg.PageOfferReserve &&
+		in.o.Pages[po.Idx] == nil && in.pages[po.Idx] == nil
+	if accept {
+		pg := in.nd.K.InstallPage(in.o, po.Idx, po.Data, vm.ProtRead)
+		pg.Dirty = true
+		in.pages[po.Idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: po.Version}
+		in.announceOwner(po.Idx)
+		in.nd.Ctr.Inc("pageoffer_accepted", 1)
+	} else {
+		in.nd.Ctr.Inc("pageoffer_declined", 1)
+	}
+	in.send(po.From, 0, pageOfferAck{Obj: in.info.ID, Idx: po.Idx, Seq: po.Seq, Accepted: accept})
+}
+
+func (in *Instance) handlePageOfferAck(a pageOfferAck) {
+	cb := in.pendXfer[a.Seq]
+	if cb == nil {
+		panic(fmt.Sprintf("asvm: stray page offer ack seq %d", a.Seq))
+	}
+	delete(in.pendXfer, a.Seq)
+	cb(a.Accepted)
+}
+
+func (in *Instance) handleToPager(tp toPager) {
+	in.homePagerOut(tp.Idx, tp.Data, tp.Dirty, func() {
+		hs := in.home[tp.Idx]
+		if hs == nil {
+			hs = &homeState{}
+			in.home[tp.Idx] = hs
+		}
+		hs.granted = false
+		hs.atPager = true
+		in.announcePaged(tp.Idx)
+		in.send(tp.From, 0, toPagerAck{Obj: in.info.ID, Idx: tp.Idx, Seq: tp.Seq})
+	})
+}
+
+func (in *Instance) handleToPagerAck(a toPagerAck) {
+	cb := in.pendPgr[a.Seq]
+	if cb == nil {
+		panic(fmt.Sprintf("asvm: stray pager ack seq %d", a.Seq))
+	}
+	delete(in.pendPgr, a.Seq)
+	cb()
+}

@@ -1,0 +1,18 @@
+package asvm
+
+import (
+	"fmt"
+	"os"
+)
+
+// debugTrace enables verbose protocol tracing: ownership grants, transfers
+// and fresh grants print one line each. It is wired to the ASVM_TRACE
+// environment variable so a failing simulation can be replayed with full
+// visibility (runs are deterministic, so the trace is too).
+var debugTrace = os.Getenv("ASVM_TRACE") != ""
+
+func trace(format string, args ...interface{}) {
+	if debugTrace {
+		fmt.Printf(format+"\n", args...)
+	}
+}

@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"asvm/internal/asvm"
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// This file implements the ablation experiments A1-A3 (DESIGN.md §4):
+// design choices the paper calls out, isolated and measured.
+
+// forwardingVariant names one redirector configuration (paper §3.4: each
+// of dynamic/static forwarding can be disabled per memory object).
+type forwardingVariant struct {
+	Name    string
+	Dynamic bool
+	Static  bool
+}
+
+func forwardingVariants() []forwardingVariant {
+	return []forwardingVariant{
+		{"dynamic+static+global", true, true},
+		{"static+global (Li fixed-distributed)", false, true},
+		{"dynamic+global", true, false},
+		{"global only", false, false},
+	}
+}
+
+// migrationWorkload makes ownership of a hot page rotate through all
+// nodes `rounds` times, returning the mean per-handoff latency. This is
+// the access pattern where forwarding strategy matters most: hints go
+// stale on every handoff.
+func migrationWorkload(cfg asvm.Config, nodes, rounds int, seed uint64) (time.Duration, error) {
+	p := machine.DefaultParams(nodes)
+	p.System = machine.SysASVM
+	p.ASVM = cfg
+	p.Seed = seed
+	c := machine.New(p)
+	all := make([]int, nodes)
+	for i := range all {
+		all[i] = i
+	}
+	r := c.NewSharedRegion("mig", 4, all)
+	tasks := make([]*vm.Task, nodes)
+	for i := range all {
+		t, err := c.TaskOn(i, "t", r, 0)
+		if err != nil {
+			return 0, err
+		}
+		tasks[i] = t
+	}
+	var total time.Duration
+	var benchErr error
+	handoffs := 0
+	c.Spawn("bench", func(p *sim.Proc) {
+		for round := 0; round < rounds; round++ {
+			for n := 0; n < nodes; n++ {
+				t0 := p.Now()
+				if _, err := tasks[n].Touch(p, 0, vm.ProtWrite); err != nil {
+					benchErr = err
+					return
+				}
+				total += p.Now() - t0
+				handoffs++
+			}
+		}
+	})
+	c.Run()
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	if handoffs == 0 {
+		return 0, fmt.Errorf("exp: no handoffs measured")
+	}
+	return total / time.Duration(handoffs), nil
+}
+
+// AblationForwarding (A1) compares the forwarding strategies on the
+// ownership-migration workload.
+func AblationForwarding(w io.Writer, nodes, rounds int, seed uint64) error {
+	fmt.Fprintf(w, "Ablation A1: forwarding strategy (hot page migrating across %d nodes, mean handoff ms)\n", nodes)
+	for _, v := range forwardingVariants() {
+		cfg := asvm.DefaultConfig()
+		cfg.DynamicForwarding = v.Dynamic
+		cfg.StaticForwarding = v.Static
+		lat, err := migrationWorkload(cfg, nodes, rounds, seed)
+		if err != nil {
+			return fmt.Errorf("A1 %s: %w", v.Name, err)
+		}
+		fmt.Fprintf(w, "  %-40s %8s ms\n", v.Name, ms(lat))
+	}
+	return nil
+}
+
+// AblationTransport (A2) runs the Table 1 basic faults with the ASVM
+// protocol carried over NORMA-IPC instead of the STS, quantifying the
+// paper's "NORMA IPC is responsible for about 90 percent of the latency"
+// claim.
+func AblationTransport(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "Ablation A2: ASVM protocol over STS vs. NORMA-IPC (read fault, ms)")
+	lat := func(overNorma bool) (time.Duration, error) {
+		p := machine.DefaultParams(6)
+		p.System = machine.SysASVM
+		p.ASVMOverNorma = overNorma
+		p.TrackData = true
+		p.Seed = seed
+		c := machine.New(p)
+		r := c.NewSharedRegion("a2", 4, []int{0, 1, 2, 3, 4, 5})
+		writer, err := c.TaskOn(1, "w", r, 0)
+		if err != nil {
+			return 0, err
+		}
+		reader, err := c.TaskOn(4, "r", r, 0)
+		if err != nil {
+			return 0, err
+		}
+		var d time.Duration
+		var benchErr error
+		c.Spawn("bench", func(p *sim.Proc) {
+			if err := writer.WriteU64(p, 0, 1); err != nil {
+				benchErr = err
+				return
+			}
+			t0 := p.Now()
+			if _, err := reader.ReadU64(p, 0); err != nil {
+				benchErr = err
+				return
+			}
+			d = p.Now() - t0
+		})
+		c.Run()
+		if benchErr != nil {
+			return 0, benchErr
+		}
+		return d, nil
+	}
+	sts, err := lat(false)
+	if err != nil {
+		return fmt.Errorf("A2 sts: %w", err)
+	}
+	nrm, err := lat(true)
+	if err != nil {
+		return fmt.Errorf("A2 norma: %w", err)
+	}
+	fmt.Fprintf(w, "  over STS:   %8s ms\n", ms(sts))
+	fmt.Fprintf(w, "  over NORMA: %8s ms  (%.1fx; transport share of the NORMA fault: %.0f%%)\n",
+		ms(nrm), float64(nrm)/float64(sts), 100*float64(nrm-sts)/float64(nrm))
+	return nil
+}
+
+// AblationInternodePaging (A3) measures a memory-pressure sweep with and
+// without internode paging: without it, every eviction is a disk pageout.
+func AblationInternodePaging(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "Ablation A3: internode paging on/off (one node sweeps 3x its memory; others idle)")
+	run := func(disable bool) (time.Duration, uint64, error) {
+		p := machine.DefaultParams(8)
+		p.System = machine.SysASVM
+		p.MemMB = 8 // 1 MB user memory per node = 128 pages
+		p.ASVM.DisableInternodePaging = disable
+		p.Seed = seed
+		c := machine.New(p)
+		all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		r := c.NewSharedRegion("a3", 384, all)
+		task, err := c.TaskOn(1, "t", r, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		var d time.Duration
+		var benchErr error
+		c.Spawn("bench", func(p *sim.Proc) {
+			t0 := p.Now()
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < 384; i++ {
+					if _, err := task.Touch(p, vm.Addr(i*vm.PageSize), vm.ProtWrite); err != nil {
+						benchErr = err
+						return
+					}
+				}
+			}
+			d = p.Now() - t0
+		})
+		c.Run()
+		if benchErr != nil {
+			return 0, 0, benchErr
+		}
+		return d, c.HW[0].Disk.Writes, nil
+	}
+	on, diskOn, err := run(false)
+	if err != nil {
+		return fmt.Errorf("A3 on: %w", err)
+	}
+	off, diskOff, err := run(true)
+	if err != nil {
+		return fmt.Errorf("A3 off: %w", err)
+	}
+	fmt.Fprintf(w, "  internode paging ON:  %8.1f ms, %4d disk pageouts\n",
+		float64(on)/float64(time.Millisecond), diskOn)
+	fmt.Fprintf(w, "  internode paging OFF: %8.1f ms, %4d disk pageouts (%.1fx slower)\n",
+		float64(off)/float64(time.Millisecond), diskOff, float64(off)/float64(on))
+	return nil
+}
+
+// AblationChainThreads (A4) demonstrates the copy-pager thread hazard the
+// paper's asynchronous design eliminates: every in-flight XMM chain fault
+// holds a kernel thread on every node it crosses, so concurrent faults
+// serialize on a small pool — while ASVM's asynchronous state transitions
+// hold no threads at all.
+func AblationChainThreads(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "Ablation A4: XMM copy-pager thread pool vs. 8 concurrent chain faults (total ms, chain of 6)")
+	for _, threads := range []int{64, 2, 1} {
+		lat, err := chainWithThreads(threads, seed)
+		if err != nil {
+			return fmt.Errorf("A4 threads=%d: %w", threads, err)
+		}
+		fmt.Fprintf(w, "  XMM, %2d copy threads/node: %8s ms\n", threads, ms(lat))
+	}
+	return nil
+}
+
+func chainWithThreads(threads int, seed uint64) (time.Duration, error) {
+	const chain = 6
+	p := machine.DefaultParams(chain + 1)
+	p.System = machine.SysXMM
+	p.XMMCopyThreads = threads
+	p.TrackData = true
+	p.Seed = seed
+	c := machine.New(p)
+	parent := c.Kerns[0].NewTask("parent")
+	region := c.Kerns[0].NewAnonymous(8)
+	if _, err := parent.Map.MapObject(0, region, 0, 8, vm.ProtWrite, vm.InheritCopy); err != nil {
+		return 0, err
+	}
+	var mean time.Duration
+	var benchErr error
+	c.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := parent.WriteU64(p, vm.Addr(i*vm.PageSize), uint64(i)); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		cur := parent
+		for i := 1; i <= chain; i++ {
+			child, err := c.RemoteFork(cur, i, "child")
+			if err != nil {
+				benchErr = err
+				return
+			}
+			cur = child
+		}
+		// All pages faulted concurrently: each in-flight fault pins one
+		// copy-pager thread per chain node until it resolves, so a small
+		// pool serializes the chains.
+		t0 := p.Now()
+		futs := make([]*sim.Future, 8)
+		for i := 0; i < 8; i++ {
+			i := i
+			f := sim.NewFuture(c.Eng)
+			futs[i] = f
+			c.Spawn(fmt.Sprintf("faulter%d", i), func(fp *sim.Proc) {
+				if _, err := cur.ReadU64(fp, vm.Addr(i*vm.PageSize)); err != nil {
+					benchErr = err
+				}
+				f.Set(nil)
+			})
+		}
+		sim.Join(p, futs...)
+		mean = p.Now() - t0
+	})
+	c.Run()
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	return mean, nil
+}

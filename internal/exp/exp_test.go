@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFitLine(t *testing.T) {
+	// y = 3 + 2x
+	lb, la := fitLine([]int{1, 2, 3, 4}, []float64{5, 7, 9, 11})
+	if lb < 2.99 || lb > 3.01 || la < 1.99 || la > 2.01 {
+		t.Fatalf("fit = %v + %v x, want 3 + 2x", lb, la)
+	}
+	lb, la = fitLine([]int{5}, []float64{7})
+	if lb != 7 || la != 0 {
+		t.Fatalf("single point fit = %v/%v", lb, la)
+	}
+	lb, la = fitLine(nil, nil)
+	if lb != 0 || la != 0 {
+		t.Fatalf("empty fit = %v/%v", lb, la)
+	}
+}
+
+func TestPaperReferenceTablesComplete(t *testing.T) {
+	if len(Table1Paper) != 2 {
+		t.Fatal("Table1Paper missing a system")
+	}
+	for sys, vals := range Table1Paper {
+		if len(vals) != 7 {
+			t.Fatalf("%v: %d Table 1 rows, want 7", sys, len(vals))
+		}
+	}
+	for series, vals := range Table2Paper {
+		for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+			if vals[n] == 0 {
+				t.Fatalf("Table2Paper[%s][%d] missing", series, n)
+			}
+		}
+	}
+	for sys, sizes := range Table3Paper {
+		for _, cells := range []int{64000, 256000, 1024000} {
+			if len(sizes[cells]) == 0 {
+				t.Fatalf("Table3Paper[%v][%d] missing", sys, cells)
+			}
+		}
+	}
+}
+
+func TestFigure11SmallSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure11(&buf, []int{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 11") || !strings.Contains(out, "fit: lb=") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestTable2SmallSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, []int{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ASVM write") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestTable3TinySweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, []int{64000}, []int{1, 2}, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ASVM 64000") || !strings.Contains(out, "XMM 64000") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestTable3MarksInfeasible(t *testing.T) {
+	var buf bytes.Buffer
+	// 1024000 cells on 2 nodes: infeasible, must print ** without running.
+	if err := Table3(&buf, []int{1024000}, []int{2}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "**") {
+		t.Fatalf("infeasible run not marked:\n%s", buf.String())
+	}
+}
+
+func TestAblationForwardingRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationForwarding(&buf, 4, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, v := range forwardingVariants() {
+		if !strings.Contains(out, v.Name) {
+			t.Fatalf("missing variant %q:\n%s", v.Name, out)
+		}
+	}
+}
+
+func TestAblationTransportShowsNormaOverhead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationTransport(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "over NORMA") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestAblationInternodePagingRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationInternodePaging(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "internode paging ON") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	RenderChart(&buf, "demo", "x", "y", []int{1, 2, 4}, []Series{
+		{Name: "up", Marker: 'u', Ys: []float64{1, 2, 4}},
+		{Name: "down", Marker: 'd', Ys: []float64{4, 2, 1}},
+	}, false)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "u = up") {
+		t.Fatalf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "u") || !strings.Contains(out, "d") {
+		t.Fatal("markers not plotted")
+	}
+	// Log scale with zero/negative values must not panic.
+	RenderChart(&buf, "log", "x", "y", []int{1, 2}, []Series{
+		{Name: "s", Marker: 's', Ys: []float64{0, 10}},
+	}, true)
+	// Single x value must not panic.
+	RenderChart(&buf, "one", "x", "y", []int{1}, []Series{
+		{Name: "s", Marker: 's', Ys: []float64{5}},
+	}, false)
+}
+
+func TestDistributionRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Distribution(&buf, 4, 8, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P99") || !strings.Contains(out, "ASVM") || !strings.Contains(out, "XMM") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

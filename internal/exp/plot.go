@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Marker byte
+	Ys     []float64
+}
+
+// RenderChart draws an ASCII chart of one or more series over shared X
+// values — terminal-friendly renderings of the paper's figures. logY
+// plots a log10 axis (the paper's Figure 10/11 span two decades).
+func RenderChart(w io.Writer, title, xLabel, yLabel string, xs []int, series []Series, logY bool) {
+	const (
+		width  = 64
+		height = 16
+	)
+	fmt.Fprintf(w, "%s\n", title)
+
+	tx := func(v float64) float64 {
+		if logY {
+			if v <= 0 {
+				return 0
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			ty := tx(y)
+			if ty < lo {
+				lo = ty
+			}
+			if ty > hi {
+				hi = ty
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i, y := range s.Ys {
+			if len(xs) < 2 {
+				continue
+			}
+			col := i * (width - 1) / (len(xs) - 1)
+			row := int(math.Round((tx(y) - lo) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[height-1-row][col] = s.Marker
+		}
+	}
+
+	yAt := func(row int) float64 {
+		v := lo + (hi-lo)*float64(height-1-row)/float64(height-1)
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		label := ""
+		if r == 0 || r == height/2 || r == height-1 {
+			label = fmt.Sprintf("%8.2f", yAt(r))
+		}
+		fmt.Fprintf(w, "%8s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-8d%*d   (%s vs %s)\n", "", xs[0], width-10, xs[len(xs)-1], yLabel, xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, "          %c = %s\n", s.Marker, s.Name)
+	}
+}

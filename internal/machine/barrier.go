@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+)
+
+// Cluster-wide barriers, message-based over the system transport (the
+// Paragon OS synchronizes through the interconnect; barrier traffic
+// competes with memory-system traffic on the message processors, which is
+// part of the EM3D behaviour).
+
+const barrierProto = "barrier"
+
+type (
+	barArrive struct {
+		ID   uint64
+		Gen  uint64
+		From mesh.NodeID
+	}
+	barRelease struct {
+		ID  uint64
+		Gen uint64
+	}
+)
+
+type barKey struct {
+	id  uint64
+	gen uint64
+}
+
+type barrierSvc struct {
+	c *Cluster
+	// Coordinator-side arrival counts.
+	arrivals map[barKey]int
+	parties  map[uint64][]int
+	// Per-node release futures (index by node then key).
+	waits []map[barKey]*sim.Future
+	next  uint64
+}
+
+func newBarrierSvc(c *Cluster) *barrierSvc {
+	s := &barrierSvc{
+		c:        c,
+		arrivals: make(map[barKey]int),
+		parties:  make(map[uint64][]int),
+		waits:    make([]map[barKey]*sim.Future, c.P.Nodes),
+	}
+	for i := 0; i < c.P.Nodes; i++ {
+		s.waits[i] = make(map[barKey]*sim.Future)
+		i := i
+		c.TR.Register(mesh.NodeID(i), barrierProto, func(src mesh.NodeID, m interface{}) {
+			s.handle(i, m)
+		})
+	}
+	return s
+}
+
+func (s *barrierSvc) handle(nodeIdx int, m interface{}) {
+	switch msg := m.(type) {
+	case barArrive:
+		key := barKey{msg.ID, msg.Gen}
+		s.arrivals[key]++
+		nodes := s.parties[msg.ID]
+		if s.arrivals[key] == len(nodes) {
+			delete(s.arrivals, key)
+			for _, n := range nodes {
+				s.c.TR.Send(mesh.NodeID(nodeIdx), mesh.NodeID(n), barrierProto, 0,
+					barRelease{ID: msg.ID, Gen: msg.Gen})
+			}
+		}
+	case barRelease:
+		key := barKey{msg.ID, msg.Gen}
+		if f, ok := s.waits[nodeIdx][key]; ok {
+			delete(s.waits[nodeIdx], key)
+			f.Set(nil)
+		} else {
+			// Release raced ahead of the waiter: park it for Await.
+			f := sim.NewFuture(s.c.Eng)
+			f.Set(nil)
+			s.waits[nodeIdx][key] = f
+		}
+	default:
+		panic(fmt.Sprintf("machine: unknown barrier message %T", m))
+	}
+}
+
+// Barrier synchronizes one proc per participating node.
+type Barrier struct {
+	svc   *barrierSvc
+	id    uint64
+	nodes []int
+	gen   map[int]uint64
+}
+
+// NewBarrier creates a reusable barrier over the given node indices; its
+// coordinator is the first listed node.
+func (c *Cluster) NewBarrier(nodes []int) *Barrier {
+	c.barriers.next++
+	id := c.barriers.next
+	c.barriers.parties[id] = append([]int(nil), nodes...)
+	return &Barrier{svc: c.barriers, id: id, nodes: nodes, gen: make(map[int]uint64)}
+}
+
+// Await blocks the proc (running on nodeIdx) until all participants have
+// arrived at the same generation.
+func (b *Barrier) Await(p *sim.Proc, nodeIdx int) {
+	b.gen[nodeIdx]++
+	key := barKey{b.id, b.gen[nodeIdx]}
+	svc := b.svc
+	f, ok := svc.waits[nodeIdx][key]
+	if !ok {
+		f = sim.NewFuture(svc.c.Eng)
+		svc.waits[nodeIdx][key] = f
+	}
+	coord := mesh.NodeID(b.nodes[0])
+	svc.c.TR.Send(mesh.NodeID(nodeIdx), coord, barrierProto, 0,
+		barArrive{ID: b.id, Gen: b.gen[nodeIdx], From: mesh.NodeID(nodeIdx)})
+	f.Wait(p)
+	delete(svc.waits[nodeIdx], key)
+}

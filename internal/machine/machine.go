@@ -1,0 +1,383 @@
+// Package machine assembles a simulated Paragon-class multicomputer: mesh
+// interconnect, per-node kernels and message processors, I/O nodes with
+// disks and pagers, and one of the two distributed memory systems (the XMM
+// baseline or ASVM). It owns Params — the single calibration surface for
+// every cost constant in the simulation (DESIGN.md §6).
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/asvm"
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/norma"
+	"asvm/internal/pager"
+	"asvm/internal/sim"
+	"asvm/internal/sts"
+	"asvm/internal/vm"
+	"asvm/internal/xmm"
+	"asvm/internal/xport"
+)
+
+// System selects the distributed memory system under test.
+type System int
+
+// The two systems the paper compares.
+const (
+	SysASVM System = iota
+	SysXMM
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	if s == SysXMM {
+		return "XMM"
+	}
+	return "ASVM"
+}
+
+// Params configures a cluster. All latency/bandwidth constants were
+// calibrated once against the paper's Table 1 ASVM column and sequential
+// EM3D time; see EXPERIMENTS.md.
+type Params struct {
+	// Nodes is the machine size (Paragon installations: up to 1792;
+	// the paper's testbed: 72).
+	Nodes int
+
+	// MemMB is physical memory per node (paper: 16 MB GP nodes, ~9 MB
+	// usable for user applications after the OS). Zero disables memory
+	// limits entirely (microbenchmarks).
+	MemMB int
+
+	// OSMemMB is memory reserved for kernel + OS servers per node.
+	OSMemMB int
+
+	// TrackData carries real page contents (correctness tests; large
+	// benchmarks run metadata-only).
+	TrackData bool
+
+	// System picks ASVM or XMM.
+	System System
+
+	// IORatio is compute nodes per I/O (disk) node; Paragon: 32.
+	IORatio int
+
+	// DiskSeek and DiskBytesPerSecond model the I/O node disks (1996
+	// SCSI: several ms positioning, a few MB/s sustained). DiskWriteSeek
+	// is the pageout positioning cost — paging-space writes also allocate
+	// blocks, which made them several times slower than reads and is what
+	// the paper's 38 ms XMM rows measure.
+	DiskSeek           time.Duration
+	DiskWriteSeek      time.Duration
+	DiskBytesPerSecond float64
+
+	Mesh  mesh.Config
+	Norma norma.Costs
+	STS   sts.Costs
+	VM    vm.Costs
+	Pager pager.Costs
+	ASVM  asvm.Config
+
+	// XMMCopyThreads bounds each node's XMM copy-pager thread pool.
+	XMMCopyThreads int
+
+	// ASVMOverNorma carries the ASVM protocol over NORMA-IPC instead of
+	// the dedicated STS — ablation A2, quantifying the paper's claim that
+	// NORMA-IPC accounts for ~90 % of remote fault latency.
+	ASVMOverNorma bool
+
+	// Seed drives all randomness in workloads.
+	Seed uint64
+}
+
+// DefaultParams returns the calibrated configuration for n nodes.
+func DefaultParams(n int) Params {
+	return Params{
+		Nodes:              n,
+		MemMB:              0, // unlimited unless an experiment sets it
+		OSMemMB:            7,
+		TrackData:          false,
+		System:             SysASVM,
+		IORatio:            32,
+		DiskSeek:           3 * time.Millisecond,
+		DiskWriteSeek:      16 * time.Millisecond,
+		DiskBytesPerSecond: 5e6,
+		Mesh:               mesh.DefaultConfig(n),
+		Norma:              norma.DefaultCosts(),
+		STS:                sts.DefaultCosts(),
+		VM:                 vm.DefaultCosts(),
+		Pager:              pager.DefaultCosts(),
+		ASVM:               asvm.DefaultConfig(),
+		XMMCopyThreads:     64,
+		Seed:               1,
+	}
+}
+
+// UserPages returns the per-node VM cache capacity in pages (0 =
+// unlimited).
+func (p Params) UserPages() int {
+	if p.MemMB <= 0 {
+		return 0
+	}
+	usable := p.MemMB - p.OSMemMB
+	if usable < 1 {
+		usable = 1
+	}
+	return usable * (1 << 20) / vm.PageSize
+}
+
+// Cluster is an assembled machine.
+type Cluster struct {
+	P   Params
+	Eng *sim.Engine
+	Net *mesh.Network
+	HW  []*node.Node
+
+	Kerns []*vm.Kernel
+
+	// Transport actually used by the system under test.
+	TR xport.Transport
+	// Both transports exist (the ablation A2 swaps them).
+	NormaTR *norma.Transport
+	STSTR   *sts.Transport
+
+	ASVMs []*asvm.Node
+	XMMs  []*xmm.Node
+
+	// PagingSpace maps each I/O node to its default pager (paging space).
+	PagingSpace map[mesh.NodeID]*pager.Server
+
+	RNG *sim.RNG
+
+	barriers *barrierSvc
+	nextObj  uint64
+}
+
+// New assembles a cluster.
+func New(p Params) *Cluster {
+	if p.Nodes < 1 {
+		panic("machine: need at least one node")
+	}
+	e := sim.NewEngine()
+	c := &Cluster{
+		P:           p,
+		Eng:         e,
+		Net:         mesh.New(e, p.Nodes, p.Mesh),
+		PagingSpace: make(map[mesh.NodeID]*pager.Server),
+		RNG:         sim.NewRNG(p.Seed),
+	}
+	for i := 0; i < p.Nodes; i++ {
+		c.HW = append(c.HW, node.New(e, mesh.NodeID(i)))
+	}
+	c.NormaTR = norma.New(e, c.Net, c.HW, p.Norma)
+	c.STSTR = sts.New(e, c.Net, c.HW, p.STS)
+	if p.System == SysXMM || p.ASVMOverNorma {
+		c.TR = c.NormaTR
+	} else {
+		c.TR = c.STSTR
+	}
+
+	// I/O nodes: disks + paging space (default pager). NORMA carries the
+	// pager protocol under XMM; STS under ASVM (the pager interface cost
+	// difference is part of what the paper measures).
+	for i := 0; i < p.Nodes; i += max(1, p.IORatio) {
+		io := mesh.NodeID(i)
+		c.HW[i].AttachDisk(e, p.DiskSeek, p.DiskBytesPerSecond).SetWriteSeek(p.DiskWriteSeek)
+		c.PagingSpace[io] = pager.NewServer(e, c.TR, io, c.HW[i].Disk,
+			p.Pager, fmt.Sprintf("dp%d", i), p.TrackData)
+	}
+
+	for i := 0; i < p.Nodes; i++ {
+		k := vm.NewKernel(e, mesh.NodeID(i), p.VM, vm.NewPhysMem(p.UserPages()), p.TrackData)
+		c.Kerns = append(c.Kerns, k)
+	}
+	// Anonymous pageout goes to the group's paging space.
+	for i, k := range c.Kerns {
+		io := pager.IONodeFor(mesh.NodeID(i), p.Nodes, p.IORatio)
+		srv := c.PagingSpace[io]
+		if srv != nil {
+			k.DefaultMgr = pager.NewBinding(k, e, c.TR, srv)
+		}
+	}
+
+	switch p.System {
+	case SysASVM:
+		for i := 0; i < p.Nodes; i++ {
+			c.ASVMs = append(c.ASVMs, asvm.NewNode(e, c.Kerns[i], c.TR, p.ASVM))
+		}
+	case SysXMM:
+		for i := 0; i < p.Nodes; i++ {
+			c.XMMs = append(c.XMMs, xmm.NewNode(e, c.Kerns[i], c.TR, p.XMMCopyThreads))
+		}
+	}
+	c.barriers = newBarrierSvc(c)
+	return c
+}
+
+// nextID allocates a cluster-level object ID (home node 0 namespace,
+// sequence above any kernel-local IDs).
+func (c *Cluster) nextID(home mesh.NodeID) vm.ObjID {
+	c.nextObj++
+	return vm.ObjID{Node: home, Seq: 1_000_000 + c.nextObj}
+}
+
+// Region is a shared memory object mapped across a set of nodes.
+type Region struct {
+	Name      string
+	SizePages vm.PageIdx
+	ID        vm.ObjID
+	Home      int
+	Nodes     []int // cluster node indices sharing the region
+
+	objs map[int]*vm.Object // node index -> local vm object
+	info *asvm.DomainInfo   // ASVM only
+}
+
+// Obj returns the region's vm object on a node.
+func (r *Region) Obj(nodeIdx int) *vm.Object { return r.objs[nodeIdx] }
+
+// NewSharedRegion creates a shared memory object across the given node
+// indices, backed by the home node group's paging space. Under ASVM the
+// home is the first listed node; under XMM the first node runs the
+// centralized manager.
+func (c *Cluster) NewSharedRegion(name string, sizePages vm.PageIdx, nodeIdxs []int) *Region {
+	if len(nodeIdxs) == 0 {
+		panic("machine: region needs nodes")
+	}
+	home := nodeIdxs[0]
+	id := c.nextID(mesh.NodeID(home))
+	io := pager.IONodeFor(mesh.NodeID(home), c.P.Nodes, c.P.IORatio)
+	backing := c.PagingSpace[io]
+	r := &Region{
+		Name: name, SizePages: sizePages, ID: id, Home: home,
+		Nodes: append([]int(nil), nodeIdxs...),
+		objs:  make(map[int]*vm.Object),
+	}
+	switch c.P.System {
+	case SysASVM:
+		nodes := make([]*asvm.Node, len(nodeIdxs))
+		for i, n := range nodeIdxs {
+			nodes[i] = c.ASVMs[n]
+		}
+		info, objs := asvm.Setup(id, sizePages, nodes, 0, backing, c.P.ASVM)
+		r.info = info
+		for i, n := range nodeIdxs {
+			r.objs[n] = objs[i]
+		}
+	case SysXMM:
+		nodes := make([]*xmm.Node, len(nodeIdxs))
+		for i, n := range nodeIdxs {
+			nodes[i] = c.XMMs[n]
+		}
+		objs := xmm.SetupShared(id, sizePages, nodes, 0, backing)
+		for i, n := range nodeIdxs {
+			r.objs[n] = objs[i]
+		}
+	}
+	return r
+}
+
+// NewMappedFile creates a file-pager-backed shared object (a memory-mapped
+// file) on the I/O node serving the home node's group, optionally
+// preloading sizePages of content.
+func (c *Cluster) NewMappedFile(name string, sizePages vm.PageIdx, nodeIdxs []int, preload bool) (*Region, *pager.Server) {
+	home := nodeIdxs[0]
+	io := pager.IONodeFor(mesh.NodeID(home), c.P.Nodes, c.P.IORatio)
+	id := c.nextID(io)
+	srv := pager.NewServer(c.Eng, c.TR, io, c.HW[io].Disk, c.P.Pager, "file-"+name, c.P.TrackData)
+	srv.CacheInMemory = true // UFS buffers file pages on the I/O node
+	if preload {
+		for i := vm.PageIdx(0); i < sizePages; i++ {
+			srv.Preload(id, i, nil)
+		}
+	}
+	r := &Region{
+		Name: name, SizePages: sizePages, ID: id, Home: home,
+		Nodes: append([]int(nil), nodeIdxs...),
+		objs:  make(map[int]*vm.Object),
+	}
+	switch c.P.System {
+	case SysASVM:
+		nodes := make([]*asvm.Node, len(nodeIdxs))
+		for i, n := range nodeIdxs {
+			nodes[i] = c.ASVMs[n]
+		}
+		info, objs := asvm.Setup(id, sizePages, nodes, 0, srv, c.P.ASVM)
+		r.info = info
+		for i, n := range nodeIdxs {
+			r.objs[n] = objs[i]
+		}
+	case SysXMM:
+		nodes := make([]*xmm.Node, len(nodeIdxs))
+		for i, n := range nodeIdxs {
+			nodes[i] = c.XMMs[n]
+		}
+		objs := xmm.SetupShared(id, sizePages, nodes, 0, srv)
+		for i, n := range nodeIdxs {
+			r.objs[n] = objs[i]
+		}
+	}
+	return r, srv
+}
+
+// TaskOn creates a task on a node and maps the region at base.
+func (c *Cluster) TaskOn(nodeIdx int, name string, r *Region, base vm.Addr) (*vm.Task, error) {
+	t := c.Kerns[nodeIdx].NewTask(name)
+	o := r.objs[nodeIdx]
+	if o == nil {
+		return nil, fmt.Errorf("machine: region %s not mapped on node %d", r.Name, nodeIdx)
+	}
+	if _, err := t.Map.MapObject(base, o, 0, r.SizePages, vm.ProtWrite, vm.InheritShare); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RemoteFork forks a task across nodes under the active system.
+func (c *Cluster) RemoteFork(parent *vm.Task, dstIdx int, name string) (*vm.Task, error) {
+	srcIdx := int(parent.Kernel.Node)
+	switch c.P.System {
+	case SysASVM:
+		return asvm.RemoteFork(c.ASVMs, parent, c.ASVMs[dstIdx], name, c.P.ASVM)
+	case SysXMM:
+		return xmm.RemoteFork(parent, c.XMMs[srcIdx], c.XMMs[dstIdx], name)
+	}
+	return nil, fmt.Errorf("machine: unknown system")
+}
+
+// Spawn starts a proc.
+func (c *Cluster) Spawn(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return c.Eng.Spawn(name, fn)
+}
+
+// Run drives the simulation to completion and returns the final virtual
+// time.
+func (c *Cluster) Run() sim.Time { return c.Eng.Run() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DestroyRegion tears a shared region down on every node, freeing its
+// frames and protocol state. The region must be quiesced (no faults in
+// flight) and its tasks unmapped or abandoned.
+func (c *Cluster) DestroyRegion(r *Region) {
+	switch c.P.System {
+	case SysASVM:
+		if r.info != nil {
+			asvm.Teardown(c.ASVMs, r.info)
+		}
+	case SysXMM:
+		nodes := make([]*xmm.Node, 0, len(r.Nodes))
+		for _, n := range r.Nodes {
+			nodes = append(nodes, c.XMMs[n])
+		}
+		xmm.Teardown(r.ID, nodes)
+	}
+	r.objs = map[int]*vm.Object{}
+}

@@ -1,0 +1,47 @@
+package norma
+
+import (
+	"testing"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/sim"
+)
+
+func TestMessageCostBreakdown(t *testing.T) {
+	e := sim.NewEngine()
+	net := mesh.New(e, 2, mesh.DefaultConfig(2))
+	hw := []*node.Node{node.New(e, 0), node.New(e, 1)}
+	costs := Costs{
+		SendCPU: 100 * time.Microsecond, RecvCPU: 200 * time.Microsecond,
+		PortTranslateCPU: 50 * time.Microsecond, PerKBCPU: 10 * time.Microsecond,
+		HeaderBytes: 256,
+	}
+	tr := New(e, net, hw, costs)
+	var at sim.Time
+	tr.Register(1, "p", func(src mesh.NodeID, m interface{}) { at = e.Now() })
+	tr.Send(0, 1, "p", 1024, "x")
+	e.Run()
+	// send: 100+50+10 = 160µs; recv: 200+50+10 = 260µs; plus wire time.
+	sw := 160*time.Microsecond + 260*time.Microsecond
+	if at < sw {
+		t.Fatalf("delivered at %v, must include %v software cost", at, sw)
+	}
+	if at > sw+time.Millisecond {
+		t.Fatalf("delivered at %v; wire should only add microseconds", at)
+	}
+	if tr.Bytes != 1024+256 {
+		t.Fatalf("wire bytes = %d", tr.Bytes)
+	}
+}
+
+func TestDefaultCostsShape(t *testing.T) {
+	c := DefaultCosts()
+	if c.SendCPU <= 0 || c.RecvCPU <= 0 || c.PortTranslateCPU <= 0 {
+		t.Fatal("non-positive NORMA costs")
+	}
+	if c.RecvBufferMsgs <= 0 || c.RetransmitDelay <= 0 {
+		t.Fatal("flow-control model disabled by default")
+	}
+}

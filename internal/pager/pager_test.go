@@ -1,0 +1,222 @@
+package pager
+
+import (
+	"testing"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/sim"
+	"asvm/internal/sts"
+	"asvm/internal/vm"
+	"asvm/internal/xport"
+)
+
+type penv struct {
+	eng   *sim.Engine
+	nodes []*node.Node
+	tr    xport.Transport
+}
+
+func newPenv(n int, withDisk bool) *penv {
+	e := sim.NewEngine()
+	net := mesh.New(e, n, mesh.DefaultConfig(n))
+	nodes := make([]*node.Node, n)
+	for i := range nodes {
+		nodes[i] = node.New(e, mesh.NodeID(i))
+	}
+	if withDisk {
+		nodes[0].AttachDisk(e, 8*time.Millisecond, 4e6)
+	}
+	return &penv{eng: e, nodes: nodes, tr: sts.New(e, net, nodes, sts.DefaultCosts())}
+}
+
+func TestIONodeFor(t *testing.T) {
+	cases := []struct {
+		n     int
+		total int
+		ratio int
+		want  mesh.NodeID
+	}{
+		{0, 64, 32, 0}, {31, 64, 32, 0}, {32, 64, 32, 32}, {63, 64, 32, 32},
+		{5, 16, 32, 0}, {7, 8, 0, 0},
+	}
+	for _, c := range cases {
+		if got := IONodeFor(mesh.NodeID(c.n), c.total, c.ratio); got != c.want {
+			t.Errorf("IONodeFor(%d,%d,%d) = %v, want %v", c.n, c.total, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestPageOutThenPageIn(t *testing.T) {
+	ev := newPenv(4, true)
+	srv := NewServer(ev.eng, ev.tr, 0, ev.nodes[0].Disk, DefaultCosts(), "dp", true)
+	cli := NewClient(ev.eng, ev.tr, 2, srv)
+	obj := vm.ObjID{Node: 2, Seq: 1}
+	data := make([]byte, vm.PageSize)
+	data[5] = 0x77
+	var gotBack []byte
+	cli.PageOut(obj, 3, data, true, func() {
+		cli.PageIn(obj, 3, func(d []byte, found bool) {
+			if !found {
+				t.Error("paged-out page not found")
+			}
+			gotBack = d
+		})
+	})
+	ev.eng.Run()
+	if gotBack == nil || gotBack[5] != 0x77 {
+		t.Fatal("page contents lost through paging space")
+	}
+	if srv.PageOuts != 1 || srv.PageIns != 1 {
+		t.Fatalf("server stats: %d outs %d ins", srv.PageOuts, srv.PageIns)
+	}
+	if ev.nodes[0].Disk.Writes != 1 {
+		t.Fatalf("disk writes = %d", ev.nodes[0].Disk.Writes)
+	}
+}
+
+func TestPageInMissingReportsNotFound(t *testing.T) {
+	ev := newPenv(2, false)
+	srv := NewServer(ev.eng, ev.tr, 0, nil, DefaultCosts(), "dp", true)
+	cli := NewClient(ev.eng, ev.tr, 1, srv)
+	called := false
+	cli.PageIn(vm.ObjID{Node: 1, Seq: 9}, 0, func(d []byte, found bool) {
+		called = true
+		if found {
+			t.Error("missing page reported found")
+		}
+	})
+	ev.eng.Run()
+	if !called {
+		t.Fatal("no reply")
+	}
+}
+
+func TestPreloadAndCache(t *testing.T) {
+	ev := newPenv(2, true)
+	srv := NewServer(ev.eng, ev.tr, 0, ev.nodes[0].Disk, DefaultCosts(), "fp", true)
+	srv.CacheInMemory = true
+	data := make([]byte, vm.PageSize)
+	data[0] = 9
+	obj := vm.ObjID{Node: 0, Seq: 50}
+	srv.Preload(obj, 0, data)
+	if !srv.Has(obj, 0) {
+		t.Fatal("preloaded page not present")
+	}
+	cli := NewClient(ev.eng, ev.tr, 1, srv)
+	reads := 0
+	cli.PageIn(obj, 0, func(d []byte, found bool) {
+		if !found || d[0] != 9 {
+			t.Error("preload contents lost")
+		}
+		reads++
+		// Second read must hit the pager cache, not the disk.
+		cli.PageIn(obj, 0, func(d []byte, found bool) {
+			if !found {
+				t.Error("cached page lost")
+			}
+			reads++
+		})
+	})
+	ev.eng.Run()
+	if reads != 2 {
+		t.Fatalf("reads = %d", reads)
+	}
+	if srv.DiskReads != 1 || srv.DiskSkip != 1 {
+		t.Fatalf("disk reads = %d, skips = %d; cache not working", srv.DiskReads, srv.DiskSkip)
+	}
+}
+
+func TestDiskSerializationLimitsThroughput(t *testing.T) {
+	ev := newPenv(2, true)
+	srv := NewServer(ev.eng, ev.tr, 0, ev.nodes[0].Disk, DefaultCosts(), "dp", true)
+	cli := NewClient(ev.eng, ev.tr, 1, srv)
+	obj := vm.ObjID{Node: 1, Seq: 1}
+	done := 0
+	for i := 0; i < 10; i++ {
+		cli.PageOut(obj, vm.PageIdx(i), make([]byte, vm.PageSize), true, func() { done++ })
+	}
+	end := ev.eng.Run()
+	if done != 10 {
+		t.Fatalf("done = %d", done)
+	}
+	// 10 disk writes at 8ms seek + 2ms transfer each = at least 100ms.
+	if end < 100*time.Millisecond {
+		t.Fatalf("10 disk writes finished in %v; disk not serializing", end)
+	}
+}
+
+func TestBindingIntoKernel(t *testing.T) {
+	ev := newPenv(2, false)
+	srv := NewServer(ev.eng, ev.tr, 0, nil, DefaultCosts(), "dp", true)
+	k := vm.NewKernel(ev.eng, 1, vm.DefaultCosts(), vm.NewPhysMem(4), true)
+	k.DefaultMgr = NewBinding(k, ev.eng, ev.tr, srv)
+	task := k.NewTask("t")
+	obj := k.NewAnonymous(16)
+	task.Map.MapObject(0, obj, 0, 16, vm.ProtWrite, vm.InheritCopy)
+	var err error
+	ev.eng.Spawn("t", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			if err = task.WriteU64(p, vm.Addr(i*vm.PageSize), uint64(i+1)); err != nil {
+				return
+			}
+		}
+		for i := 0; i < 16; i++ {
+			var v uint64
+			v, err = task.ReadU64(p, vm.Addr(i*vm.PageSize))
+			if err != nil {
+				return
+			}
+			if v != uint64(i+1) {
+				t.Errorf("page %d = %d", i, v)
+			}
+		}
+	})
+	ev.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.PageOuts == 0 || srv.PageIns == 0 {
+		t.Fatalf("paging space unused: %d outs %d ins", srv.PageOuts, srv.PageIns)
+	}
+	if k.Mem.ResidentPages > 4 {
+		t.Fatalf("resident = %d", k.Mem.ResidentPages)
+	}
+}
+
+func TestBindingManagedObjectFaults(t *testing.T) {
+	// A memory object backed directly by a file pager on another node.
+	ev := newPenv(2, false)
+	srv := NewServer(ev.eng, ev.tr, 0, nil, DefaultCosts(), "fp", true)
+	k := vm.NewKernel(ev.eng, 1, vm.DefaultCosts(), vm.NewPhysMem(0), true)
+	id := vm.ObjID{Node: 0, Seq: 77}
+	data := make([]byte, vm.PageSize)
+	data[100] = 0x5A
+	srv.Preload(id, 2, data)
+
+	b := &Binding{K: k, C: NewClient(ev.eng, ev.tr, 1, srv)}
+	obj := k.NewObject(id, 8, b, vm.CopyNone)
+	task := k.NewTask("t")
+	task.Map.MapObject(0, obj, 0, 8, vm.ProtWrite, vm.InheritShare)
+	ev.eng.Spawn("t", func(p *sim.Proc) {
+		pg, err := task.Touch(p, 2*vm.PageSize, vm.ProtRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pg.Data[100] != 0x5A {
+			t.Error("file contents lost")
+		}
+		// A page with no backing zero-fills through DataUnavailable.
+		pg2, err := task.Touch(p, 5*vm.PageSize, vm.ProtWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pg2.Data[0] != 0 {
+			t.Error("fresh page not zero")
+		}
+	})
+	ev.eng.Run()
+}

@@ -1,0 +1,130 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. Protocol state machines run as plain event callbacks; sequential
+// user code (tasks that fault, compute and block) runs as a Proc, a
+// coroutine that is always executed mutually exclusively with the engine, so
+// the whole simulation is single-threaded in the logical sense and therefore
+// reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as the duration since the start
+// of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events with equal time
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   eventHeap
+	nprocs int // live procs, for leak detection
+	halted bool
+
+	// Executed is the total number of events executed so far.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run after delay. A negative delay is treated
+// as zero. Events scheduled for the same instant run in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time at. Times in
+// the past are clamped to the present.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if fn == nil {
+		fn = func() {}
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Halt stops the run loop after the current event finishes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until no events remain or Halt is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes events with time <= deadline, then stops. Events beyond
+// the deadline remain queued. It returns the virtual time when it stopped
+// (the deadline if it was reached, otherwise the time of the last event).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.heap[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// LiveProcs reports the number of procs that have been spawned and have not
+// yet finished. Useful for detecting stuck protocol operations in tests.
+func (e *Engine) LiveProcs() int { return e.nprocs }
+
+// String implements fmt.Stringer for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d procs=%d}", e.now, len(e.heap), e.nprocs)
+}

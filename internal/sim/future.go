@@ -1,0 +1,77 @@
+package sim
+
+// Future is a one-shot completion carrying an optional value and error.
+// Procs block on it with Wait; event-driven code completes it with Set or
+// Fail and may attach callbacks with OnDone. A Future may be completed only
+// once; completing it twice panics, because in a protocol simulation a
+// double completion is always a protocol bug worth crashing on.
+type Future struct {
+	eng     *Engine
+	done    bool
+	value   interface{}
+	err     error
+	waiters []*Proc
+	cbs     []func(interface{}, error)
+}
+
+// NewFuture returns an incomplete future bound to the engine.
+func NewFuture(e *Engine) *Future {
+	return &Future{eng: e}
+}
+
+// Done reports whether the future has been completed.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the value the future was completed with (nil before
+// completion).
+func (f *Future) Value() interface{} { return f.value }
+
+// Err returns the error the future was completed with, if any.
+func (f *Future) Err() error { return f.err }
+
+// Set completes the future successfully, waking all waiting procs and firing
+// callbacks in registration order.
+func (f *Future) Set(v interface{}) { f.complete(v, nil) }
+
+// Fail completes the future with an error.
+func (f *Future) Fail(err error) { f.complete(nil, err) }
+
+func (f *Future) complete(v interface{}, err error) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.value = v
+	f.err = err
+	for _, p := range f.waiters {
+		f.eng.Schedule(0, p.step)
+	}
+	f.waiters = nil
+	for _, cb := range f.cbs {
+		cb := cb
+		f.eng.Schedule(0, func() { cb(v, err) })
+	}
+	f.cbs = nil
+}
+
+// Wait blocks the proc until the future is complete and returns its value
+// and error. If already complete it returns immediately without yielding.
+func (f *Future) Wait(p *Proc) (interface{}, error) {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.value, f.err
+}
+
+// OnDone registers a callback to run (as its own event) when the future
+// completes. If the future is already complete the callback is scheduled
+// immediately.
+func (f *Future) OnDone(cb func(v interface{}, err error)) {
+	if f.done {
+		v, err := f.value, f.err
+		f.eng.Schedule(0, func() { cb(v, err) })
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+}

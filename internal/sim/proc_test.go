@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("proc leak: %d live", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * time.Millisecond)
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(time.Millisecond)
+		trace = append(trace, "b1")
+		p.Sleep(2 * time.Millisecond)
+		trace = append(trace, "b3")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "b1", "a2", "b3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcFutureWait(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e)
+	var got interface{}
+	e.Spawn("waiter", func(p *Proc) {
+		v, err := f.Wait(p)
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+		}
+		got = v
+	})
+	e.Schedule(7*time.Millisecond, func() { f.Set(99) })
+	e.Run()
+	if got != 99 {
+		t.Fatalf("future value = %v, want 99", got)
+	}
+	if e.Now() != 7*time.Millisecond {
+		t.Fatalf("now = %v, want 7ms", e.Now())
+	}
+}
+
+func TestFutureWaitAfterSet(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e)
+	f.Set("x")
+	var got interface{}
+	e.Spawn("late", func(p *Proc) {
+		before := p.Now()
+		v, _ := f.Wait(p)
+		got = v
+		if p.Now() != before {
+			t.Errorf("Wait on done future advanced time")
+		}
+	})
+	e.Run()
+	if got != "x" {
+		t.Fatalf("got %v, want x", got)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e)
+	n := 0
+	for i := 0; i < 8; i++ {
+		e.Spawn("w", func(p *Proc) {
+			f.Wait(p)
+			n++
+		})
+	}
+	e.Schedule(time.Millisecond, func() { f.Set(nil) })
+	e.Run()
+	if n != 8 {
+		t.Fatalf("only %d of 8 waiters woke", n)
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e)
+	f.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Set did not panic")
+		}
+	}()
+	f.Set(2)
+}
+
+func TestFutureOnDone(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e)
+	var got interface{}
+	f.OnDone(func(v interface{}, err error) { got = v })
+	e.Schedule(time.Millisecond, func() { f.Set(5) })
+	e.Run()
+	if got != 5 {
+		t.Fatalf("OnDone saw %v, want 5", got)
+	}
+	// Registration after completion fires too.
+	fired := false
+	f.OnDone(func(v interface{}, err error) { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("OnDone after completion never fired")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := NewEngine()
+	fs := []*Future{NewFuture(e), NewFuture(e), NewFuture(e)}
+	var doneAt Time
+	e.Spawn("joiner", func(p *Proc) {
+		Join(p, fs...)
+		doneAt = p.Now()
+	})
+	e.Schedule(3*time.Millisecond, func() { fs[1].Set(nil) })
+	e.Schedule(1*time.Millisecond, func() { fs[0].Set(nil) })
+	e.Schedule(9*time.Millisecond, func() { fs[2].Set(nil) })
+	e.Run()
+	if doneAt != 9*time.Millisecond {
+		t.Fatalf("join completed at %v, want 9ms", doneAt)
+	}
+}
+
+func TestProcYield(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b1")
+	})
+	e.Run()
+	// a yields after a1 so b runs before a2.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() Time {
+		e := NewEngine()
+		rng := NewRNG(7)
+		bar := NewBarrier(e, 50)
+		for i := 0; i < 50; i++ {
+			d := time.Duration(rng.Intn(5000)) * time.Microsecond
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(d)
+				bar.Await(p)
+				p.Sleep(time.Millisecond)
+			})
+		}
+		return e.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic end time: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates duration samples and summarizes them. It is used by
+// the experiment harness to report fault latencies and the like.
+type Series struct {
+	Name    string
+	samples []time.Duration
+}
+
+// NewSeries returns an empty, named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one sample.
+func (s *Series) Add(d time.Duration) { s.samples = append(s.samples, d) }
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.samples) }
+
+// Sum returns the total of all samples.
+func (s *Series) Sum() time.Duration {
+	var t time.Duration
+	for _, d := range s.samples {
+		t += d
+	}
+	return t
+}
+
+// Mean returns the average sample, or zero when empty.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Sum() / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample, or zero when empty.
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or zero when empty.
+func (s *Series) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank, or zero when empty.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Stddev returns the population standard deviation in seconds.
+func (s *Series) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	var ss float64
+	for _, d := range s.samples {
+		dev := d.Seconds() - mean
+		ss += dev * dev
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (s *Series) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v min=%v max=%v",
+		s.Name, s.N(), s.Mean(), s.Min(), s.Max())
+}
+
+// Counters is a named set of monotonically increasing counters used for
+// protocol accounting (messages sent, faults served, pageouts, ...).
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds delta (typically 1) to the named counter.
+func (c *Counters) Inc(name string, delta int64) { c.m[name] += delta }
+
+// Get returns the counter's value (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.m = make(map[string]int64) }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("lat")
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(2 * time.Millisecond)
+	s.Add(4 * time.Millisecond)
+	s.Add(6 * time.Millisecond)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 4*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2*time.Millisecond || s.Max() != 6*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 12*time.Millisecond {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	s := NewSeries("p")
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", got)
+	}
+	if got := s.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("P100 = %v, want 100ms", got)
+	}
+	if got := s.Percentile(0); got != 1*time.Millisecond {
+		t.Fatalf("P0 = %v, want 1ms", got)
+	}
+}
+
+func TestSeriesStddev(t *testing.T) {
+	s := NewSeries("sd")
+	s.Add(time.Second)
+	s.Add(time.Second)
+	if s.Stddev() != 0 {
+		t.Fatalf("constant series stddev = %v", s.Stddev())
+	}
+	s2 := NewSeries("sd2")
+	s2.Add(0)
+	s2.Add(2 * time.Second)
+	if got := s2.Stddev(); got < 0.99 || got > 1.01 {
+		t.Fatalf("stddev = %v, want ~1s", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("msg", 1)
+	c.Inc("msg", 2)
+	c.Inc("fault", 1)
+	if c.Get("msg") != 3 {
+		t.Fatalf("msg = %d", c.Get("msg"))
+	}
+	if c.Get("absent") != 0 {
+		t.Fatal("absent counter nonzero")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "fault" || names[1] != "msg" {
+		t.Fatalf("Names = %v", names)
+	}
+	c.Reset()
+	if c.Get("msg") != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}

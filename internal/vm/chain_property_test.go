@@ -1,0 +1,145 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asvm/internal/sim"
+)
+
+// Property: an arbitrary interleaving of asymmetric copies and source
+// writes preserves every copy's snapshot (the value the source held at the
+// copy's creation). This is the invariant ASVM's cross-node push/pull
+// machinery inherits from the local VM layer, checked here exhaustively at
+// the local layer.
+func TestAsymmetricSnapshotProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		e := sim.NewEngine()
+		k := testKernel(e)
+		rng := sim.NewRNG(seed)
+
+		src := k.NewAnonymous(4)
+		src.Strategy = CopyAsymmetric
+		writer := k.NewTask("writer")
+		if _, err := writer.Map.MapObject(0, src, 0, 4, ProtWrite, InheritCopy); err != nil {
+			return false
+		}
+
+		type snapshot struct {
+			task *Task
+			want [4]uint64
+		}
+		var cur [4]uint64
+		var snaps []snapshot
+		ok := true
+		e.Spawn("driver", func(p *sim.Proc) {
+			for step := 0; step < 40; step++ {
+				switch rng.Intn(3) {
+				case 0: // write a random page in the source
+					pg := rng.Intn(4)
+					v := rng.Uint64()
+					if err := writer.WriteU64(p, Addr(pg)*PageSize, v); err != nil {
+						ok = false
+						return
+					}
+					cur[pg] = v
+				case 1: // snapshot: a new asymmetric copy
+					cp := k.CopyAsymmetric(src)
+					ct := k.NewTask("copy")
+					if _, err := ct.Map.MapObject(0, cp, 0, 4, ProtWrite, InheritShare); err != nil {
+						ok = false
+						return
+					}
+					snaps = append(snaps, snapshot{task: ct, want: cur})
+				case 2: // verify a random snapshot page
+					if len(snaps) == 0 {
+						continue
+					}
+					s := snaps[rng.Intn(len(snaps))]
+					pg := rng.Intn(4)
+					v, err := s.task.ReadU64(p, Addr(pg)*PageSize)
+					if err != nil || v != s.want[pg] {
+						ok = false
+						return
+					}
+				}
+			}
+			// Full verification of every snapshot and the live source.
+			for _, s := range snaps {
+				for pg := 0; pg < 4; pg++ {
+					v, err := s.task.ReadU64(p, Addr(pg)*PageSize)
+					if err != nil || v != s.want[pg] {
+						ok = false
+						return
+					}
+				}
+			}
+			for pg := 0; pg < 4; pg++ {
+				v, err := writer.ReadU64(p, Addr(pg)*PageSize)
+				if err != nil || v != cur[pg] {
+					ok = false
+					return
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixing symmetric fork trees with asymmetric copies never leaks
+// a write into a frozen view.
+func TestMixedCopyStrategiesProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		e := sim.NewEngine()
+		k := testKernel(e)
+		rng := sim.NewRNG(seed)
+		root := k.NewTask("root")
+		obj := k.NewAnonymous(2)
+		if _, err := root.Map.MapObject(0, obj, 0, 2, ProtWrite, InheritCopy); err != nil {
+			return false
+		}
+		tasks := []*Task{root}
+		want := map[int]uint64{0: 0}
+		ok := true
+		e.Spawn("driver", func(p *sim.Proc) {
+			for step := 0; step < 30; step++ {
+				ti := rng.Intn(len(tasks))
+				switch rng.Intn(3) {
+				case 0: // symmetric fork
+					child := tasks[ti].Fork("child")
+					tasks = append(tasks, child)
+					want[len(tasks)-1] = want[ti]
+				case 1: // write
+					v := rng.Uint64()
+					if err := tasks[ti].WriteU64(p, 0, v); err != nil {
+						ok = false
+						return
+					}
+					want[ti] = v
+				case 2: // read
+					v, err := tasks[ti].ReadU64(p, 0)
+					if err != nil || v != want[ti] {
+						ok = false
+						return
+					}
+				}
+			}
+			for ti, task := range tasks {
+				v, err := task.ReadU64(p, 0)
+				if err != nil || v != want[ti] {
+					ok = false
+					return
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asvm/internal/sim"
+)
+
+func TestSymmetricForkCOWChildWrite(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	parent := k.NewTask("parent")
+	obj := k.NewAnonymous(8)
+	parent.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritCopy)
+	runTask(t, e, func(p *sim.Proc) error {
+		if err := parent.WriteU64(p, 0, 111); err != nil {
+			return err
+		}
+		child := parent.Fork("child")
+		// Child read sees parent data without copying.
+		v, err := child.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if v != 111 {
+			t.Errorf("child read %d, want 111", v)
+		}
+		if k.Ctr.Get("cow_copies") != 0 {
+			t.Error("read fault copied a page")
+		}
+		// Child write interposes a shadow and copies.
+		if err := child.WriteU64(p, 0, 222); err != nil {
+			return err
+		}
+		pv, _ := parent.ReadU64(p, 0)
+		cv, _ := child.ReadU64(p, 0)
+		if pv != 111 || cv != 222 {
+			t.Errorf("parent=%d child=%d, want 111/222", pv, cv)
+		}
+		if k.Ctr.Get("shadow_interpose") != 1 {
+			t.Errorf("shadow_interpose = %d", k.Ctr.Get("shadow_interpose"))
+		}
+		return nil
+	})
+}
+
+func TestSymmetricForkCOWParentWrite(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	parent := k.NewTask("parent")
+	obj := k.NewAnonymous(8)
+	parent.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritCopy)
+	runTask(t, e, func(p *sim.Proc) error {
+		if err := parent.WriteU64(p, 0, 111); err != nil {
+			return err
+		}
+		child := parent.Fork("child")
+		// Parent write after fork must not be visible to the child: the
+		// parent's entry is interposed with a shadow; the original object
+		// keeps the frozen data.
+		if err := parent.WriteU64(p, 0, 999); err != nil {
+			return err
+		}
+		cv, err := child.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if cv != 111 {
+			t.Errorf("child read %d after parent write, want 111", cv)
+		}
+		pv, _ := parent.ReadU64(p, 0)
+		if pv != 999 {
+			t.Errorf("parent read %d, want 999", pv)
+		}
+		return nil
+	})
+}
+
+func TestForkChainIsolation(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	t0 := k.NewTask("t0")
+	obj := k.NewAnonymous(8)
+	t0.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritCopy)
+	runTask(t, e, func(p *sim.Proc) error {
+		if err := t0.WriteU64(p, 8, 1); err != nil {
+			return err
+		}
+		t1 := t0.Fork("t1")
+		if err := t1.WriteU64(p, 8, 2); err != nil {
+			return err
+		}
+		t2 := t1.Fork("t2")
+		if err := t2.WriteU64(p, 8, 3); err != nil {
+			return err
+		}
+		v0, _ := t0.ReadU64(p, 8)
+		v1, _ := t1.ReadU64(p, 8)
+		v2, _ := t2.ReadU64(p, 8)
+		if v0 != 1 || v1 != 2 || v2 != 3 {
+			t.Errorf("chain reads %d/%d/%d, want 1/2/3", v0, v1, v2)
+		}
+		return nil
+	})
+}
+
+func TestInheritShare(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	parent := k.NewTask("parent")
+	obj := k.NewAnonymous(8)
+	parent.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritShare)
+	runTask(t, e, func(p *sim.Proc) error {
+		child := parent.Fork("child")
+		if err := parent.WriteU64(p, 0, 7); err != nil {
+			return err
+		}
+		v, err := child.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("shared read %d, want 7", v)
+		}
+		if err := child.WriteU64(p, 0, 8); err != nil {
+			return err
+		}
+		v, _ = parent.ReadU64(p, 0)
+		if v != 8 {
+			t.Errorf("share lost write: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestInheritNone(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	parent := k.NewTask("parent")
+	obj := k.NewAnonymous(8)
+	parent.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritNone)
+	child := parent.Fork("child")
+	if child.Map.Lookup(0) != nil {
+		t.Fatal("InheritNone entry appeared in child")
+	}
+}
+
+func TestAsymmetricCopyPushOnWrite(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	src := k.NewAnonymous(8)
+	src.Strategy = CopyAsymmetric
+	task := k.NewTask("t")
+	task.Map.MapObject(0, src, 0, 8, ProtWrite, InheritCopy)
+	runTask(t, e, func(p *sim.Proc) error {
+		if err := task.WriteU64(p, 0, 10); err != nil {
+			return err
+		}
+		cp := k.CopyAsymmetric(src)
+		ct := k.NewTask("ct")
+		ct.Map.MapObject(0, cp, 0, 8, ProtWrite, InheritShare)
+
+		// Copy reads through the shadow link before any source write.
+		v, err := ct.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if v != 10 {
+			t.Errorf("copy read %d, want 10", v)
+		}
+		// Source write pushes old contents into the copy first.
+		if err := task.WriteU64(p, 0, 20); err != nil {
+			return err
+		}
+		if k.Ctr.Get("local_pushes") != 1 {
+			t.Errorf("local_pushes = %d", k.Ctr.Get("local_pushes"))
+		}
+		v, _ = ct.ReadU64(p, 0)
+		if v != 10 {
+			t.Errorf("copy saw source write: %d", v)
+		}
+		sv, _ := task.ReadU64(p, 0)
+		if sv != 20 {
+			t.Errorf("source read %d, want 20", sv)
+		}
+		return nil
+	})
+}
+
+func TestAsymmetricCopyVersionCounters(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	src := k.NewAnonymous(8)
+	src.Strategy = CopyAsymmetric
+	if src.Version != 0 {
+		t.Fatalf("fresh object version = %d", src.Version)
+	}
+	k.CopyAsymmetric(src)
+	if src.Version != 1 {
+		t.Fatalf("version after copy = %d", src.Version)
+	}
+	if !src.NeedsPush(0) {
+		t.Fatal("page should need push after copy")
+	}
+	src.MarkPushed(0)
+	if src.NeedsPush(0) {
+		t.Fatal("pushed page still needs push")
+	}
+	k.CopyAsymmetric(src)
+	if !src.NeedsPush(0) {
+		t.Fatal("new copy must re-arm push")
+	}
+}
+
+func TestAsymmetricCopyChainReshadow(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	src := k.NewAnonymous(8)
+	src.Strategy = CopyAsymmetric
+	c1 := k.CopyAsymmetric(src)
+	c2 := k.CopyAsymmetric(src)
+	// New copies are inserted immediately after their source: c1 now
+	// shadows c2, which shadows src.
+	if src.Copy != c2 {
+		t.Fatal("src.Copy should be the newest copy")
+	}
+	if c2.Shadow != src {
+		t.Fatal("c2 should shadow src")
+	}
+	if c1.Shadow != c2 {
+		t.Fatal("c1 should have been re-shadowed onto c2")
+	}
+}
+
+func TestAsymmetricTwoCopiesSeeCorrectSnapshots(t *testing.T) {
+	e := sim.NewEngine()
+	k := testKernel(e)
+	src := k.NewAnonymous(8)
+	src.Strategy = CopyAsymmetric
+	task := k.NewTask("t")
+	task.Map.MapObject(0, src, 0, 8, ProtWrite, InheritCopy)
+	runTask(t, e, func(p *sim.Proc) error {
+		if err := task.WriteU64(p, 0, 1); err != nil {
+			return err
+		}
+		c1 := k.CopyAsymmetric(src) // snapshot value 1
+		if err := task.WriteU64(p, 0, 2); err != nil {
+			return err
+		}
+		c2 := k.CopyAsymmetric(src) // snapshot value 2
+		if err := task.WriteU64(p, 0, 3); err != nil {
+			return err
+		}
+		rt1 := k.NewTask("c1")
+		rt1.Map.MapObject(0, c1, 0, 8, ProtWrite, InheritShare)
+		rt2 := k.NewTask("c2")
+		rt2.Map.MapObject(0, c2, 0, 8, ProtWrite, InheritShare)
+		v1, err := rt1.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		v2, err := rt2.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		sv, _ := task.ReadU64(p, 0)
+		if v1 != 1 || v2 != 2 || sv != 3 {
+			t.Errorf("snapshots %d/%d source %d, want 1/2/3", v1, v2, sv)
+		}
+		return nil
+	})
+}
+
+// Property: an arbitrary interleaving of writes in a symmetric fork tree
+// keeps every task's view isolated after its own last write.
+func TestForkIsolationProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		e := sim.NewEngine()
+		k := testKernel(e)
+		rng := sim.NewRNG(seed)
+		root := k.NewTask("root")
+		obj := k.NewAnonymous(4)
+		root.Map.MapObject(0, obj, 0, 4, ProtWrite, InheritCopy)
+		tasks := []*Task{root}
+		want := map[int]uint64{} // task index -> expected value at addr 0
+		ok := true
+		e.Spawn("driver", func(p *sim.Proc) {
+			for step := 0; step < 30; step++ {
+				switch rng.Intn(3) {
+				case 0: // fork a random task
+					ti := rng.Intn(len(tasks))
+					child := tasks[ti].Fork("child")
+					tasks = append(tasks, child)
+					want[len(tasks)-1] = want[ti]
+				case 1: // write a random task
+					ti := rng.Intn(len(tasks))
+					v := rng.Uint64()
+					if err := tasks[ti].WriteU64(p, 0, v); err != nil {
+						ok = false
+						return
+					}
+					want[ti] = v
+				case 2: // read and verify a random task
+					ti := rng.Intn(len(tasks))
+					v, err := tasks[ti].ReadU64(p, 0)
+					if err != nil || v != want[ti] {
+						ok = false
+						return
+					}
+				}
+			}
+			// Final full verification.
+			for ti, task := range tasks {
+				v, err := task.ReadU64(p, 0)
+				if err != nil || v != want[ti] {
+					ok = false
+					return
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package vm
+
+// PhysMem accounts for a node's physical page frames. The available memory
+// acts as a cache for memory-object contents: when occupancy exceeds the
+// high watermark, the kernel evicts least-recently-used pages until it is
+// back under the low watermark — the Mach pageout daemon in miniature.
+//
+// Like Mach, allocation itself never blocks: a fault may briefly overshoot
+// the capacity while evictions (which need protocol round trips) are in
+// flight.
+type PhysMem struct {
+	// CapacityPages is the number of frames usable by the VM cache.
+	CapacityPages int
+
+	// ResidentPages counts frames currently holding pages.
+	ResidentPages int
+
+	// EvictingPages counts frames whose eviction protocol is in flight;
+	// they still occupy memory but are already leaving, so watermark
+	// decisions treat them as gone (otherwise one pageout scan would evict
+	// the entire cache before any asynchronous removal lands).
+	EvictingPages int
+
+	// Evictions counts pages whose eviction has been started.
+	Evictions uint64
+
+	lowWater int
+}
+
+// NewPhysMem returns an accounting structure for capacityPages frames.
+// capacityPages <= 0 means unlimited (microbenchmarks that must not page).
+func NewPhysMem(capacityPages int) *PhysMem {
+	pm := &PhysMem{CapacityPages: capacityPages}
+	if capacityPages > 0 {
+		pm.lowWater = capacityPages - capacityPages/16
+		if pm.lowWater < 1 {
+			pm.lowWater = 1
+		}
+	}
+	return pm
+}
+
+// Unlimited reports whether eviction is disabled.
+func (pm *PhysMem) Unlimited() bool { return pm.CapacityPages <= 0 }
+
+// NeedsEviction reports whether occupancy (net of in-flight evictions) is
+// above the high watermark.
+func (pm *PhysMem) NeedsEviction() bool {
+	return !pm.Unlimited() && pm.ResidentPages-pm.EvictingPages > pm.CapacityPages
+}
+
+// AboveLowWater reports whether the pageout loop should keep going.
+func (pm *PhysMem) AboveLowWater() bool {
+	return !pm.Unlimited() && pm.ResidentPages-pm.EvictingPages > pm.lowWater
+}
+
+// FreePages returns the number of unused frames (0 when over capacity,
+// a large number when unlimited).
+func (pm *PhysMem) FreePages() int {
+	if pm.Unlimited() {
+		return 1 << 30
+	}
+	n := pm.CapacityPages - pm.ResidentPages
+	if n < 0 {
+		return 0
+	}
+	return n
+}

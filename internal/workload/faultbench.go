@@ -1,0 +1,231 @@
+// Package workload implements the paper's three measurement workloads:
+// the basic page-fault latency microbenchmarks (Table 1, Figures 10/11),
+// the mapped-file transfer benchmark (Table 2, Figures 12/13), and the
+// EM3D application (Table 3).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// FaultScenario describes one Table 1 row.
+type FaultScenario struct {
+	Name string
+	// Readers is the number of nodes holding read copies before the
+	// measured fault.
+	Readers int
+	// Write selects a write fault (vs. read fault).
+	Write bool
+	// FaulterHasCopy makes the faulting node one of the readers (the
+	// "write upgrade fault" of Figure 10).
+	FaulterHasCopy bool
+	// SecondReader measures the second read fault (page already clean at
+	// the pager / owned by a reader) instead of the first.
+	SecondReader bool
+}
+
+// Table1Scenarios returns the paper's seven rows.
+func Table1Scenarios() []FaultScenario {
+	return []FaultScenario{
+		{Name: "write fault, 1 read copy", Readers: 1, Write: true},
+		{Name: "write fault, 2 read copies", Readers: 2, Write: true},
+		{Name: "write fault, 64 read copies", Readers: 64, Write: true},
+		{Name: "write fault, 2 read copies, faulter has copy", Readers: 2, Write: true, FaulterHasCopy: true},
+		{Name: "write fault, 64 read copies, faulter has copy", Readers: 64, Write: true, FaulterHasCopy: true},
+		{Name: "read fault, first reader", Readers: 0, Write: false},
+		{Name: "read fault, second reader", Readers: 0, Write: false, SecondReader: true},
+	}
+}
+
+// MeasureFault runs one scenario on a fresh cluster of the given system
+// and returns the observed fault latency. Node roles: node 0 hosts the
+// manager/home stack (remote from everyone else, like the paper's "XMM
+// stack is remote" setup), node 1 is the initial writer — whose retained
+// copy is the first "read copy" of the write scenarios, which is what
+// makes the measured fault the *first* request by another node in the
+// single-copy row — and the last node faults.
+func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Duration, error) {
+	n := sc.Readers + 3
+	if n < 5 {
+		n = 5
+	}
+	p := machine.DefaultParams(n)
+	p.System = sys
+	p.Seed = seed
+	p.TrackData = true
+	c := machine.New(p)
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	r := c.NewSharedRegion("bench", 4, all)
+
+	writer, err := c.TaskOn(1, "writer", r, 0)
+	if err != nil {
+		return 0, err
+	}
+	// Extra reading nodes beyond the writer's own copy (and beyond the
+	// faulter's, when it holds one).
+	extra := 0
+	if sc.Write {
+		extra = sc.Readers - 1
+		if sc.FaulterHasCopy {
+			extra--
+		}
+		if extra < 0 {
+			extra = 0
+		}
+	}
+	readers := make([]*vm.Task, extra)
+	for i := range readers {
+		readers[i], err = c.TaskOn(2+i, "reader", r, 0)
+		if err != nil {
+			return 0, err
+		}
+	}
+	faulterNode := n - 1
+	faulter, err := c.TaskOn(faulterNode, "faulter", r, 0)
+	if err != nil {
+		return 0, err
+	}
+
+	var lat time.Duration
+	var benchErr error
+	c.Spawn("bench", func(p *sim.Proc) {
+		// The initial writer dirties the page (and keeps its copy).
+		if err := writer.WriteU64(p, 0, 1); err != nil {
+			benchErr = err
+			return
+		}
+		// Establish additional read copies.
+		for _, rt := range readers {
+			if _, err := rt.ReadU64(p, 0); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		if sc.FaulterHasCopy {
+			if _, err := faulter.ReadU64(p, 0); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		want := vm.ProtRead
+		if sc.Write {
+			want = vm.ProtWrite
+		}
+		if !sc.Write && sc.SecondReader {
+			// The first reader's fault cleans the page; measure the next
+			// node's read.
+			second, err := c.TaskOn(faulterNode-1, "first", r, 0)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if _, err := second.ReadU64(p, 0); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		t0 := p.Now()
+		if _, err := faulter.Touch(p, 0, want); err != nil {
+			benchErr = err
+			return
+		}
+		lat = p.Now() - t0
+	})
+	c.Run()
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	if lat == 0 {
+		return 0, fmt.Errorf("workload: scenario %q measured no fault", sc.Name)
+	}
+	return lat, nil
+}
+
+// MeasureWriteFaultVsReaders sweeps Figure 10: write-fault (and upgrade)
+// latency against the number of read copies.
+func MeasureWriteFaultVsReaders(sys machine.System, readers []int, upgrade bool, seed uint64) ([]time.Duration, error) {
+	out := make([]time.Duration, len(readers))
+	for i, r := range readers {
+		lat, err := MeasureFault(sys, FaultScenario{
+			Name:           fmt.Sprintf("fig10 r=%d", r),
+			Readers:        r,
+			Write:          true,
+			FaulterHasCopy: upgrade,
+		}, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = lat
+	}
+	return out, nil
+}
+
+// MeasureChainFault reproduces Figure 11: a 128 KB region is initialized
+// on node 0, a chain of copies spans `chain` additional nodes (one remote
+// fork per node), and the last node faults in every page. Returned is the
+// mean per-page fault latency.
+func MeasureChainFault(sys machine.System, chain int, seed uint64) (time.Duration, error) {
+	const regionPages = 16 // 128 KByte
+	n := chain + 1
+	if n < 2 {
+		return 0, fmt.Errorf("workload: chain needs at least 1 hop")
+	}
+	p := machine.DefaultParams(n)
+	p.System = sys
+	p.Seed = seed
+	p.TrackData = true
+	c := machine.New(p)
+
+	parent := c.Kerns[0].NewTask("parent")
+	region := c.Kerns[0].NewAnonymous(regionPages)
+	if _, err := parent.Map.MapObject(0, region, 0, regionPages, vm.ProtWrite, vm.InheritCopy); err != nil {
+		return 0, err
+	}
+
+	var mean time.Duration
+	var benchErr error
+	c.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < regionPages; i++ {
+			if err := parent.WriteU64(p, vm.Addr(i*vm.PageSize), uint64(i+1)); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		cur := parent
+		for i := 1; i <= chain; i++ {
+			child, err := c.RemoteFork(cur, i, fmt.Sprintf("child%d", i))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			cur = child
+		}
+		t0 := p.Now()
+		for i := 0; i < regionPages; i++ {
+			v, err := cur.ReadU64(p, vm.Addr(i*vm.PageSize))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if v != uint64(i+1) {
+				benchErr = fmt.Errorf("workload: chain content corrupted: page %d = %d", i, v)
+				return
+			}
+		}
+		mean = (p.Now() - t0) / regionPages
+	})
+	c.Run()
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	return mean, nil
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// FileBenchBytes is the benchmark file size (paper §4.2: 4 MB).
+const FileBenchBytes = 4 << 20
+
+// FileBenchPages is the file size in pages.
+const FileBenchPages = FileBenchBytes / vm.PageSize
+
+// MeasureFileWrite reproduces Table 2's write rows: nNodes map the same
+// (initially empty) 4 MB file and each writes a disjoint section using
+// asynchronous writes (dirty pages are not forced out). Returned is the
+// mean per-node effective transfer rate in MB/s.
+func MeasureFileWrite(sys machine.System, nNodes int, seed uint64) (float64, error) {
+	total := nNodes + 1 // an extra node group would place the pager away; keep the I/O node in-cluster
+	if total < 2 {
+		total = 2
+	}
+	p := machine.DefaultParams(total)
+	p.System = sys
+	p.Seed = seed
+	c := machine.New(p)
+
+	users := make([]int, nNodes)
+	for i := range users {
+		users[i] = i + 1
+		if users[i] >= total {
+			users[i] = 0
+		}
+	}
+	if nNodes == 1 {
+		users = []int{1}
+	}
+	r, _ := c.NewMappedFile("bench", FileBenchPages, users, false)
+
+	perNode := FileBenchPages / nNodes
+	times := make([]time.Duration, nNodes)
+	errs := make([]error, nNodes)
+	for i, nIdx := range users {
+		i, nIdx := i, nIdx
+		task, err := c.TaskOn(nIdx, fmt.Sprintf("w%d", i), r, 0)
+		if err != nil {
+			return 0, err
+		}
+		c.Spawn("writer", func(p *sim.Proc) {
+			t0 := p.Now()
+			base := i * perNode
+			for pg := 0; pg < perNode; pg++ {
+				if _, err := task.Touch(p, vm.Addr((base+pg)*vm.PageSize), vm.ProtWrite); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			times[i] = p.Now() - t0
+		})
+	}
+	c.Run()
+	var sumRate float64
+	for i := range times {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		if times[i] == 0 {
+			return 0, fmt.Errorf("workload: writer %d made no progress", i)
+		}
+		bytes := float64(perNode * vm.PageSize)
+		sumRate += bytes / times[i].Seconds() / 1e6
+	}
+	return sumRate / float64(nNodes), nil
+}
+
+// MeasureFileRead reproduces Table 2's read rows: nNodes read the entire
+// preloaded 4 MB file in parallel. Returned is the mean per-node rate in
+// MB/s.
+func MeasureFileRead(sys machine.System, nNodes int, seed uint64) (float64, error) {
+	total := nNodes + 1
+	if total < 2 {
+		total = 2
+	}
+	p := machine.DefaultParams(total)
+	p.System = sys
+	p.Seed = seed
+	c := machine.New(p)
+
+	users := make([]int, nNodes)
+	for i := range users {
+		users[i] = i + 1
+	}
+	if nNodes == 1 {
+		users = []int{1}
+	}
+	r, _ := c.NewMappedFile("bench", FileBenchPages, users, true)
+
+	times := make([]time.Duration, nNodes)
+	errs := make([]error, nNodes)
+	for i, nIdx := range users {
+		i, nIdx := i, nIdx
+		task, err := c.TaskOn(nIdx, fmt.Sprintf("r%d", i), r, 0)
+		if err != nil {
+			return 0, err
+		}
+		c.Spawn("reader", func(p *sim.Proc) {
+			t0 := p.Now()
+			// Stagger starting offsets so nodes don't convoy on the same
+			// page, like independent readers would.
+			start := (i * FileBenchPages) / max(nNodes, 1)
+			for k := 0; k < FileBenchPages; k++ {
+				pg := (start + k) % FileBenchPages
+				if _, err := task.Touch(p, vm.Addr(pg*vm.PageSize), vm.ProtRead); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			times[i] = p.Now() - t0
+		})
+	}
+	c.Run()
+	var sumRate float64
+	for i := range times {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		if times[i] == 0 {
+			return 0, fmt.Errorf("workload: reader %d made no progress", i)
+		}
+		sumRate += float64(FileBenchBytes) / times[i].Seconds() / 1e6
+	}
+	return sumRate / float64(nNodes), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// SORConfig parameterizes a red-black successive over-relaxation solver
+// over a shared 2-D grid — the other canonical SVM application of the era
+// (Li's thesis and the TreadMarks paper both use it). Rows are partitioned
+// across nodes; each iteration reads the neighbour partitions' boundary
+// rows, which is exactly the page-sharing pattern that separates a
+// distributed manager from a centralized one.
+type SORConfig struct {
+	// Rows and Cols give the grid size; each element is 8 bytes.
+	Rows, Cols int
+	// Iters is the number of red/black iteration pairs.
+	Iters int
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// PerElemCompute is the update cost per grid element.
+	PerElemCompute time.Duration
+	// MemMB is per-node memory (0 = unlimited).
+	MemMB int
+	// Seed drives nothing yet (the grid is deterministic) but keeps the
+	// interface uniform.
+	Seed uint64
+}
+
+// DefaultSOR returns a medium-size configuration.
+func DefaultSOR(rows, cols, nodes, iters int) SORConfig {
+	return SORConfig{
+		Rows: rows, Cols: cols, Iters: iters, Nodes: nodes,
+		PerElemCompute: 150 * time.Nanosecond,
+		MemMB:          0,
+		Seed:           1,
+	}
+}
+
+// RunSOR executes the solver and returns the time for the iteration loop.
+func RunSOR(sys machine.System, cfg SORConfig) (time.Duration, error) {
+	if cfg.Rows%cfg.Nodes != 0 {
+		return 0, fmt.Errorf("workload: %d rows not divisible by %d nodes", cfg.Rows, cfg.Nodes)
+	}
+	mp := machine.DefaultParams(cfg.Nodes)
+	mp.System = sys
+	mp.MemMB = cfg.MemMB
+	mp.Seed = cfg.Seed
+	c := machine.New(mp)
+	return RunSOROn(c, cfg)
+}
+
+// RunSOROn executes the solver on an existing cluster.
+func RunSOROn(c *machine.Cluster, cfg SORConfig) (time.Duration, error) {
+	rowBytes := int64(cfg.Cols) * 8
+	gridBytes := rowBytes * int64(cfg.Rows)
+	regionPages := vm.PageIdx((gridBytes + vm.PageSize - 1) / vm.PageSize)
+	all := make([]int, cfg.Nodes)
+	for i := range all {
+		all[i] = i
+	}
+	region := c.NewSharedRegion("sor", regionPages, all)
+	bar := c.NewBarrier(all)
+
+	rowsPer := cfg.Rows / cfg.Nodes
+	rowPages := func(row int) (vm.PageIdx, vm.PageIdx) {
+		lo := vm.PageIdx(int64(row) * rowBytes / vm.PageSize)
+		hi := vm.PageIdx((int64(row+1)*rowBytes - 1) / vm.PageSize)
+		return lo, hi
+	}
+	pageSpan := func(firstRow, lastRow int) []vm.PageIdx {
+		lo, _ := rowPages(firstRow)
+		_, hi := rowPages(lastRow)
+		out := make([]vm.PageIdx, 0, hi-lo+1)
+		for pg := lo; pg <= hi; pg++ {
+			out = append(out, pg)
+		}
+		return out
+	}
+
+	starts := make([]sim.Time, cfg.Nodes)
+	ends := make([]sim.Time, cfg.Nodes)
+	errs := make([]error, cfg.Nodes)
+	for n := range all {
+		n := n
+		first, last := n*rowsPer, (n+1)*rowsPer-1
+		own := pageSpan(first, last)
+		var halo []vm.PageIdx
+		if n > 0 {
+			halo = append(halo, pageSpan(first-1, first-1)...)
+		}
+		if n < cfg.Nodes-1 {
+			halo = append(halo, pageSpan(last+1, last+1)...)
+		}
+		compute := time.Duration(rowsPer*cfg.Cols) * cfg.PerElemCompute
+
+		task, err := c.TaskOn(n, fmt.Sprintf("sor%d", n), region, 0)
+		if err != nil {
+			return 0, err
+		}
+		c.Spawn(fmt.Sprintf("sor%d", n), func(p *sim.Proc) {
+			touch := func(pages []vm.PageIdx, want vm.Prot) bool {
+				for _, pg := range pages {
+					if _, err := task.Touch(p, vm.Addr(pg)*vm.PageSize, want); err != nil {
+						errs[n] = err
+						return false
+					}
+				}
+				return true
+			}
+			if !touch(own, vm.ProtWrite) {
+				return
+			}
+			bar.Await(p, n)
+			starts[n] = p.Now()
+			for iter := 0; iter < cfg.Iters; iter++ {
+				// Red sweep then black sweep: read neighbour halos, update
+				// own rows.
+				for half := 0; half < 2; half++ {
+					if !touch(halo, vm.ProtRead) || !touch(own, vm.ProtWrite) {
+						return
+					}
+					p.Sleep(compute / 2)
+					bar.Await(p, n)
+				}
+			}
+			ends[n] = p.Now()
+		})
+	}
+	c.Run()
+	var first, last sim.Time
+	for n := range all {
+		if errs[n] != nil {
+			return 0, errs[n]
+		}
+		if ends[n] == 0 {
+			return 0, fmt.Errorf("workload: sor node %d never finished", n)
+		}
+		if n == 0 || starts[n] < first {
+			first = starts[n]
+		}
+		if ends[n] > last {
+			last = ends[n]
+		}
+	}
+	return last - first, nil
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"asvm/internal/machine"
+)
+
+func TestTable1ScenarioCount(t *testing.T) {
+	if n := len(Table1Scenarios()); n != 7 {
+		t.Fatalf("scenarios = %d, want 7 (paper Table 1 rows)", n)
+	}
+}
+
+func TestFaultASVMBeatsXMMOnEveryRow(t *testing.T) {
+	for _, sc := range Table1Scenarios() {
+		if sc.Readers > 4 {
+			sc.Readers = 4 // keep the unit test fast; the bench runs full size
+		}
+		a, err := MeasureFault(machine.SysASVM, sc, 1)
+		if err != nil {
+			t.Fatalf("%s ASVM: %v", sc.Name, err)
+		}
+		x, err := MeasureFault(machine.SysXMM, sc, 1)
+		if err != nil {
+			t.Fatalf("%s XMM: %v", sc.Name, err)
+		}
+		if a >= x {
+			t.Errorf("%s: ASVM %v not faster than XMM %v", sc.Name, a, x)
+		}
+	}
+}
+
+func TestFaultLatencyGrowsWithReaders(t *testing.T) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		lat2, err := MeasureFault(sys, FaultScenario{Readers: 2, Write: true}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat8, err := MeasureFault(sys, FaultScenario{Readers: 8, Write: true}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat8 <= lat2 {
+			t.Errorf("%v: 8 readers (%v) not slower than 2 (%v)", sys, lat8, lat2)
+		}
+	}
+}
+
+func TestMeasureFaultDeterministic(t *testing.T) {
+	sc := FaultScenario{Readers: 2, Write: true}
+	a, err := MeasureFault(machine.SysASVM, sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureFault(machine.SysASVM, sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestChainFaultGrowsLinearly(t *testing.T) {
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		l1, err := MeasureChainFault(sys, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, err := MeasureChainFault(sys, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l3 <= l1 {
+			t.Errorf("%v: chain 3 (%v) not slower than chain 1 (%v)", sys, l3, l1)
+		}
+	}
+}
+
+func TestChainASVMMuchFlatterThanXMM(t *testing.T) {
+	slope := func(sys machine.System) time.Duration {
+		l1, err := MeasureChainFault(sys, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l5, err := MeasureChainFault(sys, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (l5 - l1) / 4
+	}
+	a, x := slope(machine.SysASVM), slope(machine.SysXMM)
+	if x < 3*a {
+		t.Fatalf("XMM per-hop (%v) should be several times ASVM's (%v)", x, a)
+	}
+}
+
+func TestFileWriteRatesDeclineWithNodes(t *testing.T) {
+	r1, err := MeasureFileWrite(machine.SysASVM, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := MeasureFileWrite(machine.SysASVM, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 0 || r8 <= 0 {
+		t.Fatalf("non-positive rates: %v %v", r1, r8)
+	}
+	if r8 >= r1 {
+		t.Fatalf("per-node write rate should decline: 1 node %.2f, 8 nodes %.2f", r1, r8)
+	}
+}
+
+func TestFileReadASVMSustainsXMMCollapses(t *testing.T) {
+	a2, err := MeasureFileRead(machine.SysASVM, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := MeasureFileRead(machine.SysASVM, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := MeasureFileRead(machine.SysXMM, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x8, err := MeasureFileRead(machine.SysXMM, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASVM's distributed manager sustains the rate; XMM collapses.
+	if a8 < a2/2 {
+		t.Errorf("ASVM read rate collapsed: %v -> %v", a2, a8)
+	}
+	if x8 > x2/2 {
+		t.Errorf("XMM read rate did not collapse: %v -> %v", x2, x8)
+	}
+	if a8 < 3*x8 {
+		t.Errorf("ASVM (%v) should dominate XMM (%v) at 8 nodes", a8, x8)
+	}
+}
+
+func TestEM3DFeasibility(t *testing.T) {
+	// 64000 cells * 224 B = ~14 MB: too much for one 16 MB node (9 MB
+	// user), fine for two.
+	cfg := DefaultEM3D(64000, 1, 10)
+	if cfg.Feasible() {
+		t.Fatal("14 MB dataset should not fit one 16 MB node")
+	}
+	cfg = DefaultEM3D(64000, 2, 10)
+	if !cfg.Feasible() {
+		t.Fatal("14 MB dataset should fit two nodes")
+	}
+	// 1024000 cells on 8 nodes: 229 MB > 72 MB: the paper's **.
+	cfg = DefaultEM3D(1024000, 8, 10)
+	if cfg.Feasible() {
+		t.Fatal("1024000 cells should not fit 8 nodes")
+	}
+	cfg.MemMB = 0
+	if !cfg.Feasible() {
+		t.Fatal("unlimited memory is always feasible")
+	}
+}
+
+func TestEM3DASVMSpeedsUpXMMSlowsDown(t *testing.T) {
+	run := func(sys machine.System, nodes int) time.Duration {
+		cfg := DefaultEM3D(64000, nodes, 2)
+		if nodes == 1 {
+			cfg.MemMB = 0
+		}
+		d, err := RunEM3D(sys, cfg)
+		if err != nil {
+			t.Fatalf("%v nodes=%d: %v", sys, nodes, err)
+		}
+		return d
+	}
+	seq := run(machine.SysASVM, 1)
+	a4 := run(machine.SysASVM, 4)
+	x4 := run(machine.SysXMM, 4)
+	if a4 >= seq {
+		t.Errorf("ASVM 4 nodes (%v) not faster than sequential (%v)", a4, seq)
+	}
+	if x4 <= seq {
+		t.Errorf("XMM 4 nodes (%v) not slower than sequential (%v) — the paper's slowdown", x4, seq)
+	}
+}
+
+func TestEM3DDeterministic(t *testing.T) {
+	cfg := DefaultEM3D(8000, 4, 2)
+	a, err := RunEM3D(machine.SysASVM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEM3D(machine.SysASVM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic EM3D: %v vs %v", a, b)
+	}
+}
+
+func TestEM3DPlanCoversAllOwnPages(t *testing.T) {
+	cfg := DefaultEM3D(8000, 4, 1)
+	plans := planEM3D(cfg)
+	if len(plans) != 4 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for n, p := range plans {
+		if len(p.writeE) == 0 || len(p.writeH) == 0 {
+			t.Errorf("node %d has empty write sets", n)
+		}
+		if p.updatesE+p.updatesH != cfg.Cells/cfg.Nodes {
+			t.Errorf("node %d updates %d+%d != %d", n, p.updatesE, p.updatesH, cfg.Cells/cfg.Nodes)
+		}
+		// Read sets must include the node's own counterpart pages.
+		if len(p.readE) < len(p.writeH) {
+			t.Errorf("node %d readE misses own H pages", n)
+		}
+	}
+	// With more than one node there must be some remote ghost pages.
+	if len(plans[1].readE) == len(plans[1].writeH) {
+		t.Error("no remote ghost pages in readE")
+	}
+}
+
+func TestEM3DRejectsIndivisibleCells(t *testing.T) {
+	cfg := DefaultEM3D(1000, 3, 1)
+	if _, err := RunEM3D(machine.SysASVM, cfg); err == nil {
+		t.Fatal("1000 cells on 3 nodes should be rejected")
+	}
+}
+
+func TestSORBothSystemsCorrectAndOrdered(t *testing.T) {
+	// The SOR halo-exchange pattern: ASVM scales, XMM pays the manager.
+	a, err := RunSOR(machine.SysASVM, DefaultSOR(512, 512, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := RunSOR(machine.SysXMM, DefaultSOR(512, 512, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 || x <= 0 {
+		t.Fatalf("non-positive times: %v %v", a, x)
+	}
+	if x <= a {
+		t.Fatalf("XMM (%v) should be slower than ASVM (%v) on halo exchange", x, a)
+	}
+}
+
+func TestSORScalesUnderASVM(t *testing.T) {
+	seq, err := RunSOR(machine.SysASVM, DefaultSOR(1024, 1024, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSOR(machine.SysASVM, DefaultSOR(1024, 1024, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par >= seq {
+		t.Fatalf("4-node SOR (%v) not faster than sequential (%v)", par, seq)
+	}
+}
+
+func TestSORRejectsIndivisibleRows(t *testing.T) {
+	if _, err := RunSOR(machine.SysASVM, DefaultSOR(100, 100, 3, 1)); err == nil {
+		t.Fatal("100 rows on 3 nodes accepted")
+	}
+}
+
+func TestMeasureWriteFaultVsReadersSweep(t *testing.T) {
+	lats, err := MeasureWriteFaultVsReaders(machine.SysASVM, []int{1, 4}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 2 || lats[1] <= lats[0] {
+		t.Fatalf("sweep = %v, want increasing", lats)
+	}
+	ups, err := MeasureWriteFaultVsReaders(machine.SysASVM, []int{4}, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ups[0] >= lats[1] {
+		t.Fatalf("upgrade (%v) not cheaper than write fault (%v)", ups[0], lats[1])
+	}
+}

@@ -1,0 +1,167 @@
+// Package xmm implements the NMK13 eXtended Memory Manager — the baseline
+// the ASVM paper measures against. XMM interposes between each node's VM
+// system and the external pager: one node runs the *centralized manager*
+// holding all page state for a memory object; every other mapping node runs
+// a forwarding *proxy*. All traffic rides NORMA-IPC.
+//
+// Deliberately modelled NMK13 behaviours (paper §2.3, §4.1):
+//   - per-page state kept as a byte per page per mapping node at the
+//     manager (the memory-consumption problem ASVM fixes);
+//   - "create a coherent version at the pager, then forward": a dirty page
+//     is written to paging space the first time another node requests it;
+//   - sequentialized flush round trips before granting write access;
+//   - delayed copy via local fork + XMM-internal copy pagers whose threads
+//     block while resolving faults (the deadlock hazard on long chains).
+package xmm
+
+import (
+	"fmt"
+
+	"asvm/internal/mesh"
+	"asvm/internal/pager"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+	"asvm/internal/xport"
+)
+
+// Node is the per-node XMM runtime: it owns the node's managers, proxies
+// and copy pagers and dispatches incoming XMM traffic to them.
+type Node struct {
+	Self mesh.NodeID
+	Eng  *sim.Engine
+	K    *vm.Kernel
+	TR   xport.Transport
+
+	// CopyThreads bounds the copy pagers' kernel threads on this node; an
+	// exhausted pool on a cyclic copy chain deadlocks, which is exactly
+	// the failure mode ASVM's asynchronous state transitions avoid.
+	CopyThreads *sim.Semaphore
+
+	managers   map[vm.ObjID]*Manager
+	proxies    map[vm.ObjID]*Proxy
+	copyPagers map[uint64]*CopyPager
+	copyObjs   map[uint64]*copyBinding
+	nextPager  uint64
+
+	Ctr *sim.Counters
+}
+
+// NewNode creates the XMM runtime for one node and registers its transport
+// handler.
+func NewNode(eng *sim.Engine, k *vm.Kernel, tr xport.Transport, copyThreads int) *Node {
+	n := &Node{
+		Self: k.Node, Eng: eng, K: k, TR: tr,
+		CopyThreads: sim.NewSemaphore(eng, copyThreads),
+		managers:    make(map[vm.ObjID]*Manager),
+		proxies:     make(map[vm.ObjID]*Proxy),
+		copyPagers:  make(map[uint64]*CopyPager),
+		copyObjs:    make(map[uint64]*copyBinding),
+		Ctr:         sim.NewCounters(),
+	}
+	tr.Register(n.Self, Proto, n.handle)
+	return n
+}
+
+func (n *Node) handle(src mesh.NodeID, m interface{}) {
+	n.Ctr.Inc("msgs", 1)
+	switch msg := m.(type) {
+	case accessReq:
+		mgr := n.managers[msg.Obj]
+		if mgr == nil {
+			panic(fmt.Sprintf("xmm: node %d is not manager of %v", n.Self, msg.Obj))
+		}
+		mgr.handleRequest(msg)
+	case supplyMsg:
+		n.proxy(msg.Obj).handleSupply(msg)
+	case flushMsg:
+		n.proxy(msg.Obj).handleFlush(msg)
+	case flushAck:
+		n.managers[msg.Obj].handleFlushAck(msg)
+	case evictMsg:
+		n.managers[msg.Obj].handleEvict(msg)
+	case evictAck:
+		n.proxy(msg.Obj).handleEvictAck(msg)
+	case copyReq:
+		cp := n.copyPagers[msg.PagerID]
+		if cp == nil {
+			panic(fmt.Sprintf("xmm: no copy pager %d on node %d", msg.PagerID, n.Self))
+		}
+		cp.handleRequest(msg)
+	case copyReply:
+		n.copyObjs[msg.PagerID].handleReply(msg)
+	default:
+		panic(fmt.Sprintf("xmm: unknown message %T", m))
+	}
+}
+
+func (n *Node) proxy(id vm.ObjID) *Proxy {
+	p := n.proxies[id]
+	if p == nil {
+		panic(fmt.Sprintf("xmm: no proxy for %v on node %d", id, n.Self))
+	}
+	return p
+}
+
+// Cluster-level setup ---------------------------------------------------------
+
+// SetupShared creates an XMM-managed shared memory object across the given
+// nodes. The manager lives on mgrIdx's node (by convention the first).
+// pagerSrv may be nil for pure anonymous memory with no backing store
+// (zero-fill only, no pageout). Returns the per-node vm objects, index
+// aligned with nodes.
+func SetupShared(id vm.ObjID, sizePages vm.PageIdx, nodes []*Node, mgrIdx int, pagerSrv *pager.Server) []*vm.Object {
+	mgrNode := nodes[mgrIdx]
+	mapping := make([]mesh.NodeID, len(nodes))
+	for i, n := range nodes {
+		mapping[i] = n.Self
+	}
+	var cli pager.PagerIO // nil interface, not a typed nil *Client
+	if pagerSrv != nil {
+		cli = pager.NewClient(mgrNode.Eng, mgrNode.TR, mgrNode.Self, pagerSrv)
+	}
+	mgr := newManager(mgrNode, id, sizePages, mapping, cli)
+	mgrNode.managers[id] = mgr
+
+	objs := make([]*vm.Object, len(nodes))
+	for i, n := range nodes {
+		px := &Proxy{nd: n, mgrNode: mgrNode.Self, obj: id}
+		n.proxies[id] = px
+		o := n.K.NewObject(id, sizePages, px, vm.CopyNone)
+		px.o = o
+		objs[i] = o
+	}
+	return objs
+}
+
+// SetManagerPager overrides a managed object's backing-store interface on
+// its manager node — used to wire in a striped multi-pager file (§6).
+func (n *Node) SetManagerPager(id vm.ObjID, io pager.PagerIO) {
+	mgr := n.managers[id]
+	if mgr == nil {
+		panic(fmt.Sprintf("xmm: node %d does not manage %v", n.Self, id))
+	}
+	mgr.pagerCli = io
+}
+
+// Footprint returns the manager's non-pageable page-state memory in bytes
+// for a shared object (the paper's 1 byte × pages × nodes), or 0 if this
+// node does not manage it.
+func (n *Node) Footprint(id vm.ObjID) int64 {
+	if mgr, ok := n.managers[id]; ok {
+		return int64(mgr.sizePages) * int64(len(mgr.mapping))
+	}
+	return 0
+}
+
+// Teardown removes a shared object from every node: proxies and the
+// manager are dropped and local vm objects destroyed. The caller must have
+// quiesced the object (no requests in flight).
+func Teardown(id vm.ObjID, nodes []*Node) {
+	for _, n := range nodes {
+		if px := n.proxies[id]; px != nil {
+			n.K.DestroyObject(px.o)
+			delete(n.proxies, id)
+		}
+		delete(n.managers, id)
+	}
+}

@@ -1,0 +1,30 @@
+// Package xport defines the transport interface shared by the two wire
+// protocols of the system: NORMA-IPC (the Mach distribution's heavyweight
+// typed-message IPC, used by XMM) and the SVM Transport Service (ASVM's
+// dedicated lightweight protocol). Protocol layers address each other by
+// (node, proto-channel); each message is an arbitrary Go value plus an
+// accounted payload size.
+package xport
+
+import "asvm/internal/mesh"
+
+// Handler receives a message delivered to a (node, proto) registration.
+type Handler func(src mesh.NodeID, m interface{})
+
+// Transport carries protocol messages between nodes, modelling software
+// and wire costs. Implementations must deliver messages in a deterministic
+// order for fixed inputs.
+type Transport interface {
+	// Register installs the handler for messages to proto on node n.
+	// Registering twice for the same (n, proto) panics.
+	Register(n mesh.NodeID, proto string, h Handler)
+
+	// Send delivers m to (dst, proto). payloadBytes is the protocol
+	// payload (page contents etc.); implementations add their own framing
+	// overhead. Sending to an unregistered destination panics — it is
+	// always a protocol bug in this system.
+	Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{})
+
+	// Name identifies the transport ("norma" or "sts").
+	Name() string
+}
