@@ -152,7 +152,7 @@ func BenchmarkTable3(b *testing.B) {
 // strategies on an ownership-migration workload.
 func BenchmarkAblationForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := exp.AblationForwarding(io.Discard, 8, 4, 1); err != nil {
+		if err := exp.AblationForwarding(io.Discard, 8, 4, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +162,7 @@ func BenchmarkAblationForwarding(b *testing.B) {
 // NORMA-IPC vs. the dedicated STS.
 func BenchmarkAblationTransport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := exp.AblationTransport(io.Discard, 1); err != nil {
+		if err := exp.AblationTransport(io.Discard, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -172,7 +172,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 // without internode paging.
 func BenchmarkAblationInternodePaging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := exp.AblationInternodePaging(io.Discard, 1); err != nil {
+		if err := exp.AblationInternodePaging(io.Discard, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,11 +2,17 @@
 // figure of "A New Approach to Distributed Memory Management in the Mach
 // Microkernel" (USENIX '96), plus the ablations described in DESIGN.md.
 //
+// Independent experiment cells (each its own seeded simulation) run on a
+// worker pool sized by -workers; parallelism changes wall-clock time only,
+// never a simulated metric.
+//
 // Usage:
 //
 //	asvmbench -exp table1            # one experiment
 //	asvmbench -exp all -quick        # everything, reduced sweeps
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
+//	asvmbench -workers 1             # serial cells (for profiling a cell)
+//	asvmbench -json BENCH.json       # machine-readable perf snapshot only
 package main
 
 import (
@@ -20,12 +26,30 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|all")
-		quick = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
-		iters = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
-		seed  = flag.Uint64("seed", 1, "workload RNG seed")
+		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|all")
+		quick   = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
+		iters   = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
+		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		workers = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut = flag.String("json", "", "write a machine-readable benchmark snapshot to this path and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		t0 := time.Now()
+		snap, err := exp.CollectSnapshot(*seed, *workers, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asvmbench: snapshot failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := snap.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "asvmbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (engine %.0f events/sec, %.1fs total)\n",
+			*jsonOut, snap.EngineEventsPerSec, time.Since(t0).Seconds())
+		return
+	}
 
 	nodesSweep := []int{1, 2, 4, 8, 16, 32, 64}
 	readerSweep := []int{1, 2, 4, 8, 16, 32, 64}
@@ -53,28 +77,34 @@ func main() {
 	}
 
 	all := *which == "all"
+	switch *which {
+	case "all", "table1", "fig10", "fig11", "table2", "table3", "dist", "ablations":
+	default:
+		fmt.Fprintf(os.Stderr, "asvmbench: unknown experiment %q (want table1|fig10|fig11|table2|table3|dist|ablations|all)\n", *which)
+		os.Exit(2)
+	}
 	if all || *which == "table1" {
-		run("table1", func() error { return exp.Table1(os.Stdout, *seed) })
+		run("table1", func() error { return exp.Table1(os.Stdout, *seed, *workers) })
 	}
 	if all || *which == "fig10" {
-		run("fig10", func() error { return exp.Figure10(os.Stdout, readerSweep, *seed) })
+		run("fig10", func() error { return exp.Figure10(os.Stdout, readerSweep, *seed, *workers) })
 	}
 	if all || *which == "fig11" {
-		run("fig11", func() error { return exp.Figure11(os.Stdout, chainSweep, *seed) })
+		run("fig11", func() error { return exp.Figure11(os.Stdout, chainSweep, *seed, *workers) })
 	}
 	if all || *which == "table2" {
-		run("table2", func() error { return exp.Table2(os.Stdout, nodesSweep, *seed) })
+		run("table2", func() error { return exp.Table2(os.Stdout, nodesSweep, *seed, *workers) })
 	}
 	if all || *which == "table3" {
-		run("table3", func() error { return exp.Table3(os.Stdout, em3dSizes, em3dNodes, *iters, *seed) })
+		run("table3", func() error { return exp.Table3(os.Stdout, em3dSizes, em3dNodes, *iters, *seed, *workers) })
 	}
 	if all || *which == "dist" {
-		run("dist", func() error { return exp.Distribution(os.Stdout, 8, 16, 4, *seed) })
+		run("dist", func() error { return exp.Distribution(os.Stdout, 8, 16, 4, *seed, *workers) })
 	}
 	if all || *which == "ablations" {
-		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed) })
-		run("ablation-transport", func() error { return exp.AblationTransport(os.Stdout, *seed) })
-		run("ablation-internode-paging", func() error { return exp.AblationInternodePaging(os.Stdout, *seed) })
-		run("ablation-chain-threads", func() error { return exp.AblationChainThreads(os.Stdout, *seed) })
+		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed, *workers) })
+		run("ablation-transport", func() error { return exp.AblationTransport(os.Stdout, *seed, *workers) })
+		run("ablation-internode-paging", func() error { return exp.AblationInternodePaging(os.Stdout, *seed, *workers) })
+		run("ablation-chain-threads", func() error { return exp.AblationChainThreads(os.Stdout, *seed, *workers) })
 	}
 }

@@ -81,18 +81,26 @@ func migrationWorkload(cfg asvm.Config, nodes, rounds int, seed uint64) (time.Du
 }
 
 // AblationForwarding (A1) compares the forwarding strategies on the
-// ownership-migration workload.
-func AblationForwarding(w io.Writer, nodes, rounds int, seed uint64) error {
-	fmt.Fprintf(w, "Ablation A1: forwarding strategy (hot page migrating across %d nodes, mean handoff ms)\n", nodes)
-	for _, v := range forwardingVariants() {
+// ownership-migration workload. Each variant is an independent cell.
+func AblationForwarding(w io.Writer, nodes, rounds int, seed uint64, workers int) error {
+	variants := forwardingVariants()
+	lats, err := RunCells(workers, len(variants), func(i int) (time.Duration, error) {
+		v := variants[i]
 		cfg := asvm.DefaultConfig()
 		cfg.DynamicForwarding = v.Dynamic
 		cfg.StaticForwarding = v.Static
 		lat, err := migrationWorkload(cfg, nodes, rounds, seed)
 		if err != nil {
-			return fmt.Errorf("A1 %s: %w", v.Name, err)
+			return 0, fmt.Errorf("A1 %s: %w", v.Name, err)
 		}
-		fmt.Fprintf(w, "  %-40s %8s ms\n", v.Name, ms(lat))
+		return lat, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation A1: forwarding strategy (hot page migrating across %d nodes, mean handoff ms)\n", nodes)
+	for i, v := range variants {
+		fmt.Fprintf(w, "  %-40s %8s ms\n", v.Name, ms(lats[i]))
 	}
 	return nil
 }
@@ -101,8 +109,7 @@ func AblationForwarding(w io.Writer, nodes, rounds int, seed uint64) error {
 // protocol carried over NORMA-IPC instead of the STS, quantifying the
 // paper's "NORMA IPC is responsible for about 90 percent of the latency"
 // claim.
-func AblationTransport(w io.Writer, seed uint64) error {
-	fmt.Fprintln(w, "Ablation A2: ASVM protocol over STS vs. NORMA-IPC (read fault, ms)")
+func AblationTransport(w io.Writer, seed uint64, workers int) error {
 	lat := func(overNorma bool) (time.Duration, error) {
 		p := machine.DefaultParams(6)
 		p.System = machine.SysASVM
@@ -139,14 +146,19 @@ func AblationTransport(w io.Writer, seed uint64) error {
 		}
 		return d, nil
 	}
-	sts, err := lat(false)
+	names := []string{"sts", "norma"}
+	res, err := RunCells(workers, 2, func(i int) (time.Duration, error) {
+		d, err := lat(i == 1)
+		if err != nil {
+			return 0, fmt.Errorf("A2 %s: %w", names[i], err)
+		}
+		return d, nil
+	})
 	if err != nil {
-		return fmt.Errorf("A2 sts: %w", err)
+		return err
 	}
-	nrm, err := lat(true)
-	if err != nil {
-		return fmt.Errorf("A2 norma: %w", err)
-	}
+	sts, nrm := res[0], res[1]
+	fmt.Fprintln(w, "Ablation A2: ASVM protocol over STS vs. NORMA-IPC (read fault, ms)")
 	fmt.Fprintf(w, "  over STS:   %8s ms\n", ms(sts))
 	fmt.Fprintf(w, "  over NORMA: %8s ms  (%.1fx; transport share of the NORMA fault: %.0f%%)\n",
 		ms(nrm), float64(nrm)/float64(sts), 100*float64(nrm-sts)/float64(nrm))
@@ -155,8 +167,7 @@ func AblationTransport(w io.Writer, seed uint64) error {
 
 // AblationInternodePaging (A3) measures a memory-pressure sweep with and
 // without internode paging: without it, every eviction is a disk pageout.
-func AblationInternodePaging(w io.Writer, seed uint64) error {
-	fmt.Fprintln(w, "Ablation A3: internode paging on/off (one node sweeps 3x its memory; others idle)")
+func AblationInternodePaging(w io.Writer, seed uint64, workers int) error {
 	run := func(disable bool) (time.Duration, uint64, error) {
 		p := machine.DefaultParams(8)
 		p.System = machine.SysASVM
@@ -190,14 +201,24 @@ func AblationInternodePaging(w io.Writer, seed uint64) error {
 		}
 		return d, c.HW[0].Disk.Writes, nil
 	}
-	on, diskOn, err := run(false)
-	if err != nil {
-		return fmt.Errorf("A3 on: %w", err)
+	type result struct {
+		d    time.Duration
+		disk uint64
 	}
-	off, diskOff, err := run(true)
+	names := []string{"on", "off"}
+	res, err := RunCells(workers, 2, func(i int) (result, error) {
+		d, disk, err := run(i == 1)
+		if err != nil {
+			return result{}, fmt.Errorf("A3 %s: %w", names[i], err)
+		}
+		return result{d, disk}, nil
+	})
 	if err != nil {
-		return fmt.Errorf("A3 off: %w", err)
+		return err
 	}
+	on, diskOn := res[0].d, res[0].disk
+	off, diskOff := res[1].d, res[1].disk
+	fmt.Fprintln(w, "Ablation A3: internode paging on/off (one node sweeps 3x its memory; others idle)")
 	fmt.Fprintf(w, "  internode paging ON:  %8.1f ms, %4d disk pageouts\n",
 		float64(on)/float64(time.Millisecond), diskOn)
 	fmt.Fprintf(w, "  internode paging OFF: %8.1f ms, %4d disk pageouts (%.1fx slower)\n",
@@ -210,14 +231,21 @@ func AblationInternodePaging(w io.Writer, seed uint64) error {
 // holds a kernel thread on every node it crosses, so concurrent faults
 // serialize on a small pool — while ASVM's asynchronous state transitions
 // hold no threads at all.
-func AblationChainThreads(w io.Writer, seed uint64) error {
-	fmt.Fprintln(w, "Ablation A4: XMM copy-pager thread pool vs. 8 concurrent chain faults (total ms, chain of 6)")
-	for _, threads := range []int{64, 2, 1} {
-		lat, err := chainWithThreads(threads, seed)
+func AblationChainThreads(w io.Writer, seed uint64, workers int) error {
+	pools := []int{64, 2, 1}
+	lats, err := RunCells(workers, len(pools), func(i int) (time.Duration, error) {
+		lat, err := chainWithThreads(pools[i], seed)
 		if err != nil {
-			return fmt.Errorf("A4 threads=%d: %w", threads, err)
+			return 0, fmt.Errorf("A4 threads=%d: %w", pools[i], err)
 		}
-		fmt.Fprintf(w, "  XMM, %2d copy threads/node: %8s ms\n", threads, ms(lat))
+		return lat, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation A4: XMM copy-pager thread pool vs. 8 concurrent chain faults (total ms, chain of 6)")
+	for i, threads := range pools {
+		fmt.Fprintf(w, "  XMM, %2d copy threads/node: %8s ms\n", threads, ms(lats[i]))
 	}
 	return nil
 }

@@ -14,15 +14,23 @@ import (
 // a shared region concurrently for several rounds; every individual fault
 // is sampled and the percentiles reported. The centralized manager's queue
 // shows up as a heavy tail long before it dominates the mean.
-func Distribution(w io.Writer, nodes, pages, rounds int, seed uint64) error {
+func Distribution(w io.Writer, nodes, pages, rounds int, seed uint64, workers int) error {
+	systems := []machine.System{machine.SysASVM, machine.SysXMM}
+	series, err := RunCells(workers, len(systems), func(i int) (*sim.Series, error) {
+		s, _, err := distRun(systems[i], nodes, pages, rounds, seed)
+		if err != nil {
+			return nil, fmt.Errorf("dist %v: %w", systems[i], err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Fault latency distribution under contention (%d nodes, %d pages, %d rounds)\n",
 		nodes, pages, rounds)
 	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %10s\n", "system", "P50", "P90", "P99", "max", "mean")
-	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
-		s, err := distRun(sys, nodes, pages, rounds, seed)
-		if err != nil {
-			return fmt.Errorf("dist %v: %w", sys, err)
-		}
+	for i, sys := range systems {
+		s := series[i]
 		fmt.Fprintf(w, "%-6v %10s %10s %10s %10s %10s\n", sys,
 			ms(s.Percentile(50)), ms(s.Percentile(90)), ms(s.Percentile(99)),
 			ms(s.Max()), ms(s.Mean()))
@@ -30,7 +38,9 @@ func Distribution(w io.Writer, nodes, pages, rounds int, seed uint64) error {
 	return nil
 }
 
-func distRun(sys machine.System, nodes, pages, rounds int, seed uint64) (*sim.Series, error) {
+// distRun executes the contention workload and returns the latency samples
+// plus the finished cluster (so callers can read engine counters).
+func distRun(sys machine.System, nodes, pages, rounds int, seed uint64) (*sim.Series, *machine.Cluster, error) {
 	p := machine.DefaultParams(nodes)
 	p.System = sys
 	p.Seed = seed
@@ -47,7 +57,7 @@ func distRun(sys machine.System, nodes, pages, rounds int, seed uint64) (*sim.Se
 		n := n
 		task, err := c.TaskOn(n, "t", r, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Per-proc deterministic access order.
 		order := rng.Perm(pages)
@@ -73,11 +83,11 @@ func distRun(sys machine.System, nodes, pages, rounds int, seed uint64) (*sim.Se
 	c.Run()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if series.N() == 0 {
-		return nil, fmt.Errorf("exp: no faults sampled")
+		return nil, nil, fmt.Errorf("exp: no faults sampled")
 	}
-	return series, nil
+	return series, c, nil
 }

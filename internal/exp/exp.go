@@ -27,58 +27,112 @@ var Table1Paper = map[machine.System][]float64{
 	machine.SysXMM:  {38.42, 12.92, 72.18, 3.83, 63.72, 38.59, 10.06},
 }
 
-// Table1 regenerates Table 1: basic page-fault latencies.
-func Table1(w io.Writer, seed uint64) error {
+// Table1 regenerates Table 1: basic page-fault latencies. The 14 cells
+// (7 scenarios x 2 systems) are independent simulations and run on workers
+// goroutines (see RunCells); the table is assembled in scenario order.
+func Table1(w io.Writer, seed uint64, workers int) error {
+	scs := workload.Table1Scenarios()
+	type cell struct {
+		sys machine.System
+		sc  workload.FaultScenario
+	}
+	cells := make([]cell, 0, 2*len(scs))
+	for _, sc := range scs {
+		cells = append(cells, cell{machine.SysASVM, sc}, cell{machine.SysXMM, sc})
+	}
+	lats, err := RunCells(workers, len(cells), func(i int) (time.Duration, error) {
+		lat, err := workload.MeasureFault(cells[i].sys, cells[i].sc, seed)
+		if err != nil {
+			return 0, fmt.Errorf("T1 %v %q: %w", cells[i].sys, cells[i].sc.Name, err)
+		}
+		return lat, nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Table 1: Page Fault Latencies (ms)")
 	fmt.Fprintf(w, "%-52s %10s %10s %10s %10s\n", "Fault Type", "ASVM", "paper", "XMM", "paper")
-	for i, sc := range workload.Table1Scenarios() {
-		a, err := workload.MeasureFault(machine.SysASVM, sc, seed)
-		if err != nil {
-			return fmt.Errorf("T1 ASVM %q: %w", sc.Name, err)
-		}
-		x, err := workload.MeasureFault(machine.SysXMM, sc, seed)
-		if err != nil {
-			return fmt.Errorf("T1 XMM %q: %w", sc.Name, err)
-		}
+	for i, sc := range scs {
 		fmt.Fprintf(w, "%-52s %10s %10.2f %10s %10.2f\n", sc.Name,
-			ms(a), Table1Paper[machine.SysASVM][i],
-			ms(x), Table1Paper[machine.SysXMM][i])
+			ms(lats[2*i]), Table1Paper[machine.SysASVM][i],
+			ms(lats[2*i+1]), Table1Paper[machine.SysXMM][i])
 	}
 	return nil
 }
 
+// Table1Latencies runs the Table 1 grid and returns the measured latencies
+// keyed by system, row-aligned with workload.Table1Scenarios — the
+// machine-readable form behind Table1, used by benchmark snapshots.
+func Table1Latencies(seed uint64, workers int) (map[machine.System][]time.Duration, error) {
+	scs := workload.Table1Scenarios()
+	systems := []machine.System{machine.SysASVM, machine.SysXMM}
+	lats, err := RunCells(workers, len(scs)*len(systems), func(i int) (time.Duration, error) {
+		return workload.MeasureFault(systems[i%2], scs[i/2], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[machine.System][]time.Duration{}
+	for i := range scs {
+		out[machine.SysASVM] = append(out[machine.SysASVM], lats[2*i])
+		out[machine.SysXMM] = append(out[machine.SysXMM], lats[2*i+1])
+	}
+	return out, nil
+}
+
 // Figure10 regenerates Figure 10: write-fault latency vs. read copies.
-func Figure10(w io.Writer, readers []int, seed uint64) error {
-	fmt.Fprintln(w, "Figure 10: Write fault latency vs. number of read copies (ms)")
-	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "readers",
-		"ASVM wf", "ASVM upgrade", "XMM wf", "XMM upgrade")
+// Every (readers, configuration) pair is an independent cell.
+func Figure10(w io.Writer, readers []int, seed uint64, workers int) error {
 	names := []string{"ASVM write fault", "ASVM upgrade fault", "XMM write fault", "XMM upgrade fault"}
 	markers := []byte{'a', 'A', 'x', 'X'}
 	chart := make([]Series, 4)
 	for i := range chart {
 		chart[i] = Series{Name: names[i], Marker: markers[i]}
 	}
+	cfgs := []struct {
+		sys     machine.System
+		upgrade bool
+	}{
+		{machine.SysASVM, false}, {machine.SysASVM, true},
+		{machine.SysXMM, false}, {machine.SysXMM, true},
+	}
+	type cell struct{ r, cfg int }
+	var cells []cell
 	for _, r := range readers {
-		row := make([]time.Duration, 4)
-		cfgs := []struct {
-			sys     machine.System
-			upgrade bool
-		}{
-			{machine.SysASVM, false}, {machine.SysASVM, true},
-			{machine.SysXMM, false}, {machine.SysXMM, true},
-		}
-		for i, cf := range cfgs {
+		for ci, cf := range cfgs {
 			if cf.upgrade && r < 1 {
 				continue
 			}
-			lat, err := workload.MeasureFault(cf.sys, workload.FaultScenario{
-				Name: "fig10", Readers: r, Write: true, FaulterHasCopy: cf.upgrade,
-			}, seed)
-			if err != nil {
-				return fmt.Errorf("F10 %v r=%d: %w", cf.sys, r, err)
+			cells = append(cells, cell{r, ci})
+		}
+	}
+	lats, err := RunCells(workers, len(cells), func(i int) (time.Duration, error) {
+		c := cells[i]
+		lat, err := workload.MeasureFault(cfgs[c.cfg].sys, workload.FaultScenario{
+			Name: "fig10", Readers: c.r, Write: true, FaulterHasCopy: cfgs[c.cfg].upgrade,
+		}, seed)
+		if err != nil {
+			return 0, fmt.Errorf("F10 %v r=%d: %w", cfgs[c.cfg].sys, c.r, err)
+		}
+		return lat, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 10: Write fault latency vs. number of read copies (ms)")
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "readers",
+		"ASVM wf", "ASVM upgrade", "XMM wf", "XMM upgrade")
+	k := 0
+	for _, r := range readers {
+		row := make([]time.Duration, 4)
+		for ci, cf := range cfgs {
+			if cf.upgrade && r < 1 {
+				continue
 			}
-			row[i] = lat
-			chart[i].Ys = append(chart[i].Ys, float64(lat)/float64(time.Millisecond))
+			lat := lats[k]
+			k++
+			row[ci] = lat
+			chart[ci].Ys = append(chart[ci].Ys, float64(lat)/float64(time.Millisecond))
 		}
 		fmt.Fprintf(w, "%8d %14s %14s %14s %14s\n", r,
 			ms(row[0]), ms(row[1]), ms(row[2]), ms(row[3]))
@@ -96,20 +150,25 @@ var Figure11Paper = map[machine.System]struct{ Lb, La float64 }{
 }
 
 // Figure11 regenerates Figure 11: inherited-memory fault latency vs. copy
-// chain length, and fits lb + n*la.
-func Figure11(w io.Writer, chains []int, seed uint64) error {
+// chain length, and fits lb + n*la. Each (chain, system) pair is a cell.
+func Figure11(w io.Writer, chains []int, seed uint64, workers int) error {
+	systems := []machine.System{machine.SysASVM, machine.SysXMM}
+	lats, err := RunCells(workers, 2*len(chains), func(i int) (time.Duration, error) {
+		n, sys := chains[i/2], systems[i%2]
+		lat, err := workload.MeasureChainFault(sys, n, seed)
+		if err != nil {
+			return 0, fmt.Errorf("F11 %v n=%d: %w", sys, n, err)
+		}
+		return lat, nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Figure 11: Page fault latency across copy chains (ms/page)")
 	fmt.Fprintf(w, "%8s %12s %12s\n", "chain", "ASVM", "XMM")
 	lat := map[machine.System][]float64{}
-	for _, n := range chains {
-		a, err := workload.MeasureChainFault(machine.SysASVM, n, seed)
-		if err != nil {
-			return fmt.Errorf("F11 ASVM n=%d: %w", n, err)
-		}
-		x, err := workload.MeasureChainFault(machine.SysXMM, n, seed)
-		if err != nil {
-			return fmt.Errorf("F11 XMM n=%d: %w", n, err)
-		}
+	for i, n := range chains {
+		a, x := lats[2*i], lats[2*i+1]
 		lat[machine.SysASVM] = append(lat[machine.SysASVM], float64(a)/float64(time.Millisecond))
 		lat[machine.SysXMM] = append(lat[machine.SysXMM], float64(x)/float64(time.Millisecond))
 		fmt.Fprintf(w, "%8d %12s %12s\n", n, ms(a), ms(x))
@@ -158,40 +217,63 @@ var Table2Paper = map[string]map[int]float64{
 	"XMM read":   {1: 1.18, 2: 0.38, 4: 0.25, 8: 0.11, 16: 0.05, 32: 0.02, 64: 0.01},
 }
 
+// Table2Series lists the Table 2 series in column order.
+var Table2Series = []string{"ASVM write", "XMM write", "ASVM read", "XMM read"}
+
+// Table2Rates measures the Table 2 grid and returns MB/s-per-node values
+// keyed by series, index-aligned with nodes — the machine-readable form
+// behind Table2, used by benchmark snapshots.
+func Table2Rates(nodes []int, seed uint64, workers int) (map[string][]float64, error) {
+	measure := func(series string, n int) (float64, error) {
+		switch series {
+		case "ASVM write":
+			return workload.MeasureFileWrite(machine.SysASVM, n, seed)
+		case "XMM write":
+			return workload.MeasureFileWrite(machine.SysXMM, n, seed)
+		case "ASVM read":
+			return workload.MeasureFileRead(machine.SysASVM, n, seed)
+		default:
+			return workload.MeasureFileRead(machine.SysXMM, n, seed)
+		}
+	}
+	vals, err := RunCells(workers, 4*len(nodes), func(i int) (float64, error) {
+		n, series := nodes[i/4], Table2Series[i%4]
+		v, err := measure(series, n)
+		if err != nil {
+			return 0, fmt.Errorf("T2 %s n=%d: %w", series, n, err)
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rates := map[string][]float64{}
+	for i := range nodes {
+		for j, s := range Table2Series {
+			rates[s] = append(rates[s], vals[4*i+j])
+		}
+	}
+	return rates, nil
+}
+
 // Table2 regenerates Table 2 (and Figures 12/13): mapped-file transfer
-// rates.
-func Table2(w io.Writer, nodes []int, seed uint64) error {
+// rates. Each (nodes, series) pair is a cell; Table2Rates does the
+// measuring.
+func Table2(w io.Writer, nodes []int, seed uint64, workers int) error {
+	rates, err := Table2Rates(nodes, seed, workers)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Table 2: File Transfer Rates (MB/s per node; paper value in parens)")
 	fmt.Fprintf(w, "%8s %22s %22s %22s %22s\n", "nodes",
 		"ASVM write", "XMM write", "ASVM read", "XMM read")
-	rates := map[string][]float64{}
-	for _, n := range nodes {
-		aw, err := workload.MeasureFileWrite(machine.SysASVM, n, seed)
-		if err != nil {
-			return fmt.Errorf("T2 ASVM write n=%d: %w", n, err)
-		}
-		xw, err := workload.MeasureFileWrite(machine.SysXMM, n, seed)
-		if err != nil {
-			return fmt.Errorf("T2 XMM write n=%d: %w", n, err)
-		}
-		ar, err := workload.MeasureFileRead(machine.SysASVM, n, seed)
-		if err != nil {
-			return fmt.Errorf("T2 ASVM read n=%d: %w", n, err)
-		}
-		xr, err := workload.MeasureFileRead(machine.SysXMM, n, seed)
-		if err != nil {
-			return fmt.Errorf("T2 XMM read n=%d: %w", n, err)
-		}
-		cell := func(series string, v float64) string {
-			return fmt.Sprintf("%6.2f (%5.2f)", v, Table2Paper[series][n])
+	for i, n := range nodes {
+		cell := func(series string) string {
+			return fmt.Sprintf("%6.2f (%5.2f)", rates[series][i], Table2Paper[series][n])
 		}
 		fmt.Fprintf(w, "%8d %22s %22s %22s %22s\n", n,
-			cell("ASVM write", aw), cell("XMM write", xw),
-			cell("ASVM read", ar), cell("XMM read", xr))
-		rates["ASVM write"] = append(rates["ASVM write"], aw)
-		rates["XMM write"] = append(rates["XMM write"], xw)
-		rates["ASVM read"] = append(rates["ASVM read"], ar)
-		rates["XMM read"] = append(rates["XMM read"], xr)
+			cell("ASVM write"), cell("XMM write"),
+			cell("ASVM read"), cell("XMM read"))
 	}
 	fmt.Fprintln(w)
 	RenderChart(w, "Figure 13: write transfer rates (MB/s per node)", "nodes", "MB/s", nodes, []Series{
@@ -223,34 +305,61 @@ var Table3Paper = map[machine.System]map[int]map[int]float64{
 // Table3 regenerates Table 3: EM3D execution times. Infeasible
 // combinations print ** like the paper; the sequential column runs with
 // unlimited memory (the paper's 32 MB node, marked *).
-func Table3(w io.Writer, sizes, nodes []int, iters int, seed uint64) error {
-	fmt.Fprintln(w, "Table 3: EM3D Timings (seconds; paper value in parens)")
-	header := fmt.Sprintf("%-16s", "system/cells")
-	for _, n := range nodes {
-		header += fmt.Sprintf(" %16d", n)
+func Table3(w io.Writer, sizes, nodes []int, iters int, seed uint64, workers int) error {
+	// Build the grid of feasible cells first; EM3D runs are the longest
+	// simulations in the suite, so they benefit most from the worker pool.
+	type cell struct {
+		sys   machine.System
+		cells int
+		n     int
+		cfg   workload.EM3DConfig
 	}
-	fmt.Fprintln(w, header)
+	var grid []cell
 	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
 		for _, cells := range sizes {
-			row := fmt.Sprintf("%-16s", fmt.Sprintf("%v %d", sys, cells))
 			for _, n := range nodes {
 				cfg := workload.DefaultEM3D(cells, n, iters)
 				cfg.Seed = seed
 				if n == 1 {
 					cfg.MemMB = 0 // the paper's 32 MB reference node
 				}
-				paper := Table3Paper[sys][cells][n]
 				if !cfg.Feasible() {
+					continue
+				}
+				grid = append(grid, cell{sys, cells, n, cfg})
+			}
+		}
+	}
+	durs, err := RunCells(workers, len(grid), func(i int) (time.Duration, error) {
+		c := grid[i]
+		d, err := workload.RunEM3D(c.sys, c.cfg)
+		if err != nil {
+			return 0, fmt.Errorf("T3 %v cells=%d n=%d: %w", c.sys, c.cells, c.n, err)
+		}
+		return d, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 3: EM3D Timings (seconds; paper value in parens)")
+	header := fmt.Sprintf("%-16s", "system/cells")
+	for _, n := range nodes {
+		header += fmt.Sprintf(" %16d", n)
+	}
+	fmt.Fprintln(w, header)
+	k := 0
+	for _, sys := range []machine.System{machine.SysASVM, machine.SysXMM} {
+		for _, cells := range sizes {
+			row := fmt.Sprintf("%-16s", fmt.Sprintf("%v %d", sys, cells))
+			for _, n := range nodes {
+				if k >= len(grid) || grid[k].sys != sys || grid[k].cells != cells || grid[k].n != n {
 					row += fmt.Sprintf(" %16s", "**")
 					continue
 				}
-				d, err := workload.RunEM3D(sys, cfg)
-				if err != nil {
-					return fmt.Errorf("T3 %v cells=%d n=%d: %w", sys, cells, n, err)
-				}
 				// Scale to the paper's 100 iterations when running fewer.
-				secs := d.Seconds() * 100 / float64(iters)
-				if paper > 0 {
+				secs := durs[k].Seconds() * 100 / float64(iters)
+				k++
+				if paper := Table3Paper[sys][cells][n]; paper > 0 {
 					row += fmt.Sprintf(" %7.1f (%6.1f)", secs, paper)
 				} else {
 					row += fmt.Sprintf(" %16.1f", secs)

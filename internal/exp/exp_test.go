@@ -49,7 +49,7 @@ func TestPaperReferenceTablesComplete(t *testing.T) {
 
 func TestFigure11SmallSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Figure11(&buf, []int{1, 2}, 1); err != nil {
+	if err := Figure11(&buf, []int{1, 2}, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +60,7 @@ func TestFigure11SmallSweep(t *testing.T) {
 
 func TestTable2SmallSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table2(&buf, []int{1, 2}, 1); err != nil {
+	if err := Table2(&buf, []int{1, 2}, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "ASVM write") {
@@ -70,7 +70,7 @@ func TestTable2SmallSweep(t *testing.T) {
 
 func TestTable3TinySweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table3(&buf, []int{64000}, []int{1, 2}, 2, 1); err != nil {
+	if err := Table3(&buf, []int{64000}, []int{1, 2}, 2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -82,7 +82,7 @@ func TestTable3TinySweep(t *testing.T) {
 func TestTable3MarksInfeasible(t *testing.T) {
 	var buf bytes.Buffer
 	// 1024000 cells on 2 nodes: infeasible, must print ** without running.
-	if err := Table3(&buf, []int{1024000}, []int{2}, 1, 1); err != nil {
+	if err := Table3(&buf, []int{1024000}, []int{2}, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "**") {
@@ -92,7 +92,7 @@ func TestTable3MarksInfeasible(t *testing.T) {
 
 func TestAblationForwardingRuns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationForwarding(&buf, 4, 2, 1); err != nil {
+	if err := AblationForwarding(&buf, 4, 2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -105,7 +105,7 @@ func TestAblationForwardingRuns(t *testing.T) {
 
 func TestAblationTransportShowsNormaOverhead(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationTransport(&buf, 1); err != nil {
+	if err := AblationTransport(&buf, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "over NORMA") {
@@ -115,7 +115,7 @@ func TestAblationTransportShowsNormaOverhead(t *testing.T) {
 
 func TestAblationInternodePagingRuns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationInternodePaging(&buf, 1); err != nil {
+	if err := AblationInternodePaging(&buf, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "internode paging ON") {
@@ -148,7 +148,7 @@ func TestRenderChart(t *testing.T) {
 
 func TestDistributionRuns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Distribution(&buf, 4, 8, 2, 1); err != nil {
+	if err := Distribution(&buf, 4, 8, 2, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells executes n independent experiment cells on a bounded worker pool
+// and returns their results indexed by cell — result ordering is by cell
+// index, never by completion order, so output assembled from the slice is
+// byte-identical no matter how many workers ran.
+//
+// Every cell in this package is a complete seeded simulation (its own
+// engine, cluster and RNGs, sharing no state with any other cell), which is
+// what makes fanning them out across cores safe: parallelism changes only
+// wall-clock time, not a single simulated metric. workers <= 0 means
+// GOMAXPROCS. With one worker the cells run inline on the calling
+// goroutine, which keeps stack traces and CPU profiles of a single cell
+// easy to read.
+//
+// The first error by cell index is returned (again independent of worker
+// count); the result slice is still returned so callers can inspect the
+// cells that did complete.
+func RunCells[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range out {
+			out[i], errs[i] = run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

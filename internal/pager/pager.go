@@ -110,6 +110,8 @@ type Server struct {
 	// Stats.
 	PageIns, PageOuts   uint64
 	DiskReads, DiskSkip uint64
+
+	clients uint64 // reply-channel namer for NewClient
 }
 
 // NewServer registers a pager server on ioNode under the given channel
@@ -239,15 +241,16 @@ type Client struct {
 	pendOut map[uint64]func()
 }
 
-var clientSeq uint64
-
-// NewClient creates a client on node self for the given server.
+// NewClient creates a client on node self for the given server. Reply
+// channels are named by a per-server counter, not a package global: a
+// global would race (and make names run-order dependent) when independent
+// simulations execute in parallel in the experiment harness.
 func NewClient(eng *sim.Engine, tr xport.Transport, self mesh.NodeID, server *Server) *Client {
-	clientSeq++
+	server.clients++
 	c := &Client{
 		eng: eng, tr: tr, self: self,
 		server: server.NodeID(), proto: server.Proto(),
-		replyTo: fmt.Sprintf("%s/r%d", server.Proto(), clientSeq),
+		replyTo: fmt.Sprintf("%s/r%d", server.Proto(), server.clients),
 		pendIn:  make(map[uint64]func([]byte, bool)),
 		pendOut: make(map[uint64]func()),
 	}

@@ -6,10 +6,17 @@
 // coroutine that is always executed mutually exclusively with the engine, so
 // the whole simulation is single-threaded in the logical sense and therefore
 // reproducible bit-for-bit.
+//
+// The event queue is the simulator's hottest data structure: every paper
+// artifact re-runs millions of events, so the queue is a hand-specialized
+// 4-ary min-heap storing events by value in one backing slice. Pops only
+// shrink the slice length, so the array doubles as a free list and
+// steady-state Schedule/dispatch allocates nothing. Proc wakeups carry the
+// *Proc in the event itself (no method-value closure), keeping the
+// park/resume path allocation-free too.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -18,32 +25,90 @@ import (
 // of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled callback, stored by value in the queue. Exactly one
+// of fn and proc is set: fn for plain callbacks, proc for the allocation-free
+// proc-wakeup fast path (both nil is a no-op event, used to anchor time).
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events with equal time
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events with equal time
+	fn   func()
+	proc *Proc
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap order by (at, seq). seq is unique and monotonic, so
+// equal-time events dispatch FIFO in scheduling order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is an index-addressed 4-ary min-heap: children of slot i live
+// at 4i+1..4i+4. Compared to container/heap this removes the per-event box
+// allocation and the interface dispatch on every comparison, and the wider
+// fan-out halves the tree depth (shallower sift-downs, and sift-down is the
+// expensive direction because pops move the last element to the root).
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	// Sift the hole up; the event is written once at its final slot.
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.before(&q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = e
+}
+
+func (q *eventQueue) pop() event {
+	root := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{} // release fn/proc so the free slot pins nothing
+	q.ev = q.ev[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return root
+}
+
+// siftDown re-inserts e starting from the root, moving the smallest child up
+// into the hole until e fits.
+func (q *eventQueue) siftDown(e event) {
+	n := len(q.ev)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if q.ev[j].before(&q.ev[min]) {
+				min = j
+			}
+		}
+		if !q.ev[min].before(&e) {
+			break
+		}
+		q.ev[i] = q.ev[min]
+		i = min
+	}
+	q.ev[i] = e
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -51,7 +116,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    Time
 	seq    uint64
-	heap   eventHeap
+	q      eventQueue
 	nprocs int // live procs, for leak detection
 	halted bool
 
@@ -77,17 +142,31 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) {
 }
 
 // ScheduleAt arranges for fn to run at absolute virtual time at. Times in
-// the past are clamped to the present.
+// the past are clamped to the present. A nil fn schedules a no-op event,
+// which still anchors the clock (RunUntil sees activity up to at).
 func (e *Engine) ScheduleAt(at Time, fn func()) {
-	if fn == nil {
-		fn = func() {}
-	}
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, &event{at: at, seq: e.seq, fn: fn})
+	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
+
+// scheduleProcAt enqueues a wakeup for p at absolute time at. This is the
+// allocation-free fast path behind Sleep, Future and the sync primitives:
+// the event carries the proc pointer directly instead of a p.step method
+// value (which Go materializes as a fresh closure on every use).
+func (e *Engine) scheduleProcAt(at Time, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.q.push(event{at: at, seq: e.seq, proc: p})
+}
+
+// wake enqueues a wakeup for p at the current instant, after events already
+// queued for this instant (FIFO by sequence).
+func (e *Engine) wake(p *Proc) { e.scheduleProcAt(e.now, p) }
 
 // Halt stops the run loop after the current event finishes.
 func (e *Engine) Halt() { e.halted = true }
@@ -103,22 +182,25 @@ func (e *Engine) Run() Time {
 // (the deadline if it was reached, otherwise the time of the last event).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
-	for len(e.heap) > 0 && !e.halted {
-		ev := e.heap[0]
-		if ev.at > deadline {
+	for e.q.len() > 0 && !e.halted {
+		if e.q.ev[0].at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.heap)
+		ev := e.q.pop()
 		e.now = ev.at
 		e.Executed++
-		ev.fn()
+		if ev.proc != nil {
+			ev.proc.step()
+		} else if ev.fn != nil {
+			ev.fn()
+		}
 	}
 	return e.now
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // LiveProcs reports the number of procs that have been spawned and have not
 // yet finished. Useful for detecting stuck protocol operations in tests.
@@ -126,5 +208,5 @@ func (e *Engine) LiveProcs() int { return e.nprocs }
 
 // String implements fmt.Stringer for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%v pending=%d procs=%d}", e.now, len(e.heap), e.nprocs)
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d procs=%d}", e.now, e.q.len(), e.nprocs)
 }

@@ -1,52 +1,82 @@
 package sim
 
-// Future is a one-shot completion carrying an optional value and error.
-// Procs block on it with Wait; event-driven code completes it with Set or
-// Fail and may attach callbacks with OnDone. A Future may be completed only
-// once; completing it twice panics, because in a protocol simulation a
-// double completion is always a protocol bug worth crashing on.
-type Future struct {
-	eng     *Engine
-	done    bool
-	value   interface{}
-	err     error
-	waiters []*Proc
-	cbs     []func(interface{}, error)
+// FutureOf is a one-shot completion carrying a typed value and an optional
+// error. Procs block on it with Wait; event-driven code completes it with
+// Set or Fail and may attach callbacks with OnDone. A future may be
+// completed only once; completing it twice panics, because in a protocol
+// simulation a double completion is always a protocol bug worth crashing on.
+//
+// The single-waiter and single-callback cases (by far the most common) are
+// stored inline, so waiting on a future does not allocate; waking a waiter
+// goes through the engine's proc fast path and does not allocate either.
+type FutureOf[T any] struct {
+	eng   *Engine
+	done  bool
+	value T
+	err   error
+
+	w0      *Proc   // first waiter, inlined
+	waiters []*Proc // overflow beyond the first
+
+	cb0 func(T, error) // first callback, inlined
+	cbs []func(T, error)
 }
 
-// NewFuture returns an incomplete future bound to the engine.
+// Future is the untyped future used by protocol code that carries no value
+// or a dynamically-typed one. It is an alias, not a distinct type: the
+// typed and untyped APIs are the same implementation.
+type Future = FutureOf[any]
+
+// NewFuture returns an incomplete untyped future bound to the engine.
 func NewFuture(e *Engine) *Future {
 	return &Future{eng: e}
 }
 
-// Done reports whether the future has been completed.
-func (f *Future) Done() bool { return f.done }
+// NewFutureOf returns an incomplete typed future bound to the engine. Using
+// a concrete T avoids boxing the value in an interface on Set/Wait.
+func NewFutureOf[T any](e *Engine) *FutureOf[T] {
+	return &FutureOf[T]{eng: e}
+}
 
-// Value returns the value the future was completed with (nil before
-// completion).
-func (f *Future) Value() interface{} { return f.value }
+// Done reports whether the future has been completed.
+func (f *FutureOf[T]) Done() bool { return f.done }
+
+// Value returns the value the future was completed with (the zero value
+// before completion).
+func (f *FutureOf[T]) Value() T { return f.value }
 
 // Err returns the error the future was completed with, if any.
-func (f *Future) Err() error { return f.err }
+func (f *FutureOf[T]) Err() error { return f.err }
 
 // Set completes the future successfully, waking all waiting procs and firing
 // callbacks in registration order.
-func (f *Future) Set(v interface{}) { f.complete(v, nil) }
+func (f *FutureOf[T]) Set(v T) { f.complete(v, nil) }
 
 // Fail completes the future with an error.
-func (f *Future) Fail(err error) { f.complete(nil, err) }
+func (f *FutureOf[T]) Fail(err error) {
+	var zero T
+	f.complete(zero, err)
+}
 
-func (f *Future) complete(v interface{}, err error) {
+func (f *FutureOf[T]) complete(v T, err error) {
 	if f.done {
 		panic("sim: Future completed twice")
 	}
 	f.done = true
 	f.value = v
 	f.err = err
+	if p := f.w0; p != nil {
+		f.w0 = nil
+		f.eng.wake(p)
+	}
 	for _, p := range f.waiters {
-		f.eng.Schedule(0, p.step)
+		f.eng.wake(p)
 	}
 	f.waiters = nil
+	if cb := f.cb0; cb != nil {
+		f.cb0 = nil
+		f.eng.Schedule(0, func() { cb(v, err) })
+	}
 	for _, cb := range f.cbs {
 		cb := cb
 		f.eng.Schedule(0, func() { cb(v, err) })
@@ -56,9 +86,13 @@ func (f *Future) complete(v interface{}, err error) {
 
 // Wait blocks the proc until the future is complete and returns its value
 // and error. If already complete it returns immediately without yielding.
-func (f *Future) Wait(p *Proc) (interface{}, error) {
+func (f *FutureOf[T]) Wait(p *Proc) (T, error) {
 	if !f.done {
-		f.waiters = append(f.waiters, p)
+		if f.w0 == nil && len(f.waiters) == 0 {
+			f.w0 = p
+		} else {
+			f.waiters = append(f.waiters, p)
+		}
 		p.park()
 	}
 	return f.value, f.err
@@ -67,11 +101,15 @@ func (f *Future) Wait(p *Proc) (interface{}, error) {
 // OnDone registers a callback to run (as its own event) when the future
 // completes. If the future is already complete the callback is scheduled
 // immediately.
-func (f *Future) OnDone(cb func(v interface{}, err error)) {
+func (f *FutureOf[T]) OnDone(cb func(v T, err error)) {
 	if f.done {
 		v, err := f.value, f.err
 		f.eng.Schedule(0, func() { cb(v, err) })
 		return
 	}
-	f.cbs = append(f.cbs, cb)
+	if f.cb0 == nil && len(f.cbs) == 0 {
+		f.cb0 = cb
+	} else {
+		f.cbs = append(f.cbs, cb)
+	}
 }

@@ -37,7 +37,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.eng.nprocs--
 		p.yield <- struct{}{}
 	}()
-	e.Schedule(0, p.step)
+	e.wake(p)
 	return p
 }
 
@@ -66,12 +66,14 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Sleep advances the proc by d of simulated time (e.g. modelled CPU work).
+// A negative d is clamped to zero, and even a zero-length sleep parks the
+// proc behind events already queued for this instant — Sleep(0) is the
+// fairness point that lets other procs and protocol events interleave.
 func (p *Proc) Sleep(d Time) {
-	if d <= 0 {
-		// Even a zero-length sleep yields, keeping event interleaving fair.
+	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(d, p.step)
+	p.eng.scheduleProcAt(p.eng.now+d, p)
 	p.park()
 }
 

@@ -39,7 +39,7 @@ func (s *Semaphore) Release() {
 	if len(s.waiters) > 0 {
 		p := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		s.eng.Schedule(0, p.step)
+		s.eng.wake(p)
 		return
 	}
 	s.tokens++
@@ -88,7 +88,7 @@ func (b *Barrier) Await(p *Proc) {
 		ws := b.waiters
 		b.waiters = nil
 		for _, w := range ws {
-			b.eng.Schedule(0, w.step)
+			b.eng.wake(w)
 		}
 		return
 	}
@@ -121,7 +121,7 @@ func (c *CondQueue) Signal() bool {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.eng.Schedule(0, p.step)
+	c.eng.wake(p)
 	return true
 }
 
@@ -129,7 +129,7 @@ func (c *CondQueue) Signal() bool {
 func (c *CondQueue) Broadcast() int {
 	n := len(c.waiters)
 	for _, p := range c.waiters {
-		c.eng.Schedule(0, p.step)
+		c.eng.wake(p)
 	}
 	c.waiters = nil
 	return n
