@@ -11,6 +11,7 @@
 //	asvmbench -exp table1            # one experiment
 //	asvmbench -exp all -quick        # everything, reduced sweeps
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
+//	asvmbench -chaos                 # degradation sweep under message faults
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
 package main
@@ -26,7 +27,8 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|all")
+		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|all")
+		chaos   = flag.Bool("chaos", false, "run the chaos degradation sweep (same as -exp chaos)")
 		quick   = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
 		iters   = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
@@ -76,11 +78,14 @@ func main() {
 		fmt.Printf("[%s done in %.1fs]\n\n", name, time.Since(t0).Seconds())
 	}
 
+	if *chaos {
+		*which = "chaos"
+	}
 	all := *which == "all"
 	switch *which {
-	case "all", "table1", "fig10", "fig11", "table2", "table3", "dist", "ablations":
+	case "all", "table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos":
 	default:
-		fmt.Fprintf(os.Stderr, "asvmbench: unknown experiment %q (want table1|fig10|fig11|table2|table3|dist|ablations|all)\n", *which)
+		fmt.Fprintf(os.Stderr, "asvmbench: unknown experiment %q (want table1|fig10|fig11|table2|table3|dist|ablations|chaos|all)\n", *which)
 		os.Exit(2)
 	}
 	if all || *which == "table1" {
@@ -100,6 +105,12 @@ func main() {
 	}
 	if all || *which == "dist" {
 		run("dist", func() error { return exp.Distribution(os.Stdout, 8, 16, 4, *seed, *workers) })
+	}
+	// The chaos sweep is opt-in (not part of "all"): it measures the
+	// fault-injected configurations, so its output is additional to — never
+	// mixed into — the paper-reproduction tables in results_full.txt.
+	if *which == "chaos" {
+		run("chaos", func() error { return exp.Chaos(os.Stdout, exp.ChaosRates, *seed, *workers, *quick) })
 	}
 	if all || *which == "ablations" {
 		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed, *workers) })

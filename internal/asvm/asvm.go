@@ -115,8 +115,29 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 		n.inst(msg.Obj).handleToPagerAck(msg)
 	case pushScanAck:
 		n.inst(msg.SrcObj).handlePushScanAck(msg)
+	case xport.Nack:
+		n.handleNack(msg)
 	default:
 		panic(fmt.Sprintf("asvm: unknown message %T", m))
+	}
+}
+
+// handleNack routes a transport bounce (the destination node has no ASVM
+// runtime) back into the protocol. Requests fall back down the redirector
+// chain; owner hints are best-effort and simply dropped; anything else is
+// only ever addressed to nodes known to be alive, so a bounce there is a
+// protocol bug.
+func (n *Node) handleNack(nk xport.Nack) {
+	n.Ctr.Inc("nacks", 1)
+	switch msg := nk.Msg.(type) {
+	case accessReq:
+		n.inst(msg.Obj).handleReqNack(nk.Dst, msg)
+	case ownerUpdate:
+		// A hint refresh for an unreachable static manager: lose the hint,
+		// requests will fall through to the home instead.
+		n.Ctr.Inc("hint_nacks", 1)
+	default:
+		panic(fmt.Sprintf("asvm: %T bounced off node %d", nk.Msg, nk.Dst))
 	}
 }
 

@@ -9,41 +9,89 @@ import (
 )
 
 // hintCache is a bounded FIFO cache of page -> probable-owner hints (the
-// dynamic forwarding cache, Figure 6).
+// dynamic forwarding cache, Figure 6). Deleting a hint tombstones its FIFO
+// slot by generation: a deleted-then-readmitted page gets a fresh slot and a
+// fresh generation, so stale slots never evict a live hint early. Tombstones
+// are compacted away once they outnumber the capacity.
 type hintCache struct {
 	max   int
-	m     map[vm.PageIdx]mesh.NodeID
-	order []vm.PageIdx
+	m     map[vm.PageIdx]hintEntry
+	order []hintSlot
+	dead  int
+	gen   uint64
+}
+
+// hintEntry is a live hint plus the generation of its FIFO slot.
+type hintEntry struct {
+	n   mesh.NodeID
+	gen uint64
+}
+
+// hintSlot records the insertion order; it is stale once the page was
+// deleted or readmitted under a newer generation.
+type hintSlot struct {
+	idx vm.PageIdx
+	gen uint64
 }
 
 func newHintCache(max int) *hintCache {
 	if max < 1 {
 		max = 1
 	}
-	return &hintCache{max: max, m: make(map[vm.PageIdx]mesh.NodeID)}
+	return &hintCache{max: max, m: make(map[vm.PageIdx]hintEntry)}
 }
 
 // Get returns the hinted owner for a page.
 func (h *hintCache) Get(idx vm.PageIdx) (mesh.NodeID, bool) {
-	n, ok := h.m[idx]
-	return n, ok
+	e, ok := h.m[idx]
+	return e.n, ok
 }
 
-// Put records a hint, evicting the oldest when full.
+// Put records a hint, evicting the oldest live hint when full.
 func (h *hintCache) Put(idx vm.PageIdx, n mesh.NodeID) {
-	if _, exists := h.m[idx]; !exists {
-		if len(h.order) >= h.max {
-			old := h.order[0]
-			h.order = h.order[1:]
-			delete(h.m, old)
-		}
-		h.order = append(h.order, idx)
+	if e, exists := h.m[idx]; exists {
+		h.m[idx] = hintEntry{n: n, gen: e.gen}
+		return
 	}
-	h.m[idx] = n
+	if len(h.m) >= h.max {
+		for {
+			s := h.order[0]
+			h.order = h.order[1:]
+			if e, ok := h.m[s.idx]; ok && e.gen == s.gen {
+				delete(h.m, s.idx)
+				break
+			}
+			h.dead-- // skipped a tombstone
+		}
+	}
+	h.gen++
+	h.m[idx] = hintEntry{n: n, gen: h.gen}
+	h.order = append(h.order, hintSlot{idx: idx, gen: h.gen})
 }
 
-// Delete removes a hint (leaves the order slot; it ages out).
-func (h *hintCache) Delete(idx vm.PageIdx) { delete(h.m, idx) }
+// Delete removes a hint; its FIFO slot becomes a tombstone.
+func (h *hintCache) Delete(idx vm.PageIdx) {
+	if _, ok := h.m[idx]; !ok {
+		return
+	}
+	delete(h.m, idx)
+	h.dead++
+	if h.dead > h.max {
+		h.compact()
+	}
+}
+
+// compact drops stale slots so order stays O(live + max).
+func (h *hintCache) compact() {
+	live := h.order[:0]
+	for _, s := range h.order {
+		if e, ok := h.m[s.idx]; ok && e.gen == s.gen {
+			live = append(live, s)
+		}
+	}
+	h.order = live
+	h.dead = 0
+}
 
 // Len reports the live entry count.
 func (h *hintCache) Len() int { return len(h.m) }
@@ -200,7 +248,14 @@ func (in *Instance) startScan(req accessReq) {
 // continueScan passes the request around the mapping ring; a full circle
 // with no owner ends at the home/pager.
 func (in *Instance) continueScan(req accessReq) {
-	next := in.info.nextInRing(in.self())
+	in.continueScanFrom(in.self(), req)
+}
+
+// continueScanFrom advances the ring walk from an arbitrary ring position —
+// the node's own for a normal hop, an unreachable member's when a NACK
+// skips over it.
+func (in *Instance) continueScanFrom(at mesh.NodeID, req accessReq) {
+	next := in.info.nextInRing(at)
 	if next == req.ScanStart {
 		// Full circle: no owner anywhere.
 		req.Scanning = false
@@ -209,6 +264,31 @@ func (in *Instance) continueScan(req accessReq) {
 		return
 	}
 	in.sendReq(next, req)
+}
+
+// handleReqNack resumes a request whose forwarding hop bounced off a node
+// with no ASVM runtime: drop the stale hint and fall back down the
+// dynamic → static → global chain (the paper's own degradation path). The
+// home node has no fallback — it is the domain's serialization point.
+func (in *Instance) handleReqNack(dead mesh.NodeID, req accessReq) {
+	in.nd.Ctr.Inc("req_nacks", 1)
+	if req.ForHome {
+		panic(fmt.Sprintf("asvm: home node %d of %v unreachable", dead, req.Obj))
+	}
+	if h, ok := in.dyn.Get(req.Idx); ok && h == dead {
+		in.dyn.Delete(req.Idx)
+	}
+	if req.Scanning {
+		// The ring walk hit the unreachable member: continue past it as if
+		// it had forwarded the request onward.
+		if in.info.mappingIndex(dead) >= 0 {
+			in.continueScanFrom(dead, req)
+			return
+		}
+		req.Scanning = false
+	}
+	req.LastFrom = dead
+	in.forward(req)
 }
 
 func (in *Instance) sendReq(to mesh.NodeID, req accessReq) {

@@ -50,6 +50,67 @@ func TestHintCacheEvictsOldest(t *testing.T) {
 	}
 }
 
+func TestHintCacheDeleteDoesNotStarveLiveHints(t *testing.T) {
+	// Regression: Delete used to leave a dead slot in the FIFO order, so a
+	// later eviction could land on the dead slot's neighbor — evicting a
+	// live hint while the cache was not even full.
+	h := newHintCache(3)
+	h.Put(1, 10)
+	h.Put(2, 20)
+	h.Delete(2)
+	h.Put(3, 30)
+	h.Put(4, 40) // fills to capacity: {1, 3, 4}
+	if _, ok := h.Get(1); !ok {
+		t.Fatal("live hint 1 evicted while the cache had a free slot")
+	}
+	h.Put(5, 50) // over capacity now: must evict 1, the oldest live hint
+	if _, ok := h.Get(1); ok {
+		t.Fatal("oldest live hint survived a genuine eviction")
+	}
+	for _, idx := range []vm.PageIdx{3, 4, 5} {
+		if _, ok := h.Get(idx); !ok {
+			t.Fatalf("hint %d lost", idx)
+		}
+	}
+}
+
+func TestHintCacheReadmittedPageGetsFreshSlot(t *testing.T) {
+	// Delete then re-Put must renew the page's FIFO position: the old slot
+	// is a tombstone and must not evict the readmitted entry early.
+	h := newHintCache(2)
+	h.Put(1, 10)
+	h.Put(2, 20)
+	h.Delete(1)
+	h.Put(1, 11) // readmitted: now younger than 2
+	h.Put(3, 30) // evicts 2, not the readmitted 1
+	if _, ok := h.Get(2); ok {
+		t.Fatal("page 2 survived; the readmitted page was evicted instead")
+	}
+	if n, ok := h.Get(1); !ok || n != 11 {
+		t.Fatalf("readmitted hint lost: %v/%v", n, ok)
+	}
+}
+
+func TestHintCacheTombstoneCompaction(t *testing.T) {
+	// Hammer Delete/Put cycles: the order slice must stay bounded by
+	// live + max rather than growing with every churn.
+	const cap = 4
+	h := newHintCache(cap)
+	for i := 0; i < 1000; i++ {
+		idx := vm.PageIdx(i % 8)
+		h.Put(idx, mesh.NodeID(i%5))
+		if i%3 == 0 {
+			h.Delete(idx)
+		}
+	}
+	if h.Len() > cap {
+		t.Fatalf("live entries %d exceed capacity %d", h.Len(), cap)
+	}
+	if len(h.order) > h.Len()+cap+1 {
+		t.Fatalf("order grew unboundedly: %d slots for %d live entries", len(h.order), h.Len())
+	}
+}
+
 func TestHintCacheNeverExceedsCapacity(t *testing.T) {
 	check := func(seed uint64) bool {
 		const cap = 8

@@ -45,6 +45,67 @@ func TestInvariantsDetectDoubleOwner(t *testing.T) {
 	}
 }
 
+// corruptibleCluster runs one write so node 0 owns page 0, then hands the
+// drained cluster to corrupt before checking the invariants, which must fail.
+func corruptibleCluster(t *testing.T, corrupt func(c *cluster)) error {
+	t.Helper()
+	c := newCluster(t, 2, 0, DefaultConfig())
+	tasks := c.shared(t, 2, DefaultConfig())
+	info := c.asvms[0].Instance(sharedID).Info()
+	c.run(t, func(p *sim.Proc) error {
+		if err := tasks[0].WriteU64(p, 0, 1); err != nil {
+			return err
+		}
+		_, err := tasks[1].ReadU64(p, 0)
+		return err
+	})
+	if err := CheckInvariants(c.asvms, info); err != nil {
+		t.Fatalf("healthy cluster failed invariants: %v", err)
+	}
+	corrupt(c)
+	return CheckInvariants(c.asvms, info)
+}
+
+func TestInvariantsDetectOwnerWithoutPage(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		c.kerns[0].RemovePage(in0.o, 0)
+	})
+	if err == nil {
+		t.Fatal("owner without a resident page not detected")
+	}
+}
+
+func TestInvariantsDetectUnknownReader(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		delete(in0.pages[0].readers, 1)
+	})
+	if err == nil {
+		t.Fatal("reader unknown to the owner not detected")
+	}
+}
+
+func TestInvariantsDetectHomeGrantMismatch(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		home := c.asvms[0].Instance(sharedID)
+		home.home[0].granted = false
+	})
+	if err == nil {
+		t.Fatal("home/granted mismatch not detected")
+	}
+}
+
+func TestInvariantsDetectDanglingBusy(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		in0.pages[0].busy = true
+	})
+	if err == nil {
+		t.Fatal("dangling busy state not detected")
+	}
+}
+
 // TestInvariantsUnderRandomConcurrentLoad drives random concurrent
 // read/write/eviction activity from every node, drains the simulation, and
 // requires the paper's global invariants to hold — across seeds.

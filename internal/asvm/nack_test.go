@@ -1,0 +1,115 @@
+package asvm
+
+import (
+	"testing"
+
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/sim"
+	"asvm/internal/sts"
+	"asvm/internal/vm"
+)
+
+// newPartialCluster builds nHW hardware nodes but ASVM runtimes only on
+// asvmOn: the others are reachable on the wire yet have no asvm protocol
+// handler, so messages sent there bounce as transport NACKs.
+func newPartialCluster(t *testing.T, nHW int, asvmOn []int, cfg Config) *cluster {
+	t.Helper()
+	e := sim.NewEngine()
+	net := mesh.New(e, nHW, mesh.DefaultConfig(nHW))
+	hw := make([]*node.Node, nHW)
+	for i := range hw {
+		hw[i] = node.New(e, mesh.NodeID(i))
+	}
+	tr := sts.New(e, net, hw, sts.DefaultCosts())
+	c := &cluster{eng: e, net: net, tr: tr, hw: hw}
+	for _, i := range asvmOn {
+		k := vm.NewKernel(e, mesh.NodeID(i), vm.DefaultCosts(), vm.NewPhysMem(0), true)
+		c.kerns = append(c.kerns, k)
+		c.asvms = append(c.asvms, NewNode(e, k, tr, cfg))
+	}
+	return c
+}
+
+// TestNackFallbackChain points the redirector at a node with no ASVM
+// runtime — as static manager, ring-scan member, and dynamic hint — and
+// checks every request still resolves by falling back down the
+// dynamic → static → global → home chain.
+func TestNackFallbackChain(t *testing.T) {
+	c := newPartialCluster(t, 3, []int{0, 1}, DefaultConfig())
+	_, objs := Setup(sharedID, 3, c.asvms, 0, nil, DefaultConfig())
+	tasks := make([]*vm.Task, len(c.asvms))
+	for i, a := range c.asvms {
+		task := a.K.NewTask("t")
+		if _, err := task.Map.MapObject(0, objs[i], 0, 3, vm.ProtWrite, vm.InheritShare); err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	info := c.asvms[0].Instance(sharedID).info
+	// Poison the routing tables: node 2 joins the mapping ring (so it
+	// becomes page 2's static manager and a ring-scan hop) without ever
+	// getting a runtime.
+	info.Mapping = append(info.Mapping, 2)
+
+	in1 := c.asvms[1].Instance(sharedID)
+	c.run(t, func(p *sim.Proc) error {
+		// Phase A — static manager is dead: node 0 faults page 2, whose
+		// static manager hashes to node 2. The NACK must fall through to
+		// the home (node 0 itself).
+		if err := tasks[0].WriteU64(p, 2*vm.PageSize, 11); err != nil {
+			return err
+		}
+		// Phase B — ring scan crosses the dead node: node 1 faults the same
+		// page. Static manager NACKs, the scan reaches node 2, NACKs again,
+		// and must continue past it to the owner on node 0.
+		v, err := tasks[1].ReadU64(p, 2*vm.PageSize)
+		if err != nil {
+			return err
+		}
+		if v != 11 {
+			t.Errorf("read %d through NACK fallback, want 11", v)
+		}
+		// Phase C — stale dynamic hint: node 0 owns page 0; node 1 is told
+		// the owner is the dead node. The NACK must drop the hint and
+		// re-forward via the static manager.
+		if err := tasks[0].WriteU64(p, 0, 22); err != nil {
+			return err
+		}
+		in1.dyn.Put(0, 2)
+		v, err = tasks[1].ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if v != 22 {
+			t.Errorf("read %d after hint NACK, want 22", v)
+		}
+		return nil
+	})
+
+	if h, ok := in1.dyn.Get(0); ok && h == 2 {
+		t.Error("stale hint at the dead node survived the NACK")
+	}
+	if n := c.asvms[0].Ctr.Get("nacks"); n < 1 {
+		t.Errorf("node 0 saw %d nacks, want >=1 (static manager bounce)", n)
+	}
+	if n := c.asvms[1].Ctr.Get("nacks"); n < 3 {
+		t.Errorf("node 1 saw %d nacks, want >=3 (static, scan, hint)", n)
+	}
+	for _, a := range c.asvms {
+		if got, want := a.Ctr.Get("nacks"), a.Ctr.Get("req_nacks")+a.Ctr.Get("hint_nacks"); got != want {
+			t.Errorf("node %d: %d nacks but %d accounted for — something else bounced",
+				a.Self, got, want)
+		}
+	}
+
+	// With the dead node out of the mapping again, the surviving state must
+	// satisfy every global invariant.
+	info.Mapping = info.Mapping[:2]
+	if c.eng.Pending() != 0 {
+		t.Fatalf("%d events still pending", c.eng.Pending())
+	}
+	if err := CheckInvariants(c.asvms, info); err != nil {
+		t.Fatal(err)
+	}
+}

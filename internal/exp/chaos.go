@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"asvm/internal/workload"
+	"asvm/internal/xport"
+)
+
+// This file is the chaos harness: it re-runs the paper's measurement
+// workloads while the transport deterministically drops, duplicates and
+// delays messages, and reports how gracefully the protocols degrade. Every
+// cell drains its simulation and passes the ASVM global invariants —
+// a slower answer is acceptable under faults, a corrupted one is not.
+
+// ChaosRates is the default fault-intensity sweep: the drop probability per
+// message. 0 runs the reliability layer with no faults (its pure overhead).
+var ChaosRates = []float64{0, 0.001, 0.01}
+
+// ChaosPlanFor derives the full fault plan from a drop rate: duplicates at
+// half the drop rate, delays at twice it (delays are the common failure in
+// real interconnects), with delays uniform in [200µs, 2ms] — spanning the
+// retransmission timeout so some delayed messages race their own retries.
+func ChaosPlanFor(rate float64) xport.FaultPlan {
+	if rate == 0 {
+		return xport.FaultPlan{}
+	}
+	return xport.FaultPlan{Default: xport.Rates{
+		Drop:     rate,
+		Dup:      rate / 2,
+		Delay:    2 * rate,
+		DelayMin: 200 * time.Microsecond,
+		DelayMax: 2 * time.Millisecond,
+	}}
+}
+
+// chaosCell is one (workload, rate) grid point.
+type chaosCell struct {
+	workload string
+	unit     string
+	rate     float64
+	run      func(plan xport.FaultPlan) (workload.ChaosResult, error)
+}
+
+// chaosCells builds the sweep grid: every workload crossed with every rate,
+// grouped by workload so each group's zero-rate row is its baseline.
+func chaosCells(rates []float64, seed uint64, quick bool) []chaosCell {
+	scs := workload.Table1Scenarios()
+	fileNodes := 4
+	em3d := workload.DefaultEM3D(64000, 4, 3)
+	if quick {
+		scs = scs[:3]
+		fileNodes = 2
+		em3d = workload.DefaultEM3D(8000, 2, 2)
+		em3d.MemMB = 8 // keep paging pressure despite the small dataset
+	}
+
+	var cells []chaosCell
+	add := func(name, unit string, run func(plan xport.FaultPlan) (workload.ChaosResult, error)) {
+		for _, rate := range rates {
+			cells = append(cells, chaosCell{workload: name, unit: unit, rate: rate, run: run})
+		}
+	}
+	for _, sc := range scs {
+		sc := sc
+		add("fault: "+sc.Name, "ms", func(plan xport.FaultPlan) (workload.ChaosResult, error) {
+			return workload.ChaosFault(sc, seed, plan)
+		})
+	}
+	add(fmt.Sprintf("filebench write, %d nodes", fileNodes), "MB/s",
+		func(plan xport.FaultPlan) (workload.ChaosResult, error) {
+			return workload.ChaosFileWrite(fileNodes, seed, plan)
+		})
+	add(fmt.Sprintf("filebench read, %d nodes", fileNodes), "MB/s",
+		func(plan xport.FaultPlan) (workload.ChaosResult, error) {
+			return workload.ChaosFileRead(fileNodes, seed, plan)
+		})
+	add(fmt.Sprintf("em3d %dc/%dn/%di", em3d.Cells, em3d.Nodes, em3d.Iters), "s",
+		func(plan xport.FaultPlan) (workload.ChaosResult, error) {
+			return workload.ChaosEM3D(em3d, plan)
+		})
+	return cells
+}
+
+// chaosMetric renders a result's metric in its workload's unit.
+func chaosMetric(r workload.ChaosResult, unit string) string {
+	switch unit {
+	case "ms":
+		return fmt.Sprintf("%.2f ms", r.Metric*1e3)
+	case "s":
+		return fmt.Sprintf("%.2f s", r.Metric)
+	default:
+		return fmt.Sprintf("%.2f %s", r.Metric, unit)
+	}
+}
+
+// chaosDelta renders the metric's change against the same workload's
+// zero-fault baseline. For latencies (ms, s) positive is slower; for
+// throughput (MB/s) the sign is flipped so "+" always means degradation.
+func chaosDelta(r, base workload.ChaosResult, unit string) string {
+	if base.Metric == 0 {
+		return "-"
+	}
+	pct := (r.Metric - base.Metric) / base.Metric * 100
+	if unit == "MB/s" {
+		pct = -pct
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+// Chaos runs the degradation sweep: every workload at every fault rate,
+// each cell an independent seeded simulation validated by the ASVM global
+// invariants after drain. The report shows the workload metric, its
+// degradation vs. the zero-fault run, and the fault/recovery counters that
+// explain it (retransmissions track drops; suppressed duplicates track
+// dups plus retransmissions whose original survived).
+func Chaos(w io.Writer, rates []float64, seed uint64, workers int, quick bool) error {
+	cells := chaosCells(rates, seed, quick)
+	results, err := RunCells(workers, len(cells), func(i int) (workload.ChaosResult, error) {
+		c := cells[i]
+		res, err := c.run(ChaosPlanFor(c.rate))
+		if err != nil {
+			return workload.ChaosResult{}, fmt.Errorf("chaos %q drop=%.3f%%: %w", c.workload, c.rate*100, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Chaos sweep: degradation under deterministic message drop/dup/delay")
+	fmt.Fprintln(w, "(every cell drained and invariant-checked; drop rate shown, dup = drop/2, delay = 2*drop)")
+	fmt.Fprintf(w, "%-42s %8s %12s %8s %8s %6s %6s %6s %7s %7s\n",
+		"workload", "drop", "metric", "vs 0", "msgs", "drop", "dup", "delay", "rexmit", "supprs")
+	nRates := len(rates)
+	for i, c := range cells {
+		r := results[i]
+		base := results[i-i%nRates] // first rate in this workload's group
+		delta := chaosDelta(r, base, c.unit)
+		if i%nRates == 0 {
+			delta = "-"
+		}
+		fmt.Fprintf(w, "%-42s %7.2f%% %12s %8s %8d %6d %6d %6d %7d %7d\n",
+			c.workload, c.rate*100, chaosMetric(r, c.unit), delta,
+			r.Msgs, r.Dropped, r.Duplicated, r.Delayed, r.Retransmits, r.DupsSuppressed)
+	}
+	return nil
+}

@@ -88,6 +88,17 @@ type Params struct {
 	// NORMA-IPC accounts for ~90 % of remote fault latency.
 	ASVMOverNorma bool
 
+	// Fault injects message drops/duplicates/delays below the reliability
+	// layer (chaos runs). The zero plan leaves the wire untouched — no
+	// wrapper is even installed.
+	Fault xport.FaultPlan
+
+	// Reliable layers per-link sequence numbers, acks and retransmission
+	// over the transport. Chaos runs set it together with Fault; it can
+	// also run alone to measure the layer's overhead on a clean wire.
+	Reliable    bool
+	ReliableCfg xport.ReliableConfig
+
 	// Seed drives all randomness in workloads.
 	Seed uint64
 }
@@ -137,11 +148,14 @@ type Cluster struct {
 
 	Kerns []*vm.Kernel
 
-	// Transport actually used by the system under test.
+	// Transport actually used by the system under test (outermost wrapper).
 	TR xport.Transport
 	// Both transports exist (the ablation A2 swaps them).
 	NormaTR *norma.Transport
 	STSTR   *sts.Transport
+	// FaultTR/RelTR are the chaos wrappers, nil unless Params enabled them.
+	FaultTR *xport.FaultyTransport
+	RelTR   *xport.Reliable
 
 	ASVMs []*asvm.Node
 	XMMs  []*xmm.Node
@@ -177,6 +191,17 @@ func New(p Params) *Cluster {
 		c.TR = c.NormaTR
 	} else {
 		c.TR = c.STSTR
+	}
+	// Chaos wrappers: reliability over fault injection over the wire, so
+	// retransmissions themselves are subject to loss. The fault RNG is a
+	// dedicated stream — c.RNG draws stay identical with or without faults.
+	if p.Fault.Active() {
+		c.FaultTR = xport.NewFaulty(e, c.TR, p.Fault, sim.NewRNG(p.Seed^faultSeedSalt))
+		c.TR = c.FaultTR
+	}
+	if p.Reliable {
+		c.RelTR = xport.NewReliable(e, c.TR, p.ReliableCfg)
+		c.TR = c.RelTR
 	}
 
 	// I/O nodes: disks + paging space (default pager). NORMA carries the
@@ -214,6 +239,23 @@ func New(p Params) *Cluster {
 	}
 	c.barriers = newBarrierSvc(c)
 	return c
+}
+
+// faultSeedSalt decorrelates the fault-injection RNG stream from the
+// workload stream derived from the same Params.Seed.
+const faultSeedSalt = 0xFA017_C4A05
+
+// CheckInvariants validates a region's global protocol state. The engine
+// must be drained first — with the reliability layer active that also means
+// every retransmit timer has fired (acknowledged timers are no-ops).
+func (c *Cluster) CheckInvariants(r *Region) error {
+	if n := c.Eng.Pending(); n != 0 {
+		return fmt.Errorf("machine: %d events still pending; drain before checking invariants", n)
+	}
+	if c.P.System == SysASVM && r.info != nil {
+		return asvm.CheckInvariants(c.ASVMs, r.info)
+	}
+	return nil
 }
 
 // nextID allocates a cluster-level object ID (home node 0 namespace,

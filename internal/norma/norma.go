@@ -68,6 +68,7 @@ type Transport struct {
 	Msgs        uint64
 	Bytes       uint64
 	Retransmits uint64
+	Nacks       uint64
 }
 
 type regKey struct {
@@ -99,7 +100,8 @@ func (t *Transport) Register(n mesh.NodeID, proto string, h xport.Handler) {
 func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
 	h, ok := t.handlers[regKey{dst, proto}]
 	if !ok {
-		panic(fmt.Sprintf("norma: no handler for %v/%s", dst, proto))
+		t.nack(src, dst, proto, payloadBytes, m)
+		return
 	}
 	t.Msgs++
 	wire := payloadBytes + t.costs.HeaderBytes
@@ -133,6 +135,34 @@ func (t *Transport) deliver(src, dst mesh.NodeID, recvCost time.Duration, h xpor
 	}
 	mp.Do(recvCost, func() {
 		h(src, m)
+	})
+}
+
+// nack bounces a message addressed to an unregistered destination back to
+// the sender as an xport.Nack (NORMA's dead-port notification): the attempt
+// pays the full outbound cost, the rejection comes back as a header-only
+// message. Panics if the sender has no handler for the bounce either.
+func (t *Transport) nack(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+	back, ok := t.handlers[regKey{src, proto}]
+	if !ok {
+		panic(fmt.Sprintf("norma: no handler for %v/%s (and no %v/%s sender handler for the bounce)",
+			dst, proto, src, proto))
+	}
+	t.Nacks++
+	t.Msgs += 2
+	wire := payloadBytes + t.costs.HeaderBytes
+	t.Bytes += uint64(wire + t.costs.HeaderBytes)
+	perSide := t.costs.PortTranslateCPU + t.perKB(payloadBytes)
+	t.nodes[src].MsgProc.Do(t.costs.SendCPU+perSide, func() {
+		t.net.Send(src, dst, wire, func() {
+			t.nodes[dst].MsgProc.Do(t.costs.RecvCPU+perSide, func() {
+				t.net.Send(dst, src, t.costs.HeaderBytes, func() {
+					t.nodes[src].MsgProc.Do(t.costs.RecvCPU, func() {
+						back(dst, xport.Nack{Dst: dst, Proto: proto, Msg: m})
+					})
+				})
+			})
+		})
 	})
 }
 

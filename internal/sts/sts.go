@@ -54,6 +54,7 @@ type Transport struct {
 	Msgs     uint64
 	PageMsgs uint64
 	Bytes    uint64
+	Nacks    uint64
 }
 
 type regKey struct {
@@ -86,7 +87,8 @@ func (t *Transport) Register(n mesh.NodeID, proto string, h xport.Handler) {
 func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
 	h, ok := t.handlers[regKey{dst, proto}]
 	if !ok {
-		panic(fmt.Sprintf("sts: no handler for %v/%s", dst, proto))
+		t.nack(src, dst, proto, payloadBytes, m)
+		return
 	}
 	t.Msgs++
 	wire := HeaderBytes + payloadBytes
@@ -102,6 +104,41 @@ func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m
 		t.net.Send(src, dst, wire, func() {
 			t.nodes[dst].MsgProc.Do(recvCost, func() {
 				h(src, m)
+			})
+		})
+	})
+}
+
+// nack bounces a message addressed to an unregistered destination back to
+// the sender's own handler as an xport.Nack: the attempt still crosses the
+// wire (the destination's STS finds no mailbox for the channel and rejects
+// with a header-only message). Panics only if the sender has no handler
+// either — then the bounce has nowhere to go and it is a real protocol bug.
+func (t *Transport) nack(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+	back, ok := t.handlers[regKey{src, proto}]
+	if !ok {
+		panic(fmt.Sprintf("sts: no handler for %v/%s (and no %v/%s sender handler for the bounce)",
+			dst, proto, src, proto))
+	}
+	t.Nacks++
+	t.Msgs += 2
+	wire := HeaderBytes + payloadBytes
+	t.Bytes += uint64(wire + HeaderBytes)
+	sendCost := t.costs.SendCPU
+	recvCost := t.costs.RecvCPU
+	if payloadBytes > 0 {
+		t.PageMsgs++
+		sendCost += t.costs.PagePrep
+		recvCost += t.costs.PagePrep
+	}
+	t.nodes[src].MsgProc.Do(sendCost, func() {
+		t.net.Send(src, dst, wire, func() {
+			t.nodes[dst].MsgProc.Do(recvCost, func() {
+				t.net.Send(dst, src, HeaderBytes, func() {
+					t.nodes[src].MsgProc.Do(t.costs.RecvCPU, func() {
+						back(dst, xport.Nack{Dst: dst, Proto: proto, Msg: m})
+					})
+				})
 			})
 		})
 	})

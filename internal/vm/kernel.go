@@ -266,6 +266,21 @@ func (k *Kernel) waitEviction(p *sim.Proc, o *Object, idx PageIdx) {
 // livelock, which we surface loudly rather than spin forever.
 const maxFaultRetries = 10000
 
+// ErrFaultRetryExhausted reports a fault whose retry loop never converged:
+// every pass found the page's state changed again (a protocol livelock).
+// It carries enough context to identify the spinning access.
+type ErrFaultRetryExhausted struct {
+	Node    mesh.NodeID
+	Obj     ObjID
+	Page    PageIdx
+	Retries int
+}
+
+func (e *ErrFaultRetryExhausted) Error() string {
+	return fmt.Sprintf("vm: fault livelock on node %d: %v page %d still unresolved after %d retries",
+		e.Node, e.Obj, e.Page, e.Retries)
+}
+
 // Fault resolves a page fault for the calling proc: addr in map m with the
 // desired access. It blocks the proc in simulated time until the fault is
 // resolved and returns the page that satisfied it (which may belong to a
@@ -277,6 +292,8 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 	k.Ctr.Inc("faults", 1)
 	p.Sleep(k.Costs.FaultBase)
 
+	var lastObj ObjID
+	var lastIdx PageIdx
 	for retry := 0; retry < maxFaultRetries; retry++ {
 		entry := m.Lookup(addr)
 		if entry == nil {
@@ -295,6 +312,7 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 		if idx < 0 || idx >= obj.SizePages {
 			return nil, fmt.Errorf("vm: page %d outside %v", idx, obj.ID)
 		}
+		lastObj, lastIdx = obj.ID, idx
 
 		pg, done, err := k.faultStep(p, obj, idx, want)
 		if err != nil {
@@ -305,7 +323,7 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 		}
 		// State changed while we waited; retry the whole lookup.
 	}
-	return nil, fmt.Errorf("vm: fault livelock at %#x on node %d", addr, k.Node)
+	return nil, &ErrFaultRetryExhausted{Node: k.Node, Obj: lastObj, Page: lastIdx, Retries: maxFaultRetries}
 }
 
 // FaultObject resolves a fault directly against an object (no address map);
@@ -322,7 +340,7 @@ func (k *Kernel) FaultObject(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (
 			return pg, nil
 		}
 	}
-	return nil, fmt.Errorf("vm: fault livelock on %v page %d", obj.ID, idx)
+	return nil, &ErrFaultRetryExhausted{Node: k.Node, Obj: obj.ID, Page: idx, Retries: maxFaultRetries}
 }
 
 // faultStep makes one pass down the shadow chain. It either resolves the

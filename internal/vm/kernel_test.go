@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -440,4 +441,53 @@ func TestDuplicateObjectIDPanics(t *testing.T) {
 		}
 	}()
 	k.NewObject(ObjID{0, 5}, 8, nil, CopyNone)
+}
+
+// livelockMgr completes every data request without ever installing a page:
+// the fault retry loop can never converge.
+type livelockMgr struct{ k *Kernel }
+
+func (f *livelockMgr) DataRequest(o *Object, idx PageIdx, desired Prot) {
+	f.k.Eng.Schedule(0, func() { f.k.LockGrant(o, idx, desired) })
+}
+func (f *livelockMgr) DataUnlock(o *Object, idx PageIdx, desired Prot)            {}
+func (f *livelockMgr) DataReturn(o *Object, idx PageIdx, d []byte, dr, kept bool) {}
+func (f *livelockMgr) Terminate(o *Object)                                        {}
+
+func TestFaultRetryExhaustedError(t *testing.T) {
+	// A manager that acknowledges requests but never supplies the page must
+	// surface the typed livelock error with the spinning access identified,
+	// both through a task mapping and through a direct object fault.
+	e := sim.NewEngine()
+	k := testKernel(e)
+	mgr := &livelockMgr{k: k}
+	obj := k.NewObject(ObjID{Node: 0, Seq: 321}, 8, mgr, CopyNone)
+	task := k.NewTask("t")
+	if _, err := task.Map.MapObject(0, obj, 0, 8, ProtWrite, InheritShare); err != nil {
+		t.Fatal(err)
+	}
+	var mapErr, objErr error
+	e.Spawn("t", func(p *sim.Proc) {
+		_, mapErr = task.Touch(p, 3*PageSize, ProtRead)
+		_, objErr = k.FaultObject(p, obj, 5, ProtWrite)
+	})
+	e.Run()
+	for name, err := range map[string]error{"map": mapErr, "object": objErr} {
+		var ex *ErrFaultRetryExhausted
+		if !errors.As(err, &ex) {
+			t.Fatalf("%s fault: got %v, want ErrFaultRetryExhausted", name, err)
+		}
+		if ex.Node != 0 || ex.Obj != obj.ID || ex.Retries != maxFaultRetries {
+			t.Errorf("%s fault: bad context %+v", name, ex)
+		}
+	}
+	var ex *ErrFaultRetryExhausted
+	errors.As(mapErr, &ex)
+	if ex.Page != 3 {
+		t.Errorf("map fault page = %d, want 3", ex.Page)
+	}
+	errors.As(objErr, &ex)
+	if ex.Page != 5 {
+		t.Errorf("object fault page = %d, want 5", ex.Page)
+	}
 }

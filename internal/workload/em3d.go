@@ -192,8 +192,15 @@ func RunEM3D(sys machine.System, cfg EM3DConfig) (time.Duration, error) {
 // RunEM3DOn executes the benchmark on an existing cluster (so callers can
 // inspect its statistics afterwards).
 func RunEM3DOn(c *machine.Cluster, cfg EM3DConfig) (time.Duration, error) {
+	d, _, err := runEM3DRegion(c, cfg)
+	return d, err
+}
+
+// runEM3DRegion is RunEM3DOn plus the shared region, for protocol-state
+// validation after the run.
+func runEM3DRegion(c *machine.Cluster, cfg EM3DConfig) (time.Duration, *machine.Region, error) {
 	if cfg.Cells%cfg.Nodes != 0 {
-		return 0, fmt.Errorf("workload: %d cells not divisible by %d nodes", cfg.Cells, cfg.Nodes)
+		return 0, nil, fmt.Errorf("workload: %d cells not divisible by %d nodes", cfg.Cells, cfg.Nodes)
 	}
 	regionPages := vm.PageIdx((cfg.DatasetBytes() + vm.PageSize - 1) / vm.PageSize)
 	all := make([]int, cfg.Nodes)
@@ -208,7 +215,7 @@ func RunEM3DOn(c *machine.Cluster, cfg EM3DConfig) (time.Duration, error) {
 	for n := range all {
 		t, err := c.TaskOn(n, fmt.Sprintf("em3d%d", n), region, 0)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		tasks[n] = t
 	}
@@ -260,10 +267,10 @@ func RunEM3DOn(c *machine.Cluster, cfg EM3DConfig) (time.Duration, error) {
 	var first sim.Time
 	for n := range all {
 		if errs[n] != nil {
-			return 0, errs[n]
+			return 0, nil, errs[n]
 		}
 		if ends[n] == 0 {
-			return 0, fmt.Errorf("workload: em3d node %d never finished (deadlock?)", n)
+			return 0, nil, fmt.Errorf("workload: em3d node %d never finished (deadlock?)", n)
 		}
 		if n == 0 || starts[n] < first {
 			first = starts[n]
@@ -272,5 +279,5 @@ func RunEM3DOn(c *machine.Cluster, cfg EM3DConfig) (time.Duration, error) {
 			last = ends[n]
 		}
 	}
-	return last - first, nil
+	return last - first, region, nil
 }

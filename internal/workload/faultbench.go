@@ -42,6 +42,16 @@ func Table1Scenarios() []FaultScenario {
 	}
 }
 
+// FaultClusterSize returns the node count MeasureFault uses for a scenario
+// (chaos runs build their own cluster of this size).
+func FaultClusterSize(sc FaultScenario) int {
+	n := sc.Readers + 3
+	if n < 5 {
+		n = 5
+	}
+	return n
+}
+
 // MeasureFault runs one scenario on a fresh cluster of the given system
 // and returns the observed fault latency. Node roles: node 0 hosts the
 // manager/home stack (remote from everyone else, like the paper's "XMM
@@ -50,15 +60,19 @@ func Table1Scenarios() []FaultScenario {
 // makes the measured fault the *first* request by another node in the
 // single-copy row — and the last node faults.
 func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Duration, error) {
-	n := sc.Readers + 3
-	if n < 5 {
-		n = 5
-	}
-	p := machine.DefaultParams(n)
+	p := machine.DefaultParams(FaultClusterSize(sc))
 	p.System = sys
 	p.Seed = seed
 	p.TrackData = true
-	c := machine.New(p)
+	lat, _, err := measureFaultOn(machine.New(p), sc)
+	return lat, err
+}
+
+// measureFaultOn runs one scenario on an existing cluster (which must have
+// FaultClusterSize(sc) nodes) and also returns the benchmark region so the
+// caller can validate protocol state.
+func measureFaultOn(c *machine.Cluster, sc FaultScenario) (time.Duration, *machine.Region, error) {
+	n := c.P.Nodes
 
 	all := make([]int, n)
 	for i := range all {
@@ -68,7 +82,7 @@ func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Durat
 
 	writer, err := c.TaskOn(1, "writer", r, 0)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	// Extra reading nodes beyond the writer's own copy (and beyond the
 	// faulter's, when it holds one).
@@ -86,13 +100,13 @@ func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Durat
 	for i := range readers {
 		readers[i], err = c.TaskOn(2+i, "reader", r, 0)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	faulterNode := n - 1
 	faulter, err := c.TaskOn(faulterNode, "faulter", r, 0)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 
 	var lat time.Duration
@@ -142,12 +156,12 @@ func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Durat
 	})
 	c.Run()
 	if benchErr != nil {
-		return 0, benchErr
+		return 0, nil, benchErr
 	}
 	if lat == 0 {
-		return 0, fmt.Errorf("workload: scenario %q measured no fault", sc.Name)
+		return 0, nil, fmt.Errorf("workload: scenario %q measured no fault", sc.Name)
 	}
-	return lat, nil
+	return lat, r, nil
 }
 
 // MeasureWriteFaultVsReaders sweeps Figure 10: write-fault (and upgrade)

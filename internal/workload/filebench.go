@@ -15,19 +15,33 @@ const FileBenchBytes = 4 << 20
 // FileBenchPages is the file size in pages.
 const FileBenchPages = FileBenchBytes / vm.PageSize
 
+// FileClusterSize returns the node count the file benchmarks use for
+// nNodes active clients (one extra so the I/O node stays off the clients).
+func FileClusterSize(nNodes int) int {
+	total := nNodes + 1
+	if total < 2 {
+		total = 2
+	}
+	return total
+}
+
 // MeasureFileWrite reproduces Table 2's write rows: nNodes map the same
 // (initially empty) 4 MB file and each writes a disjoint section using
 // asynchronous writes (dirty pages are not forced out). Returned is the
 // mean per-node effective transfer rate in MB/s.
 func MeasureFileWrite(sys machine.System, nNodes int, seed uint64) (float64, error) {
-	total := nNodes + 1 // an extra node group would place the pager away; keep the I/O node in-cluster
-	if total < 2 {
-		total = 2
-	}
-	p := machine.DefaultParams(total)
+	p := machine.DefaultParams(FileClusterSize(nNodes))
 	p.System = sys
 	p.Seed = seed
-	c := machine.New(p)
+	rate, _, err := fileWriteOn(machine.New(p), nNodes)
+	return rate, err
+}
+
+// fileWriteOn runs the write benchmark on an existing cluster (which must
+// have FileClusterSize(nNodes) nodes), returning the rate and the file
+// region for protocol-state validation.
+func fileWriteOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, error) {
+	total := c.P.Nodes
 
 	users := make([]int, nNodes)
 	for i := range users {
@@ -48,7 +62,7 @@ func MeasureFileWrite(sys machine.System, nNodes int, seed uint64) (float64, err
 		i, nIdx := i, nIdx
 		task, err := c.TaskOn(nIdx, fmt.Sprintf("w%d", i), r, 0)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		c.Spawn("writer", func(p *sim.Proc) {
 			t0 := p.Now()
@@ -66,30 +80,31 @@ func MeasureFileWrite(sys machine.System, nNodes int, seed uint64) (float64, err
 	var sumRate float64
 	for i := range times {
 		if errs[i] != nil {
-			return 0, errs[i]
+			return 0, nil, errs[i]
 		}
 		if times[i] == 0 {
-			return 0, fmt.Errorf("workload: writer %d made no progress", i)
+			return 0, nil, fmt.Errorf("workload: writer %d made no progress", i)
 		}
 		bytes := float64(perNode * vm.PageSize)
 		sumRate += bytes / times[i].Seconds() / 1e6
 	}
-	return sumRate / float64(nNodes), nil
+	return sumRate / float64(nNodes), r, nil
 }
 
 // MeasureFileRead reproduces Table 2's read rows: nNodes read the entire
 // preloaded 4 MB file in parallel. Returned is the mean per-node rate in
 // MB/s.
 func MeasureFileRead(sys machine.System, nNodes int, seed uint64) (float64, error) {
-	total := nNodes + 1
-	if total < 2 {
-		total = 2
-	}
-	p := machine.DefaultParams(total)
+	p := machine.DefaultParams(FileClusterSize(nNodes))
 	p.System = sys
 	p.Seed = seed
-	c := machine.New(p)
+	rate, _, err := fileReadOn(machine.New(p), nNodes)
+	return rate, err
+}
 
+// fileReadOn runs the read benchmark on an existing cluster (which must
+// have FileClusterSize(nNodes) nodes).
+func fileReadOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, error) {
 	users := make([]int, nNodes)
 	for i := range users {
 		users[i] = i + 1
@@ -105,7 +120,7 @@ func MeasureFileRead(sys machine.System, nNodes int, seed uint64) (float64, erro
 		i, nIdx := i, nIdx
 		task, err := c.TaskOn(nIdx, fmt.Sprintf("r%d", i), r, 0)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		c.Spawn("reader", func(p *sim.Proc) {
 			t0 := p.Now()
@@ -126,14 +141,14 @@ func MeasureFileRead(sys machine.System, nNodes int, seed uint64) (float64, erro
 	var sumRate float64
 	for i := range times {
 		if errs[i] != nil {
-			return 0, errs[i]
+			return 0, nil, errs[i]
 		}
 		if times[i] == 0 {
-			return 0, fmt.Errorf("workload: reader %d made no progress", i)
+			return 0, nil, fmt.Errorf("workload: reader %d made no progress", i)
 		}
 		sumRate += float64(FileBenchBytes) / times[i].Seconds() / 1e6
 	}
-	return sumRate / float64(nNodes), nil
+	return sumRate / float64(nNodes), r, nil
 }
 
 func max(a, b int) int {

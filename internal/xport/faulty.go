@@ -1,0 +1,135 @@
+package xport
+
+import (
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+)
+
+// This file implements deterministic fault injection: FaultyTransport wraps
+// any Transport and drops, duplicates, or delays messages according to a
+// FaultPlan. All randomness comes from one seeded sim.RNG consumed in engine
+// event order, so a run is bit-for-bit reproducible for a fixed (plan, seed)
+// and independent of how many experiment cells run in parallel.
+
+// Rates are the fault probabilities of one directed link. A zero Rates value
+// injects nothing.
+type Rates struct {
+	// Drop is the probability a message is silently lost (never reaches
+	// the wire; the sender pays no cost — loss is modelled in the network).
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Delay is the probability a message is held back before entering the
+	// transport, for a uniform extra latency in [DelayMin, DelayMax].
+	Delay              float64
+	DelayMin, DelayMax time.Duration
+}
+
+// active reports whether these rates can ever inject a fault.
+func (r Rates) active() bool {
+	return r.Drop > 0 || r.Dup > 0 || (r.Delay > 0 && r.DelayMax > 0)
+}
+
+// Link is a directed (src, dst) node pair.
+type Link struct {
+	Src, Dst mesh.NodeID
+}
+
+// FaultPlan describes the faults to inject: Default applies to every link,
+// Links overrides individual directed pairs. The zero plan is inactive: a
+// FaultyTransport carrying it delegates every Send verbatim without drawing
+// a single random number (the provable no-op the determinism tests rely on).
+type FaultPlan struct {
+	Default Rates
+	Links   map[Link]Rates
+}
+
+// Active reports whether the plan can inject any fault at all.
+func (p FaultPlan) Active() bool {
+	if p.Default.active() {
+		return true
+	}
+	for _, r := range p.Links {
+		if r.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// rates returns the effective rates for one directed link.
+func (p FaultPlan) rates(src, dst mesh.NodeID) Rates {
+	if r, ok := p.Links[Link{src, dst}]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// FaultyTransport wraps an inner Transport with FaultPlan-driven fault
+// injection. Loopback messages (src == dst) are never faulted: local
+// delivery does not cross the wire.
+type FaultyTransport struct {
+	inner Transport
+	eng   *sim.Engine
+	plan  FaultPlan
+	rng   *sim.RNG
+
+	// Stats.
+	Dropped    uint64
+	Duplicated uint64
+	Delayed    uint64
+}
+
+// NewFaulty wraps inner with the given plan. rng must be dedicated to this
+// transport (callers fork it from their seed).
+func NewFaulty(e *sim.Engine, inner Transport, plan FaultPlan, rng *sim.RNG) *FaultyTransport {
+	return &FaultyTransport{inner: inner, eng: e, plan: plan, rng: rng}
+}
+
+// Inner returns the wrapped transport.
+func (t *FaultyTransport) Inner() Transport { return t.inner }
+
+// Name implements Transport; the wrapper is cost-transparent and keeps the
+// inner transport's name.
+func (t *FaultyTransport) Name() string { return t.inner.Name() }
+
+// Register implements Transport.
+func (t *FaultyTransport) Register(n mesh.NodeID, proto string, h Handler) {
+	t.inner.Register(n, proto, h)
+}
+
+// Send implements Transport: decide the message's fate, then delegate. Each
+// configured fault class draws at most one random number, and none are drawn
+// when its rate is zero, so inactive links behave exactly like the bare
+// transport.
+func (t *FaultyTransport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+	r := t.plan.rates(src, dst)
+	if src == dst || !r.active() {
+		t.inner.Send(src, dst, proto, payloadBytes, m)
+		return
+	}
+	if r.Drop > 0 && t.rng.Float64() < r.Drop {
+		t.Dropped++
+		return
+	}
+	if r.Dup > 0 && t.rng.Float64() < r.Dup {
+		t.Duplicated++
+		t.inner.Send(src, dst, proto, payloadBytes, m)
+	}
+	if r.Delay > 0 && r.DelayMax > 0 && t.rng.Float64() < r.Delay {
+		d := r.DelayMin
+		if r.DelayMax > r.DelayMin {
+			d += time.Duration(t.rng.Float64() * float64(r.DelayMax-r.DelayMin))
+		}
+		t.Delayed++
+		t.eng.Schedule(d, func() {
+			t.inner.Send(src, dst, proto, payloadBytes, m)
+		})
+		return
+	}
+	t.inner.Send(src, dst, proto, payloadBytes, m)
+}
+
+var _ Transport = (*FaultyTransport)(nil)

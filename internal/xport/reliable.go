@@ -1,0 +1,255 @@
+package xport
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+)
+
+// This file implements the protocol reliability layer: per-link sequence
+// numbers, positive acknowledgements, timeout-driven retransmission with
+// exponential backoff, and duplicate suppression on receive. Layered over a
+// lossy transport (FaultyTransport) it restores exactly-once delivery, which
+// is the property every ASVM request engine assumes: seq-matched protocol
+// acks (invalidation, ownership transfer, page offer, pager) panic on
+// duplicates, so suppression here must be airtight.
+//
+// Wire model: the sequence number rides in the fixed message header (STS
+// messages are a 32-byte untyped block with room to spare), so frames add no
+// payload bytes. Acks are header-only messages; they are never themselves
+// acknowledged — a lost ack causes a retransmit, which the receiver
+// suppresses as a duplicate and re-acks.
+
+// ReliableConfig tunes the retry/ack layer.
+type ReliableConfig struct {
+	// RTO is the first retransmit timeout; attempt k waits min(RTO<<k,
+	// MaxRTO).
+	RTO    time.Duration
+	MaxRTO time.Duration
+	// MaxRetries bounds retransmissions of one message; exceeding it means
+	// the link is effectively dead and the run panics loudly (deterministic
+	// chaos plans with loss rates well below 1 never get close).
+	MaxRetries int
+}
+
+// DefaultReliableConfig returns timeouts sized for the simulated Paragon:
+// an STS round trip is a few hundred microseconds, so 4 ms catches a loss
+// quickly without retransmitting under ordinary queueing delay.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		RTO:        4 * time.Millisecond,
+		MaxRTO:     64 * time.Millisecond,
+		MaxRetries: 30,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	d := DefaultReliableConfig()
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	return c
+}
+
+// relFrame wraps an application message with its per-link sequence number.
+type relFrame struct {
+	Seq uint64
+	Msg interface{}
+}
+
+// relAck acknowledges one received frame. Acks travel on a dedicated
+// per-node channel (relAckProto), not the frame's own proto: many protocols
+// are asymmetric (a pager client sends on the server's channel but listens
+// only on its private reply channel), so the frame proto is not guaranteed
+// to have a handler at the sender. Proto names the link being acked.
+type relAck struct {
+	Proto string
+	Seq   uint64
+}
+
+// relAckProto is the reliability layer's own ack channel, registered for a
+// node the first time it sends.
+const relAckProto = "rel/ack"
+
+// relLink identifies a directed (src, dst, proto) channel.
+type relLink struct {
+	src, dst mesh.NodeID
+	proto    string
+}
+
+// relPending is one unacknowledged message at the sender.
+type relPending struct {
+	payloadBytes int
+	m            interface{}
+	attempts     int
+}
+
+// relSendState is the sender side of one link.
+type relSendState struct {
+	nextSeq uint64
+	pending map[uint64]*relPending
+}
+
+// relRecvState is the receiver side of one link: contig is the highest
+// sequence number below which everything has been delivered; ahead holds
+// out-of-order arrivals above it (bounded by the sender's in-flight window).
+type relRecvState struct {
+	contig uint64
+	ahead  map[uint64]bool
+}
+
+// Reliable implements Transport over an unreliable inner transport.
+type Reliable struct {
+	inner Transport
+	eng   *sim.Engine
+	cfg   ReliableConfig
+
+	send   map[relLink]*relSendState
+	recv   map[relLink]*relRecvState
+	ackReg map[mesh.NodeID]bool
+
+	// Stats.
+	Retransmits    uint64
+	DupsSuppressed uint64
+	AcksSent       uint64
+	Nacks          uint64
+}
+
+// NewReliable layers reliability over inner.
+func NewReliable(e *sim.Engine, inner Transport, cfg ReliableConfig) *Reliable {
+	return &Reliable{
+		inner: inner, eng: e, cfg: cfg.withDefaults(),
+		send:   make(map[relLink]*relSendState),
+		recv:   make(map[relLink]*relRecvState),
+		ackReg: make(map[mesh.NodeID]bool),
+	}
+}
+
+// Inner returns the wrapped transport.
+func (r *Reliable) Inner() Transport { return r.inner }
+
+// Name implements Transport; the layer is name-transparent.
+func (r *Reliable) Name() string { return r.inner.Name() }
+
+// Register implements Transport: the inner registration decodes frames,
+// acks them, suppresses duplicates, and hands fresh messages to h.
+func (r *Reliable) Register(n mesh.NodeID, proto string, h Handler) {
+	r.inner.Register(n, proto, func(src mesh.NodeID, m interface{}) {
+		switch f := m.(type) {
+		case relFrame:
+			// Always ack — a duplicate means our previous ack was lost.
+			// The sender registered its ack channel before sending.
+			r.AcksSent++
+			r.inner.Send(n, src, relAckProto, 0, relAck{Proto: proto, Seq: f.Seq})
+			if r.markSeen(relLink{src, n, proto}, f.Seq) {
+				r.DupsSuppressed++
+				return
+			}
+			h(src, f.Msg)
+		case Nack:
+			// The inner transport bounced one of our frames: the
+			// destination has no handler. Cancel the retransmit and pass
+			// the unwrapped Nack up so the protocol can re-route.
+			fr, ok := f.Msg.(relFrame)
+			if !ok {
+				// A bounced ack has no pending state and nobody to inform.
+				return
+			}
+			if ss := r.send[relLink{n, f.Dst, proto}]; ss != nil {
+				delete(ss.pending, fr.Seq)
+			}
+			r.Nacks++
+			h(src, Nack{Dst: f.Dst, Proto: f.Proto, Msg: fr.Msg})
+		default:
+			// Not one of ours (a transport delivering unwrapped traffic);
+			// pass through.
+			h(src, m)
+		}
+	})
+}
+
+// Send implements Transport: frame, remember, transmit, arm the timer.
+func (r *Reliable) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+	if !r.ackReg[src] {
+		r.ackReg[src] = true
+		r.inner.Register(src, relAckProto, func(from mesh.NodeID, m interface{}) {
+			ack, ok := m.(relAck)
+			if !ok {
+				panic(fmt.Sprintf("xport: non-ack %T on %s", m, relAckProto))
+			}
+			if ss := r.send[relLink{src, from, ack.Proto}]; ss != nil {
+				delete(ss.pending, ack.Seq)
+			}
+		})
+	}
+	link := relLink{src, dst, proto}
+	ss := r.send[link]
+	if ss == nil {
+		ss = &relSendState{pending: make(map[uint64]*relPending)}
+		r.send[link] = ss
+	}
+	ss.nextSeq++
+	seq := ss.nextSeq
+	pm := &relPending{payloadBytes: payloadBytes, m: m}
+	ss.pending[seq] = pm
+	r.inner.Send(src, dst, proto, payloadBytes, relFrame{Seq: seq, Msg: m})
+	r.armRetry(link, ss, seq, pm)
+}
+
+// armRetry schedules the retransmit check for one in-flight message. The
+// engine has no event cancellation: an acked message's timer fires as a
+// no-op (the pending entry is gone).
+func (r *Reliable) armRetry(link relLink, ss *relSendState, seq uint64, pm *relPending) {
+	wait := r.cfg.RTO << uint(pm.attempts)
+	if wait > r.cfg.MaxRTO || wait <= 0 {
+		wait = r.cfg.MaxRTO
+	}
+	r.eng.Schedule(wait, func() {
+		if ss.pending[seq] != pm {
+			return // acked (or nacked) in the meantime
+		}
+		pm.attempts++
+		if pm.attempts > r.cfg.MaxRetries {
+			panic(fmt.Sprintf("xport: %T %v->%v/%s unacked after %d retransmits",
+				pm.m, link.src, link.dst, link.proto, r.cfg.MaxRetries))
+		}
+		r.Retransmits++
+		r.inner.Send(link.src, link.dst, link.proto, pm.payloadBytes, relFrame{Seq: seq, Msg: pm.m})
+		r.armRetry(link, ss, seq, pm)
+	})
+}
+
+// markSeen records a received sequence number and reports whether it was
+// already delivered. Memory is bounded: contiguously-delivered history
+// collapses into the low-water mark.
+func (r *Reliable) markSeen(link relLink, seq uint64) (dup bool) {
+	rs := r.recv[link]
+	if rs == nil {
+		rs = &relRecvState{ahead: make(map[uint64]bool)}
+		r.recv[link] = rs
+	}
+	if seq <= rs.contig || rs.ahead[seq] {
+		return true
+	}
+	if seq == rs.contig+1 {
+		rs.contig++
+		for rs.ahead[rs.contig+1] {
+			rs.contig++
+			delete(rs.ahead, rs.contig)
+		}
+	} else {
+		rs.ahead[seq] = true
+	}
+	return false
+}
+
+var _ Transport = (*Reliable)(nil)

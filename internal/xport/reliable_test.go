@@ -1,0 +1,186 @@
+package xport
+
+import (
+	"testing"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+)
+
+func relTestCfg() ReliableConfig {
+	return ReliableConfig{RTO: time.Millisecond, MaxRTO: 4 * time.Millisecond, MaxRetries: 8}
+}
+
+// TestReliableRetransmitsLostFrames drops the first transmission of every
+// data frame; every message must still arrive exactly once.
+func TestReliableRetransmitsLostFrames(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	tried := map[uint64]bool{}
+	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+		f, ok := m.(relFrame)
+		if !ok || tried[f.Seq] {
+			return false
+		}
+		tried[f.Seq] = true
+		return true
+	}
+	r := NewReliable(e, fk, relTestCfg())
+	var got []int
+	r.Register(1, "p", func(src mesh.NodeID, m interface{}) { got = append(got, m.(int)) })
+	const n = 5
+	for i := 0; i < n; i++ {
+		r.Send(0, 1, "p", 0, i)
+	}
+	e.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want %d: %v", len(got), n, got)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("message %d delivered twice: %v", v, got)
+		}
+		seen[v] = true
+	}
+	if r.Retransmits != n {
+		t.Fatalf("retransmits=%d, want %d", r.Retransmits, n)
+	}
+}
+
+// TestReliableSuppressesDuplicates drops the first ack of every frame: the
+// sender retransmits, the receiver must suppress the duplicate and re-ack.
+func TestReliableSuppressesDuplicates(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	acked := map[uint64]bool{}
+	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+		a, ok := m.(relAck)
+		if !ok || acked[a.Seq] {
+			return false
+		}
+		acked[a.Seq] = true
+		return true
+	}
+	r := NewReliable(e, fk, relTestCfg())
+	got := 0
+	r.Register(1, "p", func(mesh.NodeID, interface{}) { got++ })
+	const n = 4
+	for i := 0; i < n; i++ {
+		r.Send(0, 1, "p", 0, i)
+	}
+	e.Run()
+	if got != n {
+		t.Fatalf("handler ran %d times, want %d", got, n)
+	}
+	if r.DupsSuppressed != n {
+		t.Fatalf("dups suppressed=%d, want %d", r.DupsSuppressed, n)
+	}
+	if r.AcksSent != 2*n {
+		t.Fatalf("acks sent=%d, want %d (one lost + one re-ack per frame)", r.AcksSent, 2*n)
+	}
+}
+
+// TestReliableGivesUpLoudly: a link that never delivers must panic after
+// MaxRetries rather than retry forever.
+func TestReliableGivesUpLoudly(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+		_, isFrame := m.(relFrame)
+		return isFrame // black-hole all data frames, let acks through
+	}
+	r := NewReliable(e, fk, relTestCfg())
+	r.Register(1, "p", func(mesh.NodeID, interface{}) {})
+	r.Send(0, 1, "p", 0, "doomed")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dead link did not panic after MaxRetries")
+		}
+		if want := uint64(relTestCfg().MaxRetries); r.Retransmits != want {
+			t.Fatalf("retransmits=%d, want %d", r.Retransmits, want)
+		}
+	}()
+	e.Run()
+}
+
+// TestReliableNackCancelsAndPassesUp: a bounce off an unregistered node must
+// cancel the retransmit timer and surface the unwrapped Nack to the sender.
+func TestReliableNackCancelsAndPassesUp(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	r := NewReliable(e, fk, relTestCfg())
+	var nk *Nack
+	r.Register(0, "p", func(src mesh.NodeID, m interface{}) {
+		n := m.(Nack)
+		nk = &n
+	})
+	r.Send(0, 9, "p", 0, "stray") // node 9 never registered
+	e.Run() // would panic via MaxRetries if the pending entry survived
+	if nk == nil {
+		t.Fatal("no Nack surfaced")
+	}
+	if nk.Dst != 9 || nk.Msg != "stray" {
+		t.Fatalf("bad Nack: %+v (Msg must be unwrapped)", *nk)
+	}
+	if r.Nacks != 1 || r.Retransmits != 0 {
+		t.Fatalf("nacks=%d retransmits=%d, want 1/0", r.Nacks, r.Retransmits)
+	}
+}
+
+// TestReliableBackoffDoubles: retransmit intervals follow RTO<<k capped at
+// MaxRTO.
+func TestReliableBackoffDoubles(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	var attempts []sim.Time
+	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+		if _, ok := m.(relFrame); ok {
+			attempts = append(attempts, e.Now())
+			return len(attempts) < 5 // deliver the 5th transmission
+		}
+		return false
+	}
+	r := NewReliable(e, fk, relTestCfg())
+	got := 0
+	r.Register(1, "p", func(mesh.NodeID, interface{}) { got++ })
+	r.Send(0, 1, "p", 0, "x")
+	e.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d times, want 1", got)
+	}
+	// Gaps between transmissions: 1ms, 2ms, 4ms, then capped at 4ms.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	if len(attempts) != 5 {
+		t.Fatalf("saw %d transmissions, want 5", len(attempts))
+	}
+	for i, w := range want {
+		if gap := attempts[i+1] - attempts[i]; gap != w {
+			t.Fatalf("gap %d = %v, want %v (attempts at %v)", i, gap, w, attempts)
+		}
+	}
+}
+
+// TestReliableSeparateLinkSequences: per-link sequence spaces must not
+// interfere — traffic on one proto must not mark another's frames as dups.
+func TestReliableSeparateLinkSequences(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	r := NewReliable(e, fk, relTestCfg())
+	got := map[string]int{}
+	for _, proto := range []string{"a", "b"} {
+		proto := proto
+		r.Register(1, proto, func(mesh.NodeID, interface{}) { got[proto]++ })
+		r.Register(2, proto, func(mesh.NodeID, interface{}) { got[proto]++ })
+	}
+	for i := 0; i < 3; i++ {
+		r.Send(0, 1, "a", 0, i)
+		r.Send(0, 1, "b", 0, i)
+		r.Send(0, 2, "a", 0, i)
+	}
+	e.Run()
+	if got["a"] != 6 || got["b"] != 3 || r.DupsSuppressed != 0 {
+		t.Fatalf("cross-link interference: got=%v dups=%d", got, r.DupsSuppressed)
+	}
+}

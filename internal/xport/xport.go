@@ -21,10 +21,25 @@ type Transport interface {
 
 	// Send delivers m to (dst, proto). payloadBytes is the protocol
 	// payload (page contents etc.); implementations add their own framing
-	// overhead. Sending to an unregistered destination panics — it is
-	// always a protocol bug in this system.
+	// overhead. Sending to an unregistered destination bounces: the
+	// transport routes a Nack carrying the original message back to the
+	// sender's own handler for the same proto, so protocol layers can fall
+	// back to another route. Only when the sender itself has no handler —
+	// nobody to tell — does the transport panic.
 	Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{})
 
 	// Name identifies the transport ("norma" or "sts").
 	Name() string
+}
+
+// Nack is delivered to the sender's own (src, proto) handler when a message
+// addressed to an unregistered (node, proto) destination bounces. The
+// handler's src argument is the unreachable node.
+type Nack struct {
+	// Dst is the destination that had no handler.
+	Dst mesh.NodeID
+	// Proto is the channel the message was sent on.
+	Proto string
+	// Msg is the original message.
+	Msg interface{}
 }
