@@ -17,6 +17,11 @@ import (
 	"asvm/internal/xport"
 )
 
+var (
+	pingProto = xport.RegisterProto("ping")
+	pongProto = xport.RegisterProto("pong")
+)
+
 func main() {
 	var (
 		n    = flag.Int("nodes", 64, "mesh size")
@@ -58,13 +63,13 @@ func main() {
 			})
 		}
 		var rtt time.Duration
-		tr.Register(mesh.NodeID(*dst), "ping", func(from mesh.NodeID, m interface{}) {
-			tr.Send(mesh.NodeID(*dst), from, "pong", payload, m)
+		tr.Register(mesh.NodeID(*dst), pingProto, func(from mesh.NodeID, m interface{}) {
+			tr.Send(mesh.NodeID(*dst), from, pongProto, payload, m)
 		})
-		tr.Register(mesh.NodeID(*src), "pong", func(from mesh.NodeID, m interface{}) {
+		tr.Register(mesh.NodeID(*src), pongProto, func(from mesh.NodeID, m interface{}) {
 			rtt = e.Now()
 		})
-		tr.Send(mesh.NodeID(*src), mesh.NodeID(*dst), "ping", 0, "x")
+		tr.Send(mesh.NodeID(*src), mesh.NodeID(*dst), pingProto, 0, "x")
 		e.Run()
 		fmt.Printf("%-6s %d->%d round trip (reply payload %d B): %v\n", name, *src, *dst, payload, rtt)
 	}

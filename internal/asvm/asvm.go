@@ -89,36 +89,57 @@ func (n *Node) inst(id vm.ObjID) *Instance {
 }
 
 func (n *Node) handle(src mesh.NodeID, m interface{}) {
-	n.Ctr.Inc("msgs", 1)
-	switch msg := m.(type) {
-	case accessReq:
-		n.inst(msg.Obj).handleRequest(msg)
-	case grantMsg:
-		n.inst(msg.Obj).handleGrant(msg)
-	case invalMsg:
-		n.inst(msg.Obj).handleInval(msg)
-	case invalAck:
-		n.inst(msg.Obj).handleInvalAck(msg)
-	case ownerUpdate:
-		n.inst(msg.Obj).handleOwnerUpdate(msg)
-	case ownerXfer:
-		n.inst(msg.Obj).handleOwnerXfer(msg)
-	case ownerXferAck:
-		n.inst(msg.Obj).handleOwnerXferAck(msg)
-	case pageOffer:
-		n.inst(msg.Obj).handlePageOffer(msg)
-	case pageOfferAck:
-		n.inst(msg.Obj).handlePageOfferAck(msg)
-	case toPager:
-		n.inst(msg.Obj).handleToPager(msg)
-	case toPagerAck:
-		n.inst(msg.Obj).handleToPagerAck(msg)
-	case pushScanAck:
-		n.inst(msg.SrcObj).handlePushScanAck(msg)
-	case xport.Nack:
-		n.handleNack(msg)
-	default:
+	n.Ctr.V[sim.CtrMsgs]++
+	env, ok := m.(xport.Msg)
+	if !ok {
+		if nk, isNack := m.(xport.Nack); isNack {
+			n.handleNack(nk)
+			return
+		}
 		panic(fmt.Sprintf("asvm: unknown message %T", m))
+	}
+	// Dispatch on the envelope's small-int kind: a jump table instead of a
+	// chain of per-type comparisons. The concrete assertion in each arm is
+	// then unconditional (a mismatched Kind is a construction bug).
+	switch env.Kind() {
+	case msgAccessReq:
+		msg := m.(accessReq)
+		n.inst(msg.Obj).handleRequest(msg)
+	case msgGrant:
+		msg := m.(grantMsg)
+		n.inst(msg.Obj).handleGrant(msg)
+	case msgInval:
+		msg := m.(invalMsg)
+		n.inst(msg.Obj).handleInval(msg)
+	case msgInvalAck:
+		msg := m.(invalAck)
+		n.inst(msg.Obj).handleInvalAck(msg)
+	case msgOwnerUpdate:
+		msg := m.(ownerUpdate)
+		n.inst(msg.Obj).handleOwnerUpdate(msg)
+	case msgOwnerXfer:
+		msg := m.(ownerXfer)
+		n.inst(msg.Obj).handleOwnerXfer(msg)
+	case msgOwnerXferAck:
+		msg := m.(ownerXferAck)
+		n.inst(msg.Obj).handleOwnerXferAck(msg)
+	case msgPageOffer:
+		msg := m.(pageOffer)
+		n.inst(msg.Obj).handlePageOffer(msg)
+	case msgPageOfferAck:
+		msg := m.(pageOfferAck)
+		n.inst(msg.Obj).handlePageOfferAck(msg)
+	case msgToPager:
+		msg := m.(toPager)
+		n.inst(msg.Obj).handleToPager(msg)
+	case msgToPagerAck:
+		msg := m.(toPagerAck)
+		n.inst(msg.Obj).handleToPagerAck(msg)
+	case msgPushScanAck:
+		msg := m.(pushScanAck)
+		n.inst(msg.SrcObj).handlePushScanAck(msg)
+	default:
+		panic(fmt.Sprintf("asvm: unknown message kind %d (%T)", env.Kind(), m))
 	}
 }
 
@@ -128,14 +149,14 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 // only ever addressed to nodes known to be alive, so a bounce there is a
 // protocol bug.
 func (n *Node) handleNack(nk xport.Nack) {
-	n.Ctr.Inc("nacks", 1)
+	n.Ctr.V[sim.CtrNacks]++
 	switch msg := nk.Msg.(type) {
 	case accessReq:
 		n.inst(msg.Obj).handleReqNack(nk.Dst, msg)
 	case ownerUpdate:
 		// A hint refresh for an unreachable static manager: lose the hint,
 		// requests will fall through to the home instead.
-		n.Ctr.Inc("hint_nacks", 1)
+		n.Ctr.V[sim.CtrHintNacks]++
 	default:
 		panic(fmt.Sprintf("asvm: %T bounced off node %d", nk.Msg, nk.Dst))
 	}
@@ -166,6 +187,12 @@ type DomainInfo struct {
 
 	// Cfg is the per-object forwarding configuration.
 	Cfg Config
+
+	// mapIdx caches each node's position in Mapping so ring lookups on the
+	// forwarding path are O(1) instead of a linear scan. Fork and some
+	// tests build or trim Mapping directly, so lookups rebuild the cache
+	// whenever it has fallen out of sync.
+	mapIdx map[mesh.NodeID]int
 }
 
 // staticNode returns the static ownership manager for a page.
@@ -175,12 +202,28 @@ func (d *DomainInfo) staticNode(idx vm.PageIdx) mesh.NodeID {
 
 // mappingIndex returns a node's position in the mapping ring, or -1.
 func (d *DomainInfo) mappingIndex(n mesh.NodeID) int {
-	for i, m := range d.Mapping {
-		if m == n {
+	if len(d.mapIdx) != len(d.Mapping) {
+		d.rebuildMapIdx()
+	}
+	i, ok := d.mapIdx[n]
+	if ok && d.Mapping[i] == n {
+		return i
+	}
+	if ok { // same length but edited in place: cache is stale
+		d.rebuildMapIdx()
+		if i, ok = d.mapIdx[n]; ok {
 			return i
 		}
 	}
 	return -1
+}
+
+// rebuildMapIdx reindexes Mapping into mapIdx.
+func (d *DomainInfo) rebuildMapIdx() {
+	d.mapIdx = make(map[mesh.NodeID]int, len(d.Mapping))
+	for i, m := range d.Mapping {
+		d.mapIdx[m] = i
+	}
 }
 
 // nextInRing returns the mapping node after n.
@@ -202,6 +245,7 @@ func Setup(id vm.ObjID, sizePages vm.PageIdx, nodes []*Node, home int, pagerSrv 
 	for _, n := range nodes {
 		info.Mapping = append(info.Mapping, n.Self)
 	}
+	info.rebuildMapIdx()
 	objs := make([]*vm.Object, len(nodes))
 	for i, n := range nodes {
 		in := newInstance(n, info)
@@ -215,11 +259,17 @@ func Setup(id vm.ObjID, sizePages vm.PageIdx, nodes []*Node, home int, pagerSrv 
 
 // AddNode extends an existing domain to one more node (used when remote
 // forks establish sharing of a source object). Returns the new instance.
+// A node already in the mapping ring — say one whose instance was dropped
+// by Teardown and is being re-added — keeps its position instead of
+// appearing twice (a duplicate would skew static hashing and ring scans).
 func AddNode(info *DomainInfo, n *Node) *Instance {
 	if in := n.instances[info.ID]; in != nil {
 		return in
 	}
-	info.Mapping = append(info.Mapping, n.Self)
+	if info.mappingIndex(n.Self) < 0 {
+		info.Mapping = append(info.Mapping, n.Self)
+		info.mapIdx[n.Self] = len(info.Mapping) - 1
+	}
 	return newInstance(n, info)
 }
 

@@ -28,7 +28,7 @@ func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
 	if in.pendPush[idx] != nil {
 		panic(fmt.Sprintf("asvm: concurrent pushes for %v page %d", in.info.ID, idx))
 	}
-	in.nd.Ctr.Inc("pushes_started", 1)
+	in.nd.Ctr.V[sim.CtrPushesStarted]++
 	in.pendPush[idx] = func(found bool) {
 		if !found {
 			// No owner in the copy domain: insert the pre-write contents
@@ -45,9 +45,9 @@ func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
 			}
 			cInst.pages[idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: 0}
 			cInst.announceOwner(idx)
-			in.nd.Ctr.Inc("pushes_installed", 1)
+			in.nd.Ctr.V[sim.CtrPushesInstalled]++
 		} else {
-			in.nd.Ctr.Inc("pushes_cancelled", 1)
+			in.nd.Ctr.V[sim.CtrPushesCancelled]++
 		}
 		ps.version = in.info.Version
 		cont()
@@ -55,7 +55,7 @@ func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
 	// Push scan: does the copy domain already have an owner for the page?
 	cInst.forward(accessReq{
 		Obj: in.info.Copy.ID, Target: in.info.ID, Idx: idx,
-		Kind: kindPushScan, Origin: in.self(), LastFrom: in.self(),
+		ReqKind: kindPushScan, Origin: in.self(), LastFrom: in.self(),
 	})
 }
 
@@ -71,9 +71,9 @@ func (in *Instance) homePushScan(req accessReq, hs *homeState) {
 	} else if hs.granted && !hs.atPager {
 		// An owner exists but the scan missed it (in-flight transfer);
 		// answering found=true is safe: the contents exist in the domain.
-		in.nd.Ctr.Inc("pushscan_inflight", 1)
+		in.nd.Ctr.V[sim.CtrPushScanInflight]++
 	}
-	in.send(req.Origin, 0, pushScanAck{SrcObj: req.Target, Idx: req.Idx, Found: found})
+	in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: req.Idx, Found: found})
 }
 
 func (in *Instance) handlePushScanAck(msg pushScanAck) {
@@ -99,7 +99,7 @@ func (in *Instance) pullLocal(req accessReq, hs *homeState) {
 			if !found {
 				panic(fmt.Sprintf("asvm: atPager page %d missing from store", req.Idx))
 			}
-			in.send(req.Origin, payloadFor(data), grantMsg{
+			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true, Ownership: true,
 				From: in.self(),
@@ -107,7 +107,7 @@ func (in *Instance) pullLocal(req accessReq, hs *homeState) {
 		})
 		return
 	}
-	in.nd.Ctr.Inc("pulls", 1)
+	in.nd.Ctr.V[sim.CtrPulls]++
 	// The pull traverses the local shadow chain through the EMMI
 	// (pull_request/pull_completed): charge one interface crossing.
 	in.nd.Eng.Schedule(in.nd.K.Costs.EMMILocal, func() {
@@ -121,7 +121,7 @@ func (in *Instance) pullNow(req accessReq, hs *homeState) {
 		case vm.PullData:
 			hs.granted = true
 			in.dyn.Put(req.Idx, req.Origin)
-			in.send(req.Origin, payloadFor(data), grantMsg{
+			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true,
 				Ownership: true, Version: 0, From: in.self(),
@@ -129,7 +129,7 @@ func (in *Instance) pullNow(req accessReq, hs *homeState) {
 		case vm.PullZeroFill:
 			hs.granted = true
 			in.dyn.Put(req.Idx, req.Origin)
-			in.send(req.Origin, 0, grantMsg{
+			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Fresh: true, Ownership: true, From: in.self(),
 			})
@@ -147,7 +147,7 @@ func (in *Instance) pullNow(req accessReq, hs *homeState) {
 			in.dyn.Put(req.Idx, req.Origin)
 			fwd := req
 			fwd.Obj = srcInst.info.ID
-			fwd.Kind = kindPull
+			fwd.ReqKind = kindPull
 			fwd.Scanning = false
 			fwd.Hops = 0
 			fwd.LastFrom = in.self()

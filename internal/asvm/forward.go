@@ -1,6 +1,7 @@
 package asvm
 
 import (
+	"asvm/internal/sim"
 	"fmt"
 	"time"
 
@@ -174,13 +175,13 @@ func (in *Instance) forward(req accessReq) {
 	if req.Hops > 2*len(in.info.Mapping)+8 {
 		// Hint chasing has gone on too long: escalate to the ring scan,
 		// which terminates deterministically.
-		in.nd.Ctr.Inc("hop_escalations", 1)
+		in.nd.Ctr.V[sim.CtrHopEscalations]++
 		in.startScan(req)
 		return
 	}
 	if cfg.DynamicForwarding {
 		if h, ok := in.dyn.Get(req.Idx); ok && h != self && h != req.LastFrom {
-			in.nd.Ctr.Inc("fwd_dynamic", 1)
+			in.nd.Ctr.V[sim.CtrFwdDynamic]++
 			in.sendReq(h, req)
 			return
 		}
@@ -192,7 +193,7 @@ func (in *Instance) forward(req accessReq) {
 			return
 		}
 		if sm != req.LastFrom {
-			in.nd.Ctr.Inc("fwd_static", 1)
+			in.nd.Ctr.V[sim.CtrFwdStatic]++
 			in.sendReq(sm, req)
 			return
 		}
@@ -211,12 +212,12 @@ func (in *Instance) forwardAtStatic(req accessReq) {
 		if e.paged {
 			// "paged" hint: straight to the pager's node, skipping the
 			// global scan (paper §3.4).
-			in.nd.Ctr.Inc("static_paged_hits", 1)
+			in.nd.Ctr.V[sim.CtrStaticPagedHits]++
 			in.toHome(req)
 			return
 		}
 		if e.owner != in.self() && e.owner != req.LastFrom {
-			in.nd.Ctr.Inc("static_owner_hits", 1)
+			in.nd.Ctr.V[sim.CtrStaticOwnerHits]++
 			in.sendReq(e.owner, req)
 			return
 		}
@@ -224,7 +225,7 @@ func (in *Instance) forwardAtStatic(req accessReq) {
 	// Miss: the home node authoritatively resolves fresh/paged/granted
 	// (absence here means "fresh" for never-touched pages, and the home
 	// confirms).
-	in.nd.Ctr.Inc("static_misses", 1)
+	in.nd.Ctr.V[sim.CtrStaticMisses]++
 	in.toHome(req)
 }
 
@@ -239,7 +240,7 @@ func (in *Instance) toHome(req accessReq) {
 
 // startScan begins the global-forwarding ring walk from this node.
 func (in *Instance) startScan(req accessReq) {
-	in.nd.Ctr.Inc("fwd_global", 1)
+	in.nd.Ctr.V[sim.CtrFwdGlobal]++
 	req.Scanning = true
 	req.ScanStart = in.self()
 	in.continueScan(req)
@@ -271,7 +272,7 @@ func (in *Instance) continueScanFrom(at mesh.NodeID, req accessReq) {
 // dynamic → static → global chain (the paper's own degradation path). The
 // home node has no fallback — it is the domain's serialization point.
 func (in *Instance) handleReqNack(dead mesh.NodeID, req accessReq) {
-	in.nd.Ctr.Inc("req_nacks", 1)
+	in.nd.Ctr.V[sim.CtrReqNacks]++
 	if req.ForHome {
 		panic(fmt.Sprintf("asvm: home node %d of %v unreachable", dead, req.Obj))
 	}
@@ -297,7 +298,7 @@ func (in *Instance) sendReq(to mesh.NodeID, req accessReq) {
 	if req.Hops > 10000 {
 		panic(fmt.Sprintf("asvm: forwarding livelock for %v page %d", req.Obj, req.Idx))
 	}
-	in.send(to, 0, req)
+	in.send(to, req)
 }
 
 // handleAtHome resolves requests for pages with no owner: from the pager,
@@ -312,7 +313,7 @@ func (in *Instance) handleAtHome(req accessReq) {
 		hs = &homeState{}
 		in.home[req.Idx] = hs
 	}
-	if req.Kind == kindPushScan {
+	if req.ReqKind == kindPushScan {
 		in.homePushScan(req, hs)
 		return
 	}
@@ -329,7 +330,7 @@ func (in *Instance) handleAtHome(req accessReq) {
 			in.startScan(req)
 			return
 		}
-		in.nd.Ctr.Inc("home_retries", 1)
+		in.nd.Ctr.V[sim.CtrHomeRetries]++
 		retry := req
 		retry.Scanning = false
 		retry.ScannedAll = false
@@ -348,16 +349,16 @@ func (in *Instance) handleAtHome(req accessReq) {
 	hs.atPager = false
 	in.homePagerIn(req.Idx, func(data []byte, found bool) {
 		if found {
-			in.nd.Ctr.Inc("home_pager_supplies", 1)
-			in.send(req.Origin, payloadFor(data), grantMsg{
+			in.nd.Ctr.V[sim.CtrHomePagerSupplies]++
+			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true, Ownership: true,
 				AtPagerCopy: true, From: in.self(),
 			})
 		} else {
-			in.nd.Ctr.Inc("home_fresh_grants", 1)
+			in.nd.Ctr.V[sim.CtrHomeFreshGrants]++
 			trace("t fresh: home %d fresh-grants %v p%d to %d", in.self(), in.info.ID, req.Idx, req.Origin)
-			in.send(req.Origin, 0, grantMsg{
+			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Fresh: true, Ownership: true, From: in.self(),
 			})

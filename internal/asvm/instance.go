@@ -1,11 +1,13 @@
 package asvm
 
 import (
+	"asvm/internal/sim"
 	"fmt"
 
 	"asvm/internal/mesh"
 	"asvm/internal/pager"
 	"asvm/internal/vm"
+	"asvm/internal/xport"
 )
 
 // pageState is the owner-side state of a page. Only owners hold one — the
@@ -121,8 +123,11 @@ func (in *Instance) Owns(idx vm.PageIdx) bool { return in.pages[idx] != nil }
 
 func (in *Instance) self() mesh.NodeID { return in.nd.Self }
 
-func (in *Instance) send(to mesh.NodeID, payload int, m interface{}) {
-	in.nd.TR.Send(in.self(), to, Proto, payload, m)
+// send ships a protocol message; the payload accounting comes from the
+// message itself (xport.Msg), so call sites cannot drift from the wire
+// convention.
+func (in *Instance) send(to mesh.NodeID, m xport.Msg) {
+	in.nd.TR.Send(in.self(), to, Proto, m.WireBytes(), m)
 }
 
 // copyData snapshots page contents for a message (nil stays nil in
@@ -136,16 +141,12 @@ func copyData(d []byte) []byte {
 	return buf
 }
 
-// payloadFor is the wire payload for a message carrying one page: always a
-// full page, whether or not this run tracks real contents.
-func payloadFor(d []byte) int { return vm.PageSize }
-
 // ---------------------------------------------------------------------------
 // EMMI surface (vm.MemoryManager)
 
 // DataRequest implements vm.MemoryManager: the local VM cache misses.
 func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
-	in.nd.Ctr.Inc("data_requests", 1)
+	in.nd.Ctr.V[sim.CtrDataRequests]++
 	pf := in.pend[idx]
 	if pf == nil {
 		pf = &pendingFault{}
@@ -156,7 +157,7 @@ func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 	}
 	in.forward(accessReq{
 		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
-		Want: desired, Kind: kindAccess,
+		Want: desired, ReqKind: kindAccess,
 		Origin: in.self(), LastFrom: in.self(),
 	})
 }
@@ -165,11 +166,11 @@ func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 // page. If we own the page this is transition 7 of the state machine; else
 // the owner sees us on its reader list and grants without contents.
 func (in *Instance) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
-	in.nd.Ctr.Inc("data_unlocks", 1)
+	in.nd.Ctr.V[sim.CtrDataUnlocks]++
 	if ps := in.pages[idx]; ps != nil {
 		req := accessReq{
 			Obj: in.info.ID, Target: in.info.ID, Idx: idx,
-			Want: desired, Kind: kindAccess,
+			Want: desired, ReqKind: kindAccess,
 			Origin: in.self(), LastFrom: in.self(),
 		}
 		in.handleAsOwner(req)
@@ -185,7 +186,7 @@ func (in *Instance) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 	}
 	in.forward(accessReq{
 		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
-		Want: desired, Kind: kindAccess,
+		Want: desired, ReqKind: kindAccess,
 		Origin: in.self(), LastFrom: in.self(),
 	})
 }
@@ -206,17 +207,17 @@ func (in *Instance) handleGrant(g grantMsg) {
 		if pf.retries > 10000 {
 			panic(fmt.Sprintf("asvm: grant retry livelock on %v page %d at node %d", in.info.ID, g.Idx, in.self()))
 		}
-		in.nd.Ctr.Inc("grant_retries", 1)
+		in.nd.Ctr.V[sim.CtrGrantRetries]++
 		in.forward(accessReq{
 			Obj: in.info.ID, Target: in.info.ID, Idx: g.Idx,
-			Want: pf.want, Kind: kindAccess,
+			Want: pf.want, ReqKind: kindAccess,
 			Origin: in.self(), LastFrom: in.self(),
 		})
 		return
 	}
 	switch {
 	case g.Fresh:
-		in.nd.Ctr.Inc("fresh_grants", 1)
+		in.nd.Ctr.V[sim.CtrFreshGrants]++
 		in.nd.K.DataUnavailable(in.o, g.Idx, g.Lock)
 	case g.HasData:
 		in.nd.K.DataSupply(in.o, g.Idx, g.Data, g.Lock, false)
@@ -253,7 +254,7 @@ func (in *Instance) announceOwner(idx vm.PageIdx) {
 		in.handleOwnerUpdate(upd)
 		return
 	}
-	in.send(sm, 0, upd)
+	in.send(sm, upd)
 }
 
 func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
@@ -292,8 +293,8 @@ func (in *Instance) invalidateReaders(ps *pageState, idx vm.PageIdx, newOwner me
 		cont()
 	}}
 	for _, r := range targets {
-		in.nd.Ctr.Inc("invalidations", 1)
-		in.send(r, 0, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
+		in.nd.Ctr.V[sim.CtrInvalidations]++
+		in.send(r, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
 	}
 }
 
@@ -303,7 +304,7 @@ func (in *Instance) handleInval(iv invalMsg) {
 	if in.info.Cfg.DynamicForwarding {
 		in.dyn.Put(iv.Idx, iv.NewOwner)
 	}
-	in.send(iv.From, 0, invalAck{Obj: in.info.ID, Idx: iv.Idx, Seq: iv.Seq})
+	in.send(iv.From, invalAck{Obj: in.info.ID, Idx: iv.Idx, Seq: iv.Seq})
 }
 
 func (in *Instance) handleInvalAck(ack invalAck) {

@@ -43,7 +43,7 @@ func (in *Instance) AcquireRange(p *sim.Proc, task *vm.Task, base vm.Addr, lo, h
 			}
 			ps.held = true
 			in.nd.K.Pin(in.o, idx)
-			in.nd.Ctr.Inc("range_locks", 1)
+			in.nd.Ctr.V[sim.CtrRangeLocks]++
 			break
 		}
 	}
@@ -60,7 +60,7 @@ func (in *Instance) ReleaseRange(lo, hi vm.PageIdx) {
 		}
 		ps.held = false
 		in.nd.K.Unpin(in.o, idx)
-		in.nd.Ctr.Inc("range_unlocks", 1)
+		in.nd.Ctr.V[sim.CtrRangeUnlocks]++
 		if !ps.busy {
 			in.drainQueue(idx, ps)
 		}

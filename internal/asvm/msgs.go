@@ -3,10 +3,12 @@ package asvm
 import (
 	"asvm/internal/mesh"
 	"asvm/internal/vm"
+	"asvm/internal/xport"
 )
 
-// Proto is the STS channel ASVM traffic rides on.
-const Proto = "asvm"
+// Proto is the STS channel ASVM traffic rides on, interned once at
+// package init.
+var Proto = xport.RegisterProto("asvm")
 
 // reqKind distinguishes the three request flavours that flow through the
 // forwarding machinery.
@@ -29,13 +31,13 @@ type (
 	// accessReq travels through the request redirector to the page owner
 	// (or the pager when no owner exists).
 	accessReq struct {
-		Obj    vm.ObjID // domain currently being searched
-		Target vm.ObjID // domain the grant must be delivered into
-		Idx    vm.PageIdx
-		Want   vm.Prot
-		Kind   reqKind
-		Origin mesh.NodeID
-		Hops   int
+		Obj     vm.ObjID // domain currently being searched
+		Target  vm.ObjID // domain the grant must be delivered into
+		Idx     vm.PageIdx
+		Want    vm.Prot
+		ReqKind reqKind
+		Origin  mesh.NodeID
+		Hops    int
 		// Scanning marks a request in the global-forwarding ring walk.
 		Scanning bool
 		// ScannedAll marks a request whose ring walk completed without
@@ -161,3 +163,75 @@ type (
 		Found  bool
 	}
 )
+
+// Message kinds, protocol-scoped (see xport.MsgKind). The dispatcher in
+// Node.handle switches on these dense values, which the compiler lowers to
+// a jump table instead of a linear type-assertion chain.
+const (
+	msgAccessReq xport.MsgKind = iota
+	msgGrant
+	msgInval
+	msgInvalAck
+	msgOwnerUpdate
+	msgOwnerXfer
+	msgOwnerXferAck
+	msgPageOffer
+	msgPageOfferAck
+	msgToPager
+	msgToPagerAck
+	msgPushScanAck
+)
+
+// The xport.Msg envelope: each message declares its kind and the payload
+// it carries on the wire, so send sites never restate the convention.
+// Requests, acks and pure-control messages are header-only; a grant
+// carries a page exactly when HasData is set (upgrades, retries and fresh
+// zero-fill grants ship no contents); pageOffer always ships the page;
+// toPager ships it only when dirty (a clean return is just bookkeeping —
+// the pager already has the contents).
+
+func (accessReq) Kind() xport.MsgKind { return msgAccessReq }
+func (accessReq) WireBytes() int      { return 0 }
+
+func (grantMsg) Kind() xport.MsgKind { return msgGrant }
+func (g grantMsg) WireBytes() int {
+	if g.HasData {
+		return vm.PageSize
+	}
+	return 0
+}
+
+func (invalMsg) Kind() xport.MsgKind { return msgInval }
+func (invalMsg) WireBytes() int      { return 0 }
+
+func (invalAck) Kind() xport.MsgKind { return msgInvalAck }
+func (invalAck) WireBytes() int      { return 0 }
+
+func (ownerUpdate) Kind() xport.MsgKind { return msgOwnerUpdate }
+func (ownerUpdate) WireBytes() int      { return 0 }
+
+func (ownerXfer) Kind() xport.MsgKind { return msgOwnerXfer }
+func (ownerXfer) WireBytes() int      { return 0 }
+
+func (ownerXferAck) Kind() xport.MsgKind { return msgOwnerXferAck }
+func (ownerXferAck) WireBytes() int      { return 0 }
+
+func (pageOffer) Kind() xport.MsgKind { return msgPageOffer }
+func (pageOffer) WireBytes() int      { return vm.PageSize }
+
+func (pageOfferAck) Kind() xport.MsgKind { return msgPageOfferAck }
+func (pageOfferAck) WireBytes() int      { return 0 }
+
+func (toPager) Kind() xport.MsgKind { return msgToPager }
+func (t toPager) WireBytes() int {
+	if t.Dirty {
+		return vm.PageSize
+	}
+	return 0
+}
+
+func (toPagerAck) Kind() xport.MsgKind { return msgToPagerAck }
+func (toPagerAck) WireBytes() int      { return 0 }
+
+func (pushScanAck) Kind() xport.MsgKind { return msgPushScanAck }
+func (pushScanAck) WireBytes() int      { return 0 }

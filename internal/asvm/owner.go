@@ -1,6 +1,7 @@
 package asvm
 
 import (
+	"asvm/internal/sim"
 	"fmt"
 
 	"asvm/internal/vm"
@@ -31,10 +32,10 @@ func (in *Instance) process(req accessReq, ps *pageState) {
 		ps.busy = false
 		in.drainQueue(idx, ps)
 	}
-	switch req.Kind {
+	switch req.ReqKind {
 	case kindPushScan:
 		// We own this page of the copy domain: the push is unnecessary.
-		in.send(req.Origin, 0, pushScanAck{SrcObj: req.Target, Idx: idx, Found: true})
+		in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: idx, Found: true})
 		done()
 	case kindPull:
 		in.servePull(req, ps, done)
@@ -45,7 +46,7 @@ func (in *Instance) process(req accessReq, ps *pageState) {
 			in.serveWrite(req, ps, done)
 		}
 	default:
-		panic(fmt.Sprintf("asvm: unknown request kind %d", req.Kind))
+		panic(fmt.Sprintf("asvm: unknown request kind %d", req.ReqKind))
 	}
 }
 
@@ -82,9 +83,9 @@ func (in *Instance) serveRead(req accessReq, ps *pageState, done func()) {
 		done()
 		return
 	}
-	in.nd.Ctr.Inc("read_grants", 1)
+	in.nd.Ctr.V[sim.CtrReadGrants]++
 	ps.readers[req.Origin] = true
-	in.send(req.Origin, payloadFor(pg.Data), grantMsg{
+	in.send(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: vm.ProtRead,
 		Data: copyData(pg.Data), HasData: true, From: in.self(),
 	})
@@ -107,7 +108,7 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 		in.invalidateReaders(ps, idx, req.Origin, func() {
 			if req.Origin == in.self() {
 				// Transition 7: our own upgrade; we stay owner.
-				in.nd.Ctr.Inc("self_upgrades", 1)
+				in.nd.Ctr.V[sim.CtrSelfUpgrades]++
 				in.nd.K.LockGrant(in.o, idx, vm.ProtWrite)
 				if pg := in.o.Pages[idx]; pg != nil {
 					pg.Dirty = true
@@ -121,7 +122,6 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 				Obj: req.Target, Idx: idx, Lock: vm.ProtWrite,
 				Ownership: true, Version: ps.version, From: in.self(),
 			}
-			payload := 0
 			if !upgrade {
 				if pg == nil {
 					// Our copy vanished mid-protocol (cancelled eviction
@@ -130,12 +130,11 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 				} else {
 					g.Data = copyData(pg.Data)
 					g.HasData = true
-					payload = payloadFor(pg.Data)
 				}
 			}
-			in.nd.Ctr.Inc("write_grants", 1)
+			in.nd.Ctr.V[sim.CtrWriteGrants]++
 			trace("t xfer: node %d grants ownership of %v p%d to %d (upgrade=%v)", in.self(), in.info.ID, idx, req.Origin, upgrade)
-			in.send(req.Origin, payload, g)
+			in.send(req.Origin, g)
 			if g.Retry {
 				done()
 				return
@@ -158,8 +157,8 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 // an owner (the paper's push/pull synchronization).
 func (in *Instance) servePull(req accessReq, ps *pageState, done func()) {
 	if in.info.Copy != nil && ps.version == in.info.Version {
-		in.nd.Ctr.Inc("pull_retries", 1)
-		in.send(req.Origin, 0, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
+		in.nd.Ctr.V[sim.CtrPullRetries]++
+		in.send(req.Origin, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
 		done()
 		return
 	}
@@ -174,8 +173,8 @@ func (in *Instance) servePull(req accessReq, ps *pageState, done func()) {
 	// happened, so no write has happened since the copy was made): supply
 	// them into the copy object at the origin, which becomes their owner
 	// there. Version 0 keeps the copy's own future pushes armed.
-	in.nd.Ctr.Inc("pull_grants", 1)
-	in.send(req.Origin, payloadFor(pg.Data), grantMsg{
+	in.nd.Ctr.V[sim.CtrPullGrants]++
+	in.send(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 		Data: copyData(pg.Data), HasData: true,
 		Ownership: true, Version: 0, From: in.self(),

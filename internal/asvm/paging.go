@@ -1,6 +1,7 @@
 package asvm
 
 import (
+	"asvm/internal/sim"
 	"fmt"
 
 	"asvm/internal/mesh"
@@ -29,7 +30,7 @@ func (in *Instance) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty,
 	if ps == nil {
 		// Not the owner: a read copy is simply discarded (step 1). The
 		// owner's reader list self-corrects on its next probe.
-		in.nd.Ctr.Inc("evict_discard", 1)
+		in.nd.Ctr.V[sim.CtrEvictDiscard]++
 		in.nd.K.RemovePage(o, idx)
 		return
 	}
@@ -39,7 +40,7 @@ func (in *Instance) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty,
 		return
 	}
 	ps.busy = true
-	in.nd.Ctr.Inc("evict_owner", 1)
+	in.nd.Ctr.V[sim.CtrEvictOwner]++
 	if in.info.Cfg.DisableInternodePaging {
 		in.evictToPager(idx, ps, copyData(data), dirty)
 		return
@@ -71,14 +72,14 @@ func (in *Instance) evictTryReaders(idx vm.PageIdx, ps *pageState, data []byte, 
 	seq := in.seq
 	in.pendXfer[seq] = func(accepted bool) {
 		if accepted {
-			in.nd.Ctr.Inc("evict_owner_xfer", 1)
+			in.nd.Ctr.V[sim.CtrEvictOwnerXfer]++
 			in.evictFinish(idx, ps, reader)
 			return
 		}
 		delete(ps.readers, reader)
 		in.evictTryReaders(idx, ps, data, dirty)
 	}
-	in.send(reader, 0, ownerXfer{
+	in.send(reader, ownerXfer{
 		Obj: in.info.ID, Idx: idx, Readers: others,
 		Version: ps.version, Seq: seq, From: in.self(),
 	})
@@ -96,7 +97,7 @@ func (in *Instance) evictTryTransfer(idx vm.PageIdx, ps *pageState, data []byte,
 	in.offerPage(idx, ps, data, dirty, target, func(accepted bool) {
 		if accepted {
 			in.lastAccepted = target
-			in.nd.Ctr.Inc("evict_page_xfer", 1)
+			in.nd.Ctr.V[sim.CtrEvictPageXfer]++
 			in.evictFinish(idx, ps, target)
 			return
 		}
@@ -105,7 +106,7 @@ func (in *Instance) evictTryTransfer(idx vm.PageIdx, ps *pageState, data []byte,
 		if last != -1 && last != target && last != in.self() {
 			in.offerPage(idx, ps, data, dirty, last, func(accepted bool) {
 				if accepted {
-					in.nd.Ctr.Inc("evict_page_xfer", 1)
+					in.nd.Ctr.V[sim.CtrEvictPageXfer]++
 					in.evictFinish(idx, ps, last)
 					return
 				}
@@ -139,7 +140,7 @@ func (in *Instance) offerPage(idx vm.PageIdx, ps *pageState, data []byte, dirty 
 	in.seq++
 	seq := in.seq
 	in.pendXfer[seq] = cb
-	in.send(to, payloadFor(data), pageOffer{
+	in.send(to, pageOffer{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
 		Version: ps.version, Seq: seq, From: in.self(),
 	})
@@ -149,7 +150,7 @@ func (in *Instance) offerPage(idx vm.PageIdx, ps *pageState, data []byte, dirty 
 // evictToPager is step 4: return the page to the memory object's pager via
 // the home instance.
 func (in *Instance) evictToPager(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
-	in.nd.Ctr.Inc("evict_to_pager", 1)
+	in.nd.Ctr.V[sim.CtrEvictToPager]++
 	if in.info.Home == in.self() {
 		in.homePagerOut(idx, data, dirty, func() {
 			hs := in.home[idx]
@@ -169,11 +170,7 @@ func (in *Instance) evictToPager(idx vm.PageIdx, ps *pageState, data []byte, dir
 	in.pendPgr[seq] = func() {
 		in.evictFinish(idx, ps, -1)
 	}
-	payload := 0
-	if dirty {
-		payload = payloadFor(data)
-	}
-	in.send(in.info.Home, payload, toPager{
+	in.send(in.info.Home, toPager{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
 		Dirty: dirty, Seq: seq, From: in.self(),
 	})
@@ -190,7 +187,7 @@ func (in *Instance) announcePaged(idx vm.PageIdx) {
 		in.handleOwnerUpdate(upd)
 		return
 	}
-	in.send(sm, 0, upd)
+	in.send(sm, upd)
 }
 
 // evictFinish drops local state and releases the frame; queued requests
@@ -223,9 +220,9 @@ func (in *Instance) handleOwnerXfer(x ownerXfer) {
 		in.pages[x.Idx] = &pageState{readers: readers, version: x.Version}
 		pg.Dirty = true // contents now live here alone
 		in.announceOwner(x.Idx)
-		in.nd.Ctr.Inc("ownerxfer_accepted", 1)
+		in.nd.Ctr.V[sim.CtrOwnerXferAccepted]++
 	}
-	in.send(x.From, 0, ownerXferAck{Obj: in.info.ID, Idx: x.Idx, Seq: x.Seq, Accepted: accept})
+	in.send(x.From, ownerXferAck{Obj: in.info.ID, Idx: x.Idx, Seq: x.Seq, Accepted: accept})
 }
 
 func (in *Instance) handleOwnerXferAck(a ownerXferAck) {
@@ -245,11 +242,11 @@ func (in *Instance) handlePageOffer(po pageOffer) {
 		pg.Dirty = true
 		in.pages[po.Idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: po.Version}
 		in.announceOwner(po.Idx)
-		in.nd.Ctr.Inc("pageoffer_accepted", 1)
+		in.nd.Ctr.V[sim.CtrPageOfferAccepted]++
 	} else {
-		in.nd.Ctr.Inc("pageoffer_declined", 1)
+		in.nd.Ctr.V[sim.CtrPageOfferDeclined]++
 	}
-	in.send(po.From, 0, pageOfferAck{Obj: in.info.ID, Idx: po.Idx, Seq: po.Seq, Accepted: accept})
+	in.send(po.From, pageOfferAck{Obj: in.info.ID, Idx: po.Idx, Seq: po.Seq, Accepted: accept})
 }
 
 func (in *Instance) handlePageOfferAck(a pageOfferAck) {
@@ -271,7 +268,7 @@ func (in *Instance) handleToPager(tp toPager) {
 		hs.granted = false
 		hs.atPager = true
 		in.announcePaged(tp.Idx)
-		in.send(tp.From, 0, toPagerAck{Obj: in.info.ID, Idx: tp.Idx, Seq: tp.Seq})
+		in.send(tp.From, toPagerAck{Obj: in.info.ID, Idx: tp.Idx, Seq: tp.Seq})
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"asvm/internal/mesh"
 	"asvm/internal/sim"
+	"asvm/internal/xport"
 )
 
 // Cluster-wide barriers, message-based over the system transport (the
@@ -12,7 +13,7 @@ import (
 // competes with memory-system traffic on the message processors, which is
 // part of the EM3D behaviour).
 
-const barrierProto = "barrier"
+var barrierProto = xport.RegisterProto("barrier")
 
 type (
 	barArrive struct {

@@ -68,6 +68,9 @@ type Network struct {
 	// on, keyed by the link's source node and direction.
 	linkBusy map[linkKey]time.Duration
 
+	// hopPool recycles the in-flight stage objects of SendRun.
+	hopPool []*hop
+
 	// Stats counts traffic.
 	Stats struct {
 		Messages     uint64
@@ -155,6 +158,53 @@ func (nw *Network) Send(src, dst NodeID, bytes int, deliver func()) {
 		}
 		nw.eng.Schedule(flight, deliver)
 	})
+}
+
+// hop is the pooled in-flight stage of a SendRun: it rides the sender NIC
+// as a Runnable and, when serialization completes, schedules the message's
+// wire flight to the final target. The pool is a plain slice — the engine
+// is logically single-threaded, so no locking is needed.
+type hop struct {
+	nw     *Network
+	flight time.Duration
+	next   sim.Runnable
+}
+
+// Run implements sim.Runnable: serialization finished, enter the wire.
+func (h *hop) Run() {
+	nw, flight, next := h.nw, h.flight, h.next
+	h.next = nil
+	nw.hopPool = append(nw.hopPool, h)
+	nw.eng.ScheduleRun(flight, next)
+}
+
+// SendRun transmits like Send but resumes a Runnable at the destination
+// instead of calling a closure, keeping the whole path allocation-free.
+// The LinkContention configuration (off in all calibrated runs) falls back
+// to the closure path, which is the only place route occupancy is modelled.
+func (nw *Network) SendRun(src, dst NodeID, bytes int, r sim.Runnable) {
+	if nw.cfg.LinkContention {
+		nw.Send(src, dst, bytes, r.Run)
+		return
+	}
+	nw.Stats.Messages++
+	nw.Stats.Bytes += uint64(bytes)
+	if src == dst {
+		nw.eng.ScheduleRun(nw.cfg.SetupLatency, r)
+		return
+	}
+	ser := nw.serialization(bytes)
+	flight := nw.cfg.SetupLatency + time.Duration(nw.Hops(src, dst))*nw.cfg.HopLatency
+	var h *hop
+	if n := len(nw.hopPool); n > 0 {
+		h = nw.hopPool[n-1]
+		nw.hopPool = nw.hopPool[:n-1]
+	} else {
+		h = &hop{nw: nw}
+	}
+	h.flight = flight
+	h.next = r
+	nw.nics[src].DoRun(ser, h)
 }
 
 // occupyRoute reserves every directed link on the XY route for the

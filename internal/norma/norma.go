@@ -62,7 +62,9 @@ type Transport struct {
 	nodes []*node.Node
 	costs Costs
 
-	handlers map[regKey]xport.Handler
+	// handlers[node][proto] is the registered handler, nil when absent
+	// (dense ProtoID-indexed dispatch; see xport.RegisterProto).
+	handlers [][]xport.Handler
 
 	// Stats.
 	Msgs        uint64
@@ -71,16 +73,11 @@ type Transport struct {
 	Nacks       uint64
 }
 
-type regKey struct {
-	n     mesh.NodeID
-	proto string
-}
-
 // New builds a NORMA transport over the mesh for the given nodes.
 func New(e *sim.Engine, net *mesh.Network, nodes []*node.Node, costs Costs) *Transport {
 	return &Transport{
 		eng: e, net: net, nodes: nodes, costs: costs,
-		handlers: make(map[regKey]xport.Handler),
+		handlers: make([][]xport.Handler, len(nodes)),
 	}
 }
 
@@ -88,18 +85,30 @@ func New(e *sim.Engine, net *mesh.Network, nodes []*node.Node, costs Costs) *Tra
 func (t *Transport) Name() string { return "norma" }
 
 // Register implements xport.Transport.
-func (t *Transport) Register(n mesh.NodeID, proto string, h xport.Handler) {
-	key := regKey{n, proto}
-	if _, dup := t.handlers[key]; dup {
+func (t *Transport) Register(n mesh.NodeID, proto xport.ProtoID, h xport.Handler) {
+	row := t.handlers[n]
+	for int(proto) >= len(row) {
+		row = append(row, nil)
+	}
+	if row[proto] != nil {
 		panic(fmt.Sprintf("norma: duplicate registration %v/%s", n, proto))
 	}
-	t.handlers[key] = h
+	row[proto] = h
+	t.handlers[n] = row
+}
+
+// lookup returns the handler for (n, proto), nil when unregistered.
+func (t *Transport) lookup(n mesh.NodeID, proto xport.ProtoID) xport.Handler {
+	if row := t.handlers[n]; int(proto) < len(row) {
+		return row[proto]
+	}
+	return nil
 }
 
 // Send implements xport.Transport.
-func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
-	h, ok := t.handlers[regKey{dst, proto}]
-	if !ok {
+func (t *Transport) Send(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes int, m interface{}) {
+	h := t.lookup(dst, proto)
+	if h == nil {
 		t.nack(src, dst, proto, payloadBytes, m)
 		return
 	}
@@ -142,9 +151,9 @@ func (t *Transport) deliver(src, dst mesh.NodeID, recvCost time.Duration, h xpor
 // the sender as an xport.Nack (NORMA's dead-port notification): the attempt
 // pays the full outbound cost, the rejection comes back as a header-only
 // message. Panics if the sender has no handler for the bounce either.
-func (t *Transport) nack(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
-	back, ok := t.handlers[regKey{src, proto}]
-	if !ok {
+func (t *Transport) nack(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes int, m interface{}) {
+	back := t.lookup(src, proto)
+	if back == nil {
 		panic(fmt.Sprintf("norma: no handler for %v/%s (and no %v/%s sender handler for the bounce)",
 			dst, proto, src, proto))
 	}

@@ -7,7 +7,10 @@ import (
 	"asvm/internal/mesh"
 	"asvm/internal/node"
 	"asvm/internal/sim"
+	"asvm/internal/xport"
 )
+
+var protoP = xport.RegisterProto("p")
 
 func TestMessageCostBreakdown(t *testing.T) {
 	e := sim.NewEngine()
@@ -20,8 +23,8 @@ func TestMessageCostBreakdown(t *testing.T) {
 	}
 	tr := New(e, net, hw, costs)
 	var at sim.Time
-	tr.Register(1, "p", func(src mesh.NodeID, m interface{}) { at = e.Now() })
-	tr.Send(0, 1, "p", 1024, "x")
+	tr.Register(1, protoP, func(src mesh.NodeID, m interface{}) { at = e.Now() })
+	tr.Send(0, 1, protoP, 1024, "x")
 	e.Run()
 	// send: 100+50+10 = 160µs; recv: 200+50+10 = 260µs; plus wire time.
 	sw := 160*time.Microsecond + 260*time.Microsecond

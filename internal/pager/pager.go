@@ -58,7 +58,7 @@ type (
 		ID      uint64
 		Obj     vm.ObjID
 		Idx     vm.PageIdx
-		ReplyTo string
+		ReplyTo xport.ProtoID
 	}
 	// PageInReply answers a PageInReq. Found=false means the pager has no
 	// contents: the page may be zero-filled.
@@ -74,7 +74,7 @@ type (
 		Idx     vm.PageIdx
 		Data    []byte
 		Dirty   bool
-		ReplyTo string
+		ReplyTo xport.ProtoID
 	}
 	// PageOutAck confirms a PageOutMsg reached stable storage.
 	PageOutAck struct {
@@ -90,6 +90,9 @@ type backingKey struct {
 // Server is a pager task instance on an I/O node.
 type Server struct {
 	Name string
+
+	// proto is the interned transport channel the server listens on.
+	proto xport.ProtoID
 
 	eng   *sim.Engine
 	tr    xport.Transport
@@ -120,21 +123,22 @@ func NewServer(eng *sim.Engine, tr xport.Transport, ioNode mesh.NodeID, d *node.
 	costs Costs, name string, trackData bool) *Server {
 	s := &Server{
 		Name: name, eng: eng, tr: tr, node: ioNode, disk: d, costs: costs,
+		proto:     xport.RegisterProto("pager/" + name),
 		srv:       sim.NewServer(eng, "pager/"+name),
 		trackData: trackData,
 		backing:   make(map[backingKey][]byte),
 		exists:    make(map[backingKey]bool),
 		cached:    make(map[backingKey]bool),
 	}
-	tr.Register(ioNode, "pager/"+name, s.handle)
+	tr.Register(ioNode, s.proto, s.handle)
 	return s
 }
 
 // NodeID returns the I/O node the server runs on.
 func (s *Server) NodeID() mesh.NodeID { return s.node }
 
-// Proto returns the transport channel name.
-func (s *Server) Proto() string { return "pager/" + s.Name }
+// Proto returns the interned transport channel the server listens on.
+func (s *Server) Proto() xport.ProtoID { return s.proto }
 
 // Preload seeds backing contents for a page without any simulated cost
 // (building initial file contents for an experiment).
@@ -234,8 +238,8 @@ type Client struct {
 	tr      xport.Transport
 	self    mesh.NodeID
 	server  mesh.NodeID
-	proto   string
-	replyTo string
+	proto   xport.ProtoID
+	replyTo xport.ProtoID
 	nextID  uint64
 	pendIn  map[uint64]func(data []byte, found bool)
 	pendOut map[uint64]func()
@@ -244,13 +248,15 @@ type Client struct {
 // NewClient creates a client on node self for the given server. Reply
 // channels are named by a per-server counter, not a package global: a
 // global would race (and make names run-order dependent) when independent
-// simulations execute in parallel in the experiment harness.
+// simulations execute in parallel in the experiment harness. (The interned
+// ProtoID values themselves may vary with cross-cell registration order,
+// but they are opaque dispatch keys — only names reach reports.)
 func NewClient(eng *sim.Engine, tr xport.Transport, self mesh.NodeID, server *Server) *Client {
 	server.clients++
 	c := &Client{
 		eng: eng, tr: tr, self: self,
 		server: server.NodeID(), proto: server.Proto(),
-		replyTo: fmt.Sprintf("%s/r%d", server.Proto(), server.clients),
+		replyTo: xport.RegisterProto(fmt.Sprintf("pager/%s/r%d", server.Name, server.clients)),
 		pendIn:  make(map[uint64]func([]byte, bool)),
 		pendOut: make(map[uint64]func()),
 	}

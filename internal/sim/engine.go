@@ -25,14 +25,25 @@ import (
 // of the simulation.
 type Time = time.Duration
 
+// Runnable is an event target carried by interface value instead of a
+// closure: a long-lived (typically pooled) object whose Run method resumes
+// a multi-stage operation. Scheduling one allocates nothing — storing a
+// pointer in an interface is allocation-free — which is what lets the
+// transport message path run without per-message closures.
+type Runnable interface {
+	Run()
+}
+
 // event is a scheduled callback, stored by value in the queue. Exactly one
-// of fn and proc is set: fn for plain callbacks, proc for the allocation-free
-// proc-wakeup fast path (both nil is a no-op event, used to anchor time).
+// of fn, proc and run is set: fn for plain callbacks, proc for the
+// allocation-free proc-wakeup fast path, run for pooled Runnable stages
+// (all nil is a no-op event, used to anchor time).
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events with equal time
 	fn   func()
 	proc *Proc
+	run  Runnable
 }
 
 // before reports heap order by (at, seq). seq is unique and monotonic, so
@@ -152,6 +163,26 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
 
+// ScheduleRun arranges for r.Run to execute after delay, allocation-free.
+// A negative delay is treated as zero.
+func (e *Engine) ScheduleRun(delay time.Duration, r Runnable) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleRunAt(e.now+delay, r)
+}
+
+// ScheduleRunAt arranges for r.Run to execute at absolute virtual time at.
+// Times in the past are clamped to the present. Like ScheduleAt but the
+// event carries the Runnable itself, so no closure is materialized.
+func (e *Engine) ScheduleRunAt(at Time, r Runnable) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.q.push(event{at: at, seq: e.seq, run: r})
+}
+
 // scheduleProcAt enqueues a wakeup for p at absolute time at. This is the
 // allocation-free fast path behind Sleep, Future and the sync primitives:
 // the event carries the proc pointer directly instead of a p.step method
@@ -192,6 +223,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.Executed++
 		if ev.proc != nil {
 			ev.proc.step()
+		} else if ev.run != nil {
+			ev.run.Run()
 		} else if ev.fn != nil {
 			ev.fn()
 		}

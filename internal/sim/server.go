@@ -50,6 +50,28 @@ func (s *Server) Do(cost time.Duration, fn func()) Time {
 	return done
 }
 
+// DoRun enqueues a job like Do but completion resumes a Runnable instead
+// of a closure, keeping the caller's path allocation-free.
+func (s *Server) DoRun(cost time.Duration, r Runnable) Time {
+	if cost < 0 {
+		cost = 0
+	}
+	now := s.eng.Now()
+	start := s.busyUntil
+	if start < now {
+		start = now
+	}
+	if backlog := start - now; backlog > s.maxQueue {
+		s.maxQueue = backlog
+	}
+	s.busyUntil = start + cost
+	s.Jobs++
+	s.BusyTime += cost
+	done := s.busyUntil
+	s.eng.ScheduleRunAt(done, r)
+	return done
+}
+
 // BusyUntil returns the time at which all currently queued work finishes.
 func (s *Server) BusyUntil() Time { return s.busyUntil }
 

@@ -12,13 +12,21 @@ import (
 type Series struct {
 	Name    string
 	samples []time.Duration
+
+	// sorted caches the ascending-order view shared by Percentile, Min and
+	// Max; Add invalidates it. Repeated percentile queries over a stable
+	// series (how reports read it) sort once instead of copy+sort per call.
+	sorted []time.Duration
 }
 
 // NewSeries returns an empty, named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
 // Add appends one sample.
-func (s *Series) Add(d time.Duration) { s.samples = append(s.samples, d) }
+func (s *Series) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = nil
+}
 
 // N returns the sample count.
 func (s *Series) N() int { return len(s.samples) }
@@ -40,18 +48,22 @@ func (s *Series) Mean() time.Duration {
 	return s.Sum() / time.Duration(len(s.samples))
 }
 
+// sortedView returns the cached ascending-order copy of the samples,
+// (re)building it if an Add invalidated it.
+func (s *Series) sortedView() []time.Duration {
+	if s.sorted == nil {
+		s.sorted = append([]time.Duration(nil), s.samples...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	return s.sorted
+}
+
 // Min returns the smallest sample, or zero when empty.
 func (s *Series) Min() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	m := s.samples[0]
-	for _, d := range s.samples[1:] {
-		if d < m {
-			m = d
-		}
-	}
-	return m
+	return s.sortedView()[0]
 }
 
 // Max returns the largest sample, or zero when empty.
@@ -59,13 +71,8 @@ func (s *Series) Max() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	m := s.samples[0]
-	for _, d := range s.samples[1:] {
-		if d > m {
-			m = d
-		}
-	}
-	return m
+	v := s.sortedView()
+	return v[len(v)-1]
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
@@ -74,8 +81,7 @@ func (s *Series) Percentile(p float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := s.sortedView()
 	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -107,24 +113,216 @@ func (s *Series) String() string {
 		s.Name, s.N(), s.Mean(), s.Min(), s.Max())
 }
 
+// Ctr identifies one of the fixed protocol counters. Every counter the
+// memory system bumps on its steady-state paths has an enum value, so the
+// per-message accounting is an array index, not a map op on a string key.
+// The names the enum values map to (see ctrNames) are the exact strings
+// experiment reports have always printed; a golden test pins them.
+type Ctr uint8
+
+const (
+	CtrAsymCopies Ctr = iota
+	CtrCopyPagerFaults
+	CtrCopyRequests
+	CtrCowCopies
+	CtrDataRequests
+	CtrDataSupplies
+	CtrDataUnavailable
+	CtrDataUnlocks
+	CtrEvictCancelled
+	CtrEvictDiscard
+	CtrEvictDrop
+	CtrEvictOwner
+	CtrEvictOwnerXfer
+	CtrEvictPageXfer
+	CtrEvictStuck
+	CtrEvictToPager
+	CtrEvictions
+	CtrFaults
+	CtrFreshGrants
+	CtrFwdDynamic
+	CtrFwdGlobal
+	CtrFwdStatic
+	CtrGrantRetries
+	CtrHintNacks
+	CtrHomeFreshGrants
+	CtrHomePagerSupplies
+	CtrHomeRetries
+	CtrHopEscalations
+	CtrInvalidations
+	CtrLocalPushes
+	CtrMgrDirtyToPager
+	CtrMgrFlushes
+	CtrMgrPageouts
+	CtrMgrRequests
+	CtrMgrUpgrades
+	CtrMsgs
+	CtrNacks
+	CtrOwnerXferAccepted
+	CtrPageOfferAccepted
+	CtrPageOfferDeclined
+	CtrProxyEvicts
+	CtrProxyRequests
+	CtrPullGrants
+	CtrPullRequests
+	CtrPullRetries
+	CtrPulls
+	CtrPushLocks
+	CtrPushSupplies
+	CtrPushesCancelled
+	CtrPushesInstalled
+	CtrPushesStarted
+	CtrPushScanInflight
+	CtrRangeLocks
+	CtrRangeUnlocks
+	CtrReadGrants
+	CtrReqNacks
+	CtrSelfUpgrades
+	CtrShadowInterpose
+	CtrStaticMisses
+	CtrStaticOwnerHits
+	CtrStaticPagedHits
+	CtrWriteGrants
+	CtrZeroFills
+
+	// NumCtrs is the number of fixed counters (array length for V).
+	NumCtrs
+)
+
+// ctrNames is the stable enum→name table. Report output is built from
+// these strings, so they must never change: they are the counter names the
+// committed experiment records (results_full.txt) were produced with.
+var ctrNames = [NumCtrs]string{
+	CtrAsymCopies:        "asym_copies",
+	CtrCopyPagerFaults:   "copy_pager_faults",
+	CtrCopyRequests:      "copy_requests",
+	CtrCowCopies:         "cow_copies",
+	CtrDataRequests:      "data_requests",
+	CtrDataSupplies:      "data_supplies",
+	CtrDataUnavailable:   "data_unavailable",
+	CtrDataUnlocks:       "data_unlocks",
+	CtrEvictCancelled:    "evict_cancelled",
+	CtrEvictDiscard:      "evict_discard",
+	CtrEvictDrop:         "evict_drop",
+	CtrEvictOwner:        "evict_owner",
+	CtrEvictOwnerXfer:    "evict_owner_xfer",
+	CtrEvictPageXfer:     "evict_page_xfer",
+	CtrEvictStuck:        "evict_stuck",
+	CtrEvictToPager:      "evict_to_pager",
+	CtrEvictions:         "evictions",
+	CtrFaults:            "faults",
+	CtrFreshGrants:       "fresh_grants",
+	CtrFwdDynamic:        "fwd_dynamic",
+	CtrFwdGlobal:         "fwd_global",
+	CtrFwdStatic:         "fwd_static",
+	CtrGrantRetries:      "grant_retries",
+	CtrHintNacks:         "hint_nacks",
+	CtrHomeFreshGrants:   "home_fresh_grants",
+	CtrHomePagerSupplies: "home_pager_supplies",
+	CtrHomeRetries:       "home_retries",
+	CtrHopEscalations:    "hop_escalations",
+	CtrInvalidations:     "invalidations",
+	CtrLocalPushes:       "local_pushes",
+	CtrMgrDirtyToPager:   "mgr_dirty_to_pager",
+	CtrMgrFlushes:        "mgr_flushes",
+	CtrMgrPageouts:       "mgr_pageouts",
+	CtrMgrRequests:       "mgr_requests",
+	CtrMgrUpgrades:       "mgr_upgrades",
+	CtrMsgs:              "msgs",
+	CtrNacks:             "nacks",
+	CtrOwnerXferAccepted: "ownerxfer_accepted",
+	CtrPageOfferAccepted: "pageoffer_accepted",
+	CtrPageOfferDeclined: "pageoffer_declined",
+	CtrProxyEvicts:       "proxy_evicts",
+	CtrProxyRequests:     "proxy_requests",
+	CtrPullGrants:        "pull_grants",
+	CtrPullRequests:      "pull_requests",
+	CtrPullRetries:       "pull_retries",
+	CtrPulls:             "pulls",
+	CtrPushLocks:         "push_locks",
+	CtrPushSupplies:      "push_supplies",
+	CtrPushesCancelled:   "pushes_cancelled",
+	CtrPushesInstalled:   "pushes_installed",
+	CtrPushesStarted:     "pushes_started",
+	CtrPushScanInflight:  "pushscan_inflight",
+	CtrRangeLocks:        "range_locks",
+	CtrRangeUnlocks:      "range_unlocks",
+	CtrReadGrants:        "read_grants",
+	CtrReqNacks:          "req_nacks",
+	CtrSelfUpgrades:      "self_upgrades",
+	CtrShadowInterpose:   "shadow_interpose",
+	CtrStaticMisses:      "static_misses",
+	CtrStaticOwnerHits:   "static_owner_hits",
+	CtrStaticPagedHits:   "static_paged_hits",
+	CtrWriteGrants:       "write_grants",
+	CtrZeroFills:         "zero_fills",
+}
+
+// ctrByName inverts ctrNames so string-keyed Inc/Get route to the array.
+var ctrByName = func() map[string]Ctr {
+	m := make(map[string]Ctr, NumCtrs)
+	for k, name := range ctrNames {
+		m[name] = Ctr(k)
+	}
+	return m
+}()
+
+// String returns the counter's stable report name.
+func (k Ctr) String() string {
+	if k >= NumCtrs {
+		return fmt.Sprintf("ctr#%d", uint8(k))
+	}
+	return ctrNames[k]
+}
+
 // Counters is a named set of monotonically increasing counters used for
 // protocol accounting (messages sent, faults served, pageouts, ...).
+//
+// The fixed counters live in the enum-indexed array V — the fast path is
+// c.V[CtrMsgs]++, one indexed add with no hashing. The string API (Inc,
+// Get) still works for any name: known names route to the array, unknown
+// ones overflow to a map, so ad-hoc counters in tests and tools keep
+// working. Names()/Get make both kinds indistinguishable to reports.
 type Counters struct {
-	m map[string]int64
+	// V is the enum-indexed fast path; increment entries directly.
+	V [NumCtrs]int64
+
+	m map[string]int64 // overflow: dynamically named counters
 }
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+func NewCounters() *Counters { return &Counters{} }
 
 // Inc adds delta (typically 1) to the named counter.
-func (c *Counters) Inc(name string, delta int64) { c.m[name] += delta }
+func (c *Counters) Inc(name string, delta int64) {
+	if k, ok := ctrByName[name]; ok {
+		c.V[k] += delta
+		return
+	}
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
 
 // Get returns the counter's value (zero if never incremented).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if k, ok := ctrByName[name]; ok {
+		return c.V[k]
+	}
+	return c.m[name]
+}
 
-// Names returns all counter names in sorted order.
+// Names returns the names of all touched counters in sorted order. A fixed
+// counter is touched when nonzero (every production site increments by 1);
+// overflow counters are touched once Inc'd, as before.
 func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
+	names := make([]string, 0, len(c.m)+8)
+	for k, v := range c.V {
+		if v != 0 {
+			names = append(names, ctrNames[k])
+		}
+	}
 	for k := range c.m {
 		names = append(names, k)
 	}
@@ -133,4 +331,7 @@ func (c *Counters) Names() []string {
 }
 
 // Reset zeroes all counters.
-func (c *Counters) Reset() { c.m = make(map[string]int64) }
+func (c *Counters) Reset() {
+	c.V = [NumCtrs]int64{}
+	c.m = nil
+}

@@ -81,3 +81,151 @@ func TestCounters(t *testing.T) {
 		t.Fatal("Reset did not zero counters")
 	}
 }
+
+// TestSeriesPercentileInterleaved interleaves Add with Percentile/Min/Max
+// queries: the sorted cache must be invalidated by every Add, never serving
+// an order computed before later samples arrived.
+func TestSeriesPercentileInterleaved(t *testing.T) {
+	s := NewSeries("interleaved")
+	s.Add(10 * time.Millisecond)
+	if got := s.Percentile(100); got != 10*time.Millisecond {
+		t.Fatalf("P100 after first Add = %v, want 10ms", got)
+	}
+	// A new maximum after a query: a stale cache would still report 10ms.
+	s.Add(40 * time.Millisecond)
+	if got := s.Percentile(100); got != 40*time.Millisecond {
+		t.Fatalf("P100 after second Add = %v, want 40ms", got)
+	}
+	if got := s.Max(); got != 40*time.Millisecond {
+		t.Fatalf("Max = %v, want 40ms", got)
+	}
+	// A new minimum after a query.
+	s.Add(1 * time.Millisecond)
+	if got := s.Min(); got != 1*time.Millisecond {
+		t.Fatalf("Min = %v, want 1ms", got)
+	}
+	if got := s.Percentile(0); got != 1*time.Millisecond {
+		t.Fatalf("P0 = %v, want 1ms", got)
+	}
+	// The median moves as samples land between queries.
+	s.Add(2 * time.Millisecond)
+	s.Add(3 * time.Millisecond)
+	if got := s.Percentile(50); got != 3*time.Millisecond {
+		t.Fatalf("P50 over {1,2,3,10,40}ms = %v, want 3ms", got)
+	}
+	// Repeated queries with no Add in between must agree (cached path).
+	if a, b := s.Percentile(50), s.Percentile(50); a != b {
+		t.Fatalf("repeated P50 disagreed: %v vs %v", a, b)
+	}
+}
+
+// TestCountersTypedStringInterop: the typed array and the string API are
+// views of the same counter — increments through either must be visible
+// through both, and Names must report array entries exactly once.
+func TestCountersTypedStringInterop(t *testing.T) {
+	c := NewCounters()
+	c.V[CtrMsgs]++
+	c.V[CtrMsgs]++
+	c.Inc("msgs", 1)
+	if got := c.Get("msgs"); got != 3 {
+		t.Fatalf(`Get("msgs") = %d, want 3`, got)
+	}
+	if got := c.V[CtrMsgs]; got != 3 {
+		t.Fatalf("V[CtrMsgs] = %d, want 3", got)
+	}
+	c.Inc("dyn", 1) // overflow-map counter rides along
+	names := c.Names()
+	if len(names) != 2 || names[0] != "dyn" || names[1] != "msgs" {
+		t.Fatalf("Names = %v, want [dyn msgs]", names)
+	}
+	c.Reset()
+	if c.Get("msgs") != 0 || c.Get("dyn") != 0 || len(c.Names()) != 0 {
+		t.Fatal("Reset did not clear both counter kinds")
+	}
+}
+
+// TestCounterNameTableGolden pins the enum→name table to the exact strings
+// the protocol counters have always reported under (the names embedded in
+// results_full.txt and every committed experiment record). The enum values
+// may be reordered freely; these strings may not change.
+func TestCounterNameTableGolden(t *testing.T) {
+	golden := map[Ctr]string{
+		CtrAsymCopies:        "asym_copies",
+		CtrCopyPagerFaults:   "copy_pager_faults",
+		CtrCopyRequests:      "copy_requests",
+		CtrCowCopies:         "cow_copies",
+		CtrDataRequests:      "data_requests",
+		CtrDataSupplies:      "data_supplies",
+		CtrDataUnavailable:   "data_unavailable",
+		CtrDataUnlocks:       "data_unlocks",
+		CtrEvictCancelled:    "evict_cancelled",
+		CtrEvictDiscard:      "evict_discard",
+		CtrEvictDrop:         "evict_drop",
+		CtrEvictOwner:        "evict_owner",
+		CtrEvictOwnerXfer:    "evict_owner_xfer",
+		CtrEvictPageXfer:     "evict_page_xfer",
+		CtrEvictStuck:        "evict_stuck",
+		CtrEvictToPager:      "evict_to_pager",
+		CtrEvictions:         "evictions",
+		CtrFaults:            "faults",
+		CtrFreshGrants:       "fresh_grants",
+		CtrFwdDynamic:        "fwd_dynamic",
+		CtrFwdGlobal:         "fwd_global",
+		CtrFwdStatic:         "fwd_static",
+		CtrGrantRetries:      "grant_retries",
+		CtrHintNacks:         "hint_nacks",
+		CtrHomeFreshGrants:   "home_fresh_grants",
+		CtrHomePagerSupplies: "home_pager_supplies",
+		CtrHomeRetries:       "home_retries",
+		CtrHopEscalations:    "hop_escalations",
+		CtrInvalidations:     "invalidations",
+		CtrLocalPushes:       "local_pushes",
+		CtrMgrDirtyToPager:   "mgr_dirty_to_pager",
+		CtrMgrFlushes:        "mgr_flushes",
+		CtrMgrPageouts:       "mgr_pageouts",
+		CtrMgrRequests:       "mgr_requests",
+		CtrMgrUpgrades:       "mgr_upgrades",
+		CtrMsgs:              "msgs",
+		CtrNacks:             "nacks",
+		CtrOwnerXferAccepted: "ownerxfer_accepted",
+		CtrPageOfferAccepted: "pageoffer_accepted",
+		CtrPageOfferDeclined: "pageoffer_declined",
+		CtrProxyEvicts:       "proxy_evicts",
+		CtrProxyRequests:     "proxy_requests",
+		CtrPullGrants:        "pull_grants",
+		CtrPullRequests:      "pull_requests",
+		CtrPullRetries:       "pull_retries",
+		CtrPulls:             "pulls",
+		CtrPushLocks:         "push_locks",
+		CtrPushSupplies:      "push_supplies",
+		CtrPushesCancelled:   "pushes_cancelled",
+		CtrPushesInstalled:   "pushes_installed",
+		CtrPushesStarted:     "pushes_started",
+		CtrPushScanInflight:  "pushscan_inflight",
+		CtrRangeLocks:        "range_locks",
+		CtrRangeUnlocks:      "range_unlocks",
+		CtrReadGrants:        "read_grants",
+		CtrReqNacks:          "req_nacks",
+		CtrSelfUpgrades:      "self_upgrades",
+		CtrShadowInterpose:   "shadow_interpose",
+		CtrStaticMisses:      "static_misses",
+		CtrStaticOwnerHits:   "static_owner_hits",
+		CtrStaticPagedHits:   "static_paged_hits",
+		CtrWriteGrants:       "write_grants",
+		CtrZeroFills:         "zero_fills",
+	}
+	if len(golden) != int(NumCtrs) {
+		t.Fatalf("golden table has %d entries, enum has %d", len(golden), NumCtrs)
+	}
+	for k, want := range golden {
+		if got := k.String(); got != want {
+			t.Errorf("Ctr(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+		// Round trip: the string API must route the name back to the enum.
+		c := NewCounters()
+		c.Inc(want, 1)
+		if c.V[k] != 1 {
+			t.Errorf("Inc(%q) did not land in V[%s]", want, want)
+		}
+	}
+}

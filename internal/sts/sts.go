@@ -3,6 +3,11 @@
 // page of contents. Receive buffers are preallocated (page contents are
 // only ever sent on behalf of a request from their receiver), so the
 // software path is a small fraction of NORMA-IPC's.
+//
+// The implementation mirrors that lightness: handlers live in dense
+// per-node slices indexed by ProtoID (no string hashing), and a message in
+// flight is a pooled delivery object stepped through its stages as a
+// sim.Runnable, so the steady-state send/dispatch path allocates nothing.
 package sts
 
 import (
@@ -48,7 +53,13 @@ type Transport struct {
 	nodes []*node.Node
 	costs Costs
 
-	handlers map[regKey]xport.Handler
+	// handlers[node][proto] is the registered handler, nil when absent.
+	// Inner slices grow on Register; ProtoIDs are small and dense, so the
+	// table stays compact and Send is two indexed loads.
+	handlers [][]xport.Handler
+
+	// pool recycles in-flight delivery objects (engine is single-threaded).
+	pool []*delivery
 
 	// Stats.
 	Msgs     uint64
@@ -57,16 +68,11 @@ type Transport struct {
 	Nacks    uint64
 }
 
-type regKey struct {
-	n     mesh.NodeID
-	proto string
-}
-
 // New builds an STS transport over the mesh for the given nodes.
 func New(e *sim.Engine, net *mesh.Network, nodes []*node.Node, costs Costs) *Transport {
 	return &Transport{
 		eng: e, net: net, nodes: nodes, costs: costs,
-		handlers: make(map[regKey]xport.Handler),
+		handlers: make([][]xport.Handler, len(nodes)),
 	}
 }
 
@@ -74,19 +80,107 @@ func New(e *sim.Engine, net *mesh.Network, nodes []*node.Node, costs Costs) *Tra
 func (t *Transport) Name() string { return "sts" }
 
 // Register implements xport.Transport.
-func (t *Transport) Register(n mesh.NodeID, proto string, h xport.Handler) {
-	key := regKey{n, proto}
-	if _, dup := t.handlers[key]; dup {
+func (t *Transport) Register(n mesh.NodeID, proto xport.ProtoID, h xport.Handler) {
+	row := t.handlers[n]
+	for int(proto) >= len(row) {
+		row = append(row, nil)
+	}
+	if row[proto] != nil {
 		panic(fmt.Sprintf("sts: duplicate registration %v/%s", n, proto))
 	}
-	t.handlers[key] = h
+	row[proto] = h
+	t.handlers[n] = row
+}
+
+// lookup returns the handler for (n, proto), nil when unregistered.
+func (t *Transport) lookup(n mesh.NodeID, proto xport.ProtoID) xport.Handler {
+	if row := t.handlers[n]; int(proto) < len(row) {
+		return row[proto]
+	}
+	return nil
+}
+
+// delivery is one message in flight, stepped through its stages by the
+// engine as a pooled sim.Runnable: sender message processor → wire →
+// receiver message processor → handler. The nack stages model the bounce
+// round trip for a destination with no handler.
+type delivery struct {
+	t        *Transport
+	src, dst mesh.NodeID
+	proto    xport.ProtoID
+	h        xport.Handler
+	m        interface{}
+	wire     int
+	recvCost time.Duration
+	stage    uint8
+}
+
+const (
+	stSent        uint8 = iota // sender MsgProc done; enter the wire
+	stArrived                  // last byte at dst; receiver MsgProc
+	stHandle                   // dispatch to the handler, recycle
+	stNackSent                 // nack: sender MsgProc done; enter the wire
+	stNackArrived              // nack: at dst; its STS rejects the channel
+	stNackBounce               // nack: header-only reject crosses back
+	stNackReturn               // nack: back at src; src MsgProc
+	stNackHandle               // nack: deliver xport.Nack, recycle
+)
+
+// Run implements sim.Runnable.
+func (d *delivery) Run() {
+	t := d.t
+	switch d.stage {
+	case stSent:
+		d.stage = stArrived
+		t.net.SendRun(d.src, d.dst, d.wire, d)
+	case stArrived:
+		d.stage = stHandle
+		t.nodes[d.dst].MsgProc.DoRun(d.recvCost, d)
+	case stHandle:
+		h, src, m := d.h, d.src, d.m
+		t.put(d)
+		h(src, m)
+	case stNackSent:
+		d.stage = stNackArrived
+		t.net.SendRun(d.src, d.dst, d.wire, d)
+	case stNackArrived:
+		d.stage = stNackBounce
+		t.nodes[d.dst].MsgProc.DoRun(d.recvCost, d)
+	case stNackBounce:
+		d.stage = stNackReturn
+		t.net.SendRun(d.dst, d.src, HeaderBytes, d)
+	case stNackReturn:
+		d.stage = stNackHandle
+		t.nodes[d.src].MsgProc.DoRun(t.costs.RecvCPU, d)
+	case stNackHandle:
+		h, dst, proto, m := d.h, d.dst, d.proto, d.m
+		t.put(d)
+		h(dst, xport.Nack{Dst: dst, Proto: proto, Msg: m})
+	}
+}
+
+func (t *Transport) get() *delivery {
+	if n := len(t.pool); n > 0 {
+		d := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		return d
+	}
+	return &delivery{t: t}
+}
+
+// put recycles d. Callers copy out what they need first: the handler a
+// delivery invokes may Send again and reuse d before the call returns.
+func (t *Transport) put(d *delivery) {
+	d.h = nil
+	d.m = nil
+	t.pool = append(t.pool, d)
 }
 
 // Send implements xport.Transport. payloadBytes over 0 means a page rides
 // along (accounting treats any nonzero payload as page-bearing).
-func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
-	h, ok := t.handlers[regKey{dst, proto}]
-	if !ok {
+func (t *Transport) Send(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes int, m interface{}) {
+	h := t.lookup(dst, proto)
+	if h == nil {
 		t.nack(src, dst, proto, payloadBytes, m)
 		return
 	}
@@ -100,13 +194,12 @@ func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m
 		sendCost += t.costs.PagePrep
 		recvCost += t.costs.PagePrep
 	}
-	t.nodes[src].MsgProc.Do(sendCost, func() {
-		t.net.Send(src, dst, wire, func() {
-			t.nodes[dst].MsgProc.Do(recvCost, func() {
-				h(src, m)
-			})
-		})
-	})
+	d := t.get()
+	d.src, d.dst, d.proto = src, dst, proto
+	d.h, d.m = h, m
+	d.wire, d.recvCost = wire, recvCost
+	d.stage = stSent
+	t.nodes[src].MsgProc.DoRun(sendCost, d)
 }
 
 // nack bounces a message addressed to an unregistered destination back to
@@ -114,9 +207,9 @@ func (t *Transport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m
 // wire (the destination's STS finds no mailbox for the channel and rejects
 // with a header-only message). Panics only if the sender has no handler
 // either — then the bounce has nowhere to go and it is a real protocol bug.
-func (t *Transport) nack(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
-	back, ok := t.handlers[regKey{src, proto}]
-	if !ok {
+func (t *Transport) nack(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes int, m interface{}) {
+	back := t.lookup(src, proto)
+	if back == nil {
 		panic(fmt.Sprintf("sts: no handler for %v/%s (and no %v/%s sender handler for the bounce)",
 			dst, proto, src, proto))
 	}
@@ -131,17 +224,12 @@ func (t *Transport) nack(src, dst mesh.NodeID, proto string, payloadBytes int, m
 		sendCost += t.costs.PagePrep
 		recvCost += t.costs.PagePrep
 	}
-	t.nodes[src].MsgProc.Do(sendCost, func() {
-		t.net.Send(src, dst, wire, func() {
-			t.nodes[dst].MsgProc.Do(recvCost, func() {
-				t.net.Send(dst, src, HeaderBytes, func() {
-					t.nodes[src].MsgProc.Do(t.costs.RecvCPU, func() {
-						back(dst, xport.Nack{Dst: dst, Proto: proto, Msg: m})
-					})
-				})
-			})
-		})
-	})
+	d := t.get()
+	d.src, d.dst, d.proto = src, dst, proto
+	d.h, d.m = back, m
+	d.wire, d.recvCost = wire, recvCost
+	d.stage = stNackSent
+	t.nodes[src].MsgProc.DoRun(sendCost, d)
 }
 
 // PageBytes is the payload size callers pass when a message carries one

@@ -7,7 +7,10 @@ import (
 	"asvm/internal/mesh"
 	"asvm/internal/node"
 	"asvm/internal/sim"
+	"asvm/internal/xport"
 )
+
+var protoS = xport.RegisterProto("s")
 
 func TestPagePrepChargedOnlyWithPayload(t *testing.T) {
 	e := sim.NewEngine()
@@ -16,15 +19,15 @@ func TestPagePrepChargedOnlyWithPayload(t *testing.T) {
 	costs := Costs{SendCPU: 10 * time.Microsecond, RecvCPU: 20 * time.Microsecond, PagePrep: 100 * time.Microsecond}
 	tr := New(e, net, hw, costs)
 	var small, big sim.Time
-	tr.Register(1, "s", func(mesh.NodeID, interface{}) { small = e.Now() })
-	tr.Send(0, 1, "s", 0, nil)
+	tr.Register(1, protoS, func(mesh.NodeID, interface{}) { small = e.Now() })
+	tr.Send(0, 1, protoS, 0, nil)
 	e.Run()
 	e2 := sim.NewEngine()
 	net2 := mesh.New(e2, 2, mesh.DefaultConfig(2))
 	hw2 := []*node.Node{node.New(e2, 0), node.New(e2, 1)}
 	tr2 := New(e2, net2, hw2, costs)
-	tr2.Register(1, "s", func(mesh.NodeID, interface{}) { big = e2.Now() })
-	tr2.Send(0, 1, "s", PageBytes, nil)
+	tr2.Register(1, protoS, func(mesh.NodeID, interface{}) { big = e2.Now() })
+	tr2.Send(0, 1, protoS, PageBytes, nil)
 	e2.Run()
 	// The page message pays 2x PagePrep plus serialization of 8 KB.
 	if big-small < 200*time.Microsecond {

@@ -194,7 +194,7 @@ func (k *Kernel) startEviction(o *Object, pg *Page) {
 	pg.Evicting = true
 	k.Mem.EvictingPages++
 	k.Mem.Evictions++
-	k.Ctr.Inc("evictions", 1)
+	k.Ctr.V[sim.CtrEvictions]++
 	idx := pg.Idx
 	if o.Mgr != nil {
 		// Managed object: the manager (pager binding / XMM / ASVM) decides
@@ -208,7 +208,7 @@ func (k *Kernel) startEviction(o *Object, pg *Page) {
 			// Nowhere to put it; give up on this page (stays resident).
 			pg.Evicting = false
 			k.Mem.EvictingPages--
-			k.Ctr.Inc("evict_stuck", 1)
+			k.Ctr.V[sim.CtrEvictStuck]++
 			return
 		}
 		o.PagedOut[idx] = true
@@ -218,13 +218,13 @@ func (k *Kernel) startEviction(o *Object, pg *Page) {
 	if o.PagedOut[idx] {
 		// Clean page with a valid copy at the default pager: drop it; a
 		// later fault pages it back in.
-		k.Ctr.Inc("evict_drop", 1)
+		k.Ctr.V[sim.CtrEvictDrop]++
 		k.RemovePage(o, idx)
 		return
 	}
 	// Clean anonymous page: contents are reproducible (zero fill or a prior
 	// pageout copy) — just drop it.
-	k.Ctr.Inc("evict_drop", 1)
+	k.Ctr.V[sim.CtrEvictDrop]++
 	k.RemovePage(o, idx)
 }
 
@@ -239,7 +239,7 @@ func (k *Kernel) CancelEviction(o *Object, idx PageIdx) {
 	}
 	pg.Evicting = false
 	k.Mem.EvictingPages--
-	k.Ctr.Inc("evict_cancelled", 1)
+	k.Ctr.V[sim.CtrEvictCancelled]++
 	key := pageKey{o.ID, idx}
 	if f, ok := k.evictWaiters[key]; ok {
 		delete(k.evictWaiters, key)
@@ -289,7 +289,7 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 	if want != ProtRead && want != ProtWrite {
 		return nil, fmt.Errorf("vm: fault wants %v", want)
 	}
-	k.Ctr.Inc("faults", 1)
+	k.Ctr.V[sim.CtrFaults]++
 	p.Sleep(k.Costs.FaultBase)
 
 	var lastObj ObjID
@@ -329,7 +329,7 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 // FaultObject resolves a fault directly against an object (no address map);
 // used by pagers and tests.
 func (k *Kernel) FaultObject(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (*Page, error) {
-	k.Ctr.Inc("faults", 1)
+	k.Ctr.V[sim.CtrFaults]++
 	p.Sleep(k.Costs.FaultBase)
 	for retry := 0; retry < maxFaultRetries; retry++ {
 		pg, done, err := k.faultStep(p, obj, idx, want)
@@ -388,7 +388,7 @@ func (k *Kernel) faultStep(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (*P
 	if obj.Pages[idx] != nil {
 		return nil, false, nil // raced with someone else's fill; retry
 	}
-	k.Ctr.Inc("zero_fills", 1)
+	k.Ctr.V[sim.CtrZeroFills]++
 	pg := k.InstallPage(obj, idx, nil, ProtWrite)
 	if want == ProtWrite {
 		if obj.Mgr == nil && obj.NeedsPush(idx) {
@@ -449,7 +449,7 @@ func (k *Kernel) faultShadowHit(p *sim.Proc, obj, src *Object, idx PageIdx, pg *
 	if obj.Pages[idx] != nil || !src.Resident(idx) {
 		return nil, false, nil // raced; retry
 	}
-	k.Ctr.Inc("cow_copies", 1)
+	k.Ctr.V[sim.CtrCowCopies]++
 	newPg := k.InstallPage(obj, idx, pg.Data, ProtWrite)
 	if obj.Mgr == nil && obj.NeedsPush(idx) {
 		k.localPush(p, obj, idx, newPg)
@@ -470,7 +470,7 @@ func (k *Kernel) interposeShadow(entry *Entry) {
 	entry.NeedsCopy = false
 	orig.MapRefs--
 	sh.MapRefs++
-	k.Ctr.Inc("shadow_interpose", 1)
+	k.Ctr.V[sim.CtrShadowInterpose]++
 }
 
 // localPush implements the asymmetric copy strategy's push for unmanaged
@@ -483,7 +483,7 @@ func (k *Kernel) localPush(p *sim.Proc, obj *Object, idx PageIdx, pg *Page) {
 	}
 	if !cp.Resident(idx) {
 		p.Sleep(k.Costs.PageCopy)
-		k.Ctr.Inc("local_pushes", 1)
+		k.Ctr.V[sim.CtrLocalPushes]++
 		k.InstallPage(cp, idx, pg.Data, ProtWrite)
 	}
 	obj.MarkPushed(idx)
@@ -499,7 +499,7 @@ func (k *Kernel) sendDataRequest(p *sim.Proc, o *Object, idx PageIdx, want Prot)
 func (k *Kernel) sendDataRequestTo(p *sim.Proc, mgr MemoryManager, o *Object, idx PageIdx, want Prot) {
 	req := &pendingReq{want: want, future: sim.NewFuture(k.Eng)}
 	o.pending[idx] = req
-	k.Ctr.Inc("data_requests", 1)
+	k.Ctr.V[sim.CtrDataRequests]++
 	p.Sleep(k.Costs.EMMILocal)
 	mgr.DataRequest(o, idx, want)
 	req.future.Wait(p)
@@ -512,7 +512,7 @@ func (k *Kernel) sendDataUnlock(p *sim.Proc, o *Object, idx PageIdx, want Prot) 
 	}
 	req := &pendingReq{want: want, future: sim.NewFuture(k.Eng)}
 	o.pending[idx] = req
-	k.Ctr.Inc("data_unlocks", 1)
+	k.Ctr.V[sim.CtrDataUnlocks]++
 	p.Sleep(k.Costs.EMMILocal)
 	o.Mgr.DataUnlock(o, idx, want)
 	req.future.Wait(p)
@@ -540,7 +540,7 @@ func (k *Kernel) HasPending(o *Object, idx PageIdx) bool {
 // argument — the page is pushed down the local copy chain instead of being
 // entered into the source object.
 func (k *Kernel) DataSupply(o *Object, idx PageIdx, data []byte, lock Prot, push bool) {
-	k.Ctr.Inc("data_supplies", 1)
+	k.Ctr.V[sim.CtrDataSupplies]++
 	if push {
 		k.pushSupply(o, idx, data)
 		return
@@ -573,7 +573,7 @@ func (k *Kernel) pushSupply(o *Object, idx PageIdx, data []byte) {
 	}
 	if !cp.Resident(idx) {
 		k.InstallPage(cp, idx, data, ProtWrite)
-		k.Ctr.Inc("push_supplies", 1)
+		k.Ctr.V[sim.CtrPushSupplies]++
 		k.completePending(cp, idx)
 	}
 	o.MarkPushed(idx)
@@ -582,9 +582,9 @@ func (k *Kernel) pushSupply(o *Object, idx PageIdx, data []byte) {
 // DataUnavailable tells the kernel the manager has no data for the page:
 // it may be zero-filled with the given lock.
 func (k *Kernel) DataUnavailable(o *Object, idx PageIdx, lock Prot) {
-	k.Ctr.Inc("data_unavailable", 1)
+	k.Ctr.V[sim.CtrDataUnavailable]++
 	if o.Pages[idx] == nil {
-		k.Ctr.Inc("zero_fills", 1)
+		k.Ctr.V[sim.CtrZeroFills]++
 		k.InstallPage(o, idx, nil, lock)
 	}
 	k.completePending(o, idx)
@@ -617,7 +617,7 @@ func (k *Kernel) LockRequest(o *Object, idx PageIdx, newLock Prot, pushFirst boo
 	if pushFirst {
 		if cp := o.Copy; cp != nil && !cp.Resident(idx) {
 			k.InstallPage(cp, idx, pg.Data, ProtWrite)
-			k.Ctr.Inc("push_locks", 1)
+			k.Ctr.V[sim.CtrPushLocks]++
 		}
 		o.MarkPushed(idx)
 	}
@@ -646,7 +646,7 @@ func (k *Kernel) LockRequest(o *Object, idx PageIdx, newLock Prot, pushFirst boo
 // PullData with the contents, PullAskManager with the first managed shadow
 // object encountered, or PullZeroFill when the chain ends.
 func (k *Kernel) PullRequest(o *Object, idx PageIdx, done func(res PullResult, data []byte, shadow *Object)) {
-	k.Ctr.Inc("pull_requests", 1)
+	k.Ctr.V[sim.CtrPullRequests]++
 	for cur := o.Shadow; cur != nil; cur = cur.Shadow {
 		if pg := cur.Pages[idx]; pg != nil && !pg.Evicting {
 			k.touch(pg)

@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"sort"
+
+	"asvm/internal/sim"
 )
 
 // Map is a task address space: a sorted list of entries mapping address
@@ -167,5 +169,5 @@ func (k *Kernel) LinkCopy(src, cp *Object) {
 	}
 	src.Copy = cp
 	src.Version++
-	k.Ctr.Inc("asym_copies", 1)
+	k.Ctr.V[sim.CtrAsymCopies]++
 }

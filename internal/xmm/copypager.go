@@ -37,7 +37,7 @@ func newCopyPager(nd *Node, copyTask *vm.Task, entry *vm.Entry) *CopyPager {
 }
 
 func (cp *CopyPager) handleRequest(req copyReq) {
-	cp.nd.Ctr.Inc("copy_pager_faults", 1)
+	cp.nd.Ctr.V[sim.CtrCopyPagerFaults]++
 	cp.nd.Eng.Spawn(fmt.Sprintf("xmmcp%d", cp.id), func(p *sim.Proc) {
 		cp.nd.CopyThreads.Acquire(p)
 		defer cp.nd.CopyThreads.Release()
@@ -71,7 +71,7 @@ type copyBinding struct {
 
 // DataRequest implements vm.MemoryManager.
 func (b *copyBinding) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
-	b.nd.Ctr.Inc("copy_requests", 1)
+	b.nd.Ctr.V[sim.CtrCopyRequests]++
 	b.nd.TR.Send(b.nd.Self, b.srcNode, Proto, 0,
 		copyReq{PagerID: b.pagerID, Idx: idx, Origin: b.nd.Self})
 }

@@ -1,6 +1,7 @@
 package xmm
 
 import (
+	"asvm/internal/sim"
 	"fmt"
 
 	"asvm/internal/mesh"
@@ -69,7 +70,7 @@ func (m *Manager) handleRequest(req accessReq) {
 		return
 	}
 	ps.busy = true
-	m.nd.Ctr.Inc("mgr_requests", 1)
+	m.nd.Ctr.V[sim.CtrMgrRequests]++
 	m.stepFlushWriter(req, ps)
 }
 
@@ -93,7 +94,7 @@ func (m *Manager) stepFlushWriter(req accessReq, ps *mpage) {
 			// First remote request for a dirty page: write it to paging
 			// space before serving (paper §4.1.1). The writer keeps a
 			// read copy.
-			m.nd.Ctr.Inc("mgr_dirty_to_pager", 1)
+			m.nd.Ctr.V[sim.CtrMgrDirtyToPager]++
 			ps.readers[w] = true
 			m.pagerOut(req.Idx, ack.Data, finish)
 		case ack.Present:
@@ -162,7 +163,7 @@ func (m *Manager) stepSupply(req accessReq, ps *mpage) {
 	}
 	if req.Want == vm.ProtWrite && ps.readers[req.Origin] {
 		// Upgrade: the origin still holds the contents; no data needed.
-		m.nd.Ctr.Inc("mgr_upgrades", 1)
+		m.nd.Ctr.V[sim.CtrMgrUpgrades]++
 		m.send(req.Origin, 0, supplyMsg{Obj: m.obj, Idx: req.Idx, Lock: vm.ProtWrite, NoData: true})
 		finish()
 		return
@@ -203,7 +204,7 @@ func (m *Manager) handleEvict(ev evictMsg) {
 		}
 	}
 	if ev.Dirty {
-		m.nd.Ctr.Inc("mgr_pageouts", 1)
+		m.nd.Ctr.V[sim.CtrMgrPageouts]++
 		m.pagerOut(ev.Idx, ev.Data, done)
 	} else {
 		done()
@@ -215,7 +216,7 @@ func (m *Manager) handleEvict(ev evictMsg) {
 func (m *Manager) flush(to mesh.NodeID, idx vm.PageIdx, newLock vm.Prot, cb func(flushAck)) {
 	m.flushSeq++
 	m.pendingFlush[m.flushSeq] = cb
-	m.nd.Ctr.Inc("mgr_flushes", 1)
+	m.nd.Ctr.V[sim.CtrMgrFlushes]++
 	m.send(to, 0, flushMsg{Obj: m.obj, Idx: idx, NewLock: newLock, Seq: m.flushSeq})
 }
 

@@ -2,6 +2,7 @@ package xmm
 
 import (
 	"asvm/internal/mesh"
+	"asvm/internal/sim"
 	"asvm/internal/vm"
 )
 
@@ -35,7 +36,7 @@ func (p *Proxy) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 }
 
 func (p *Proxy) sendReq(idx vm.PageIdx, want vm.Prot) {
-	p.nd.Ctr.Inc("proxy_requests", 1)
+	p.nd.Ctr.V[sim.CtrProxyRequests]++
 	p.nd.TR.Send(p.nd.Self, p.mgrNode, Proto, 0,
 		accessReq{Obj: p.obj, Idx: idx, Want: want, Origin: p.nd.Self})
 }
@@ -53,7 +54,7 @@ func (p *Proxy) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty, kep
 	if dirty {
 		payload = vm.PageSize
 	}
-	p.nd.Ctr.Inc("proxy_evicts", 1)
+	p.nd.Ctr.V[sim.CtrProxyEvicts]++
 	p.nd.TR.Send(p.nd.Self, p.mgrNode, Proto, payload,
 		evictMsg{Obj: p.obj, Idx: idx, Dirty: dirty, Data: data, From: p.nd.Self})
 }

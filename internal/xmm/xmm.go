@@ -63,34 +63,48 @@ func NewNode(eng *sim.Engine, k *vm.Kernel, tr xport.Transport, copyThreads int)
 }
 
 func (n *Node) handle(src mesh.NodeID, m interface{}) {
-	n.Ctr.Inc("msgs", 1)
-	switch msg := m.(type) {
-	case accessReq:
+	n.Ctr.V[sim.CtrMsgs]++
+	env, ok := m.(xport.Msg)
+	if !ok {
+		panic(fmt.Sprintf("xmm: unknown message %T", m))
+	}
+	// Jump-table dispatch on the envelope's kind; each arm's concrete
+	// assertion is unconditional (a mismatched Kind is a construction bug).
+	switch env.Kind() {
+	case msgAccessReq:
+		msg := m.(accessReq)
 		mgr := n.managers[msg.Obj]
 		if mgr == nil {
 			panic(fmt.Sprintf("xmm: node %d is not manager of %v", n.Self, msg.Obj))
 		}
 		mgr.handleRequest(msg)
-	case supplyMsg:
+	case msgSupply:
+		msg := m.(supplyMsg)
 		n.proxy(msg.Obj).handleSupply(msg)
-	case flushMsg:
+	case msgFlush:
+		msg := m.(flushMsg)
 		n.proxy(msg.Obj).handleFlush(msg)
-	case flushAck:
+	case msgFlushAck:
+		msg := m.(flushAck)
 		n.managers[msg.Obj].handleFlushAck(msg)
-	case evictMsg:
+	case msgEvict:
+		msg := m.(evictMsg)
 		n.managers[msg.Obj].handleEvict(msg)
-	case evictAck:
+	case msgEvictAck:
+		msg := m.(evictAck)
 		n.proxy(msg.Obj).handleEvictAck(msg)
-	case copyReq:
+	case msgCopyReq:
+		msg := m.(copyReq)
 		cp := n.copyPagers[msg.PagerID]
 		if cp == nil {
 			panic(fmt.Sprintf("xmm: no copy pager %d on node %d", msg.PagerID, n.Self))
 		}
 		cp.handleRequest(msg)
-	case copyReply:
+	case msgCopyReply:
+		msg := m.(copyReply)
 		n.copyObjs[msg.PagerID].handleReply(msg)
 	default:
-		panic(fmt.Sprintf("xmm: unknown message %T", m))
+		panic(fmt.Sprintf("xmm: unknown message kind %d (%T)", env.Kind(), m))
 	}
 }
 

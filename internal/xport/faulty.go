@@ -96,7 +96,7 @@ func (t *FaultyTransport) Inner() Transport { return t.inner }
 func (t *FaultyTransport) Name() string { return t.inner.Name() }
 
 // Register implements Transport.
-func (t *FaultyTransport) Register(n mesh.NodeID, proto string, h Handler) {
+func (t *FaultyTransport) Register(n mesh.NodeID, proto ProtoID, h Handler) {
 	t.inner.Register(n, proto, h)
 }
 
@@ -104,7 +104,7 @@ func (t *FaultyTransport) Register(n mesh.NodeID, proto string, h Handler) {
 // configured fault class draws at most one random number, and none are drawn
 // when its rate is zero, so inactive links behave exactly like the bare
 // transport.
-func (t *FaultyTransport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+func (t *FaultyTransport) Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes int, m interface{}) {
 	r := t.plan.rates(src, dst)
 	if src == dst || !r.active() {
 		t.inner.Send(src, dst, proto, payloadBytes, m)

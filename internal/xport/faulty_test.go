@@ -17,27 +17,30 @@ import (
 type fakeXport struct {
 	eng      *sim.Engine
 	handlers map[string]Handler
-	drop     func(src, dst mesh.NodeID, proto string, m interface{}) bool
+	drop     func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool
 
 	log []fakeSend
 }
 
 type fakeSend struct {
 	src, dst mesh.NodeID
-	proto    string
+	proto    ProtoID
 	payload  int
 	m        interface{}
 }
+
+// protoP is the channel most wrapper-layer tests exercise.
+var protoP = RegisterProto("p")
 
 func newFake(e *sim.Engine) *fakeXport {
 	return &fakeXport{eng: e, handlers: make(map[string]Handler)}
 }
 
-func fkey(n mesh.NodeID, proto string) string { return fmt.Sprintf("%d/%s", n, proto) }
+func fkey(n mesh.NodeID, proto ProtoID) string { return fmt.Sprintf("%d/%d", n, proto) }
 
 func (f *fakeXport) Name() string { return "fake" }
 
-func (f *fakeXport) Register(n mesh.NodeID, proto string, h Handler) {
+func (f *fakeXport) Register(n mesh.NodeID, proto ProtoID, h Handler) {
 	k := fkey(n, proto)
 	if _, dup := f.handlers[k]; dup {
 		panic("fake: duplicate registration " + k)
@@ -45,7 +48,7 @@ func (f *fakeXport) Register(n mesh.NodeID, proto string, h Handler) {
 	f.handlers[k] = h
 }
 
-func (f *fakeXport) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+func (f *fakeXport) Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes int, m interface{}) {
 	f.log = append(f.log, fakeSend{src, dst, proto, payloadBytes, m})
 	if f.drop != nil && f.drop(src, dst, proto, m) {
 		return
@@ -69,9 +72,9 @@ func TestFaultyZeroPlanIsNoOp(t *testing.T) {
 	fk := newFake(e)
 	rng := sim.NewRNG(7)
 	ft := NewFaulty(e, fk, FaultPlan{}, rng)
-	ft.Register(1, "p", func(mesh.NodeID, interface{}) {})
+	ft.Register(1, protoP, func(mesh.NodeID, interface{}) {})
 	for i := 0; i < 50; i++ {
-		ft.Send(0, 1, "p", i, i)
+		ft.Send(0, 1, protoP, i, i)
 	}
 	e.Run()
 	if len(fk.log) != 50 {
@@ -95,9 +98,9 @@ func TestFaultyDropIsDeterministic(t *testing.T) {
 		e := sim.NewEngine()
 		fk := newFake(e)
 		ft := NewFaulty(e, fk, FaultPlan{Default: Rates{Drop: 0.5}}, sim.NewRNG(seed))
-		ft.Register(1, "p", func(mesh.NodeID, interface{}) {})
+		ft.Register(1, protoP, func(mesh.NodeID, interface{}) {})
 		for i := 0; i < 100; i++ {
-			ft.Send(0, 1, "p", 0, i)
+			ft.Send(0, 1, protoP, 0, i)
 		}
 		e.Run()
 		return fk.log, ft.Dropped
@@ -119,8 +122,8 @@ func TestFaultyDupAndDelay(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
 	ft := NewFaulty(e, fk, FaultPlan{Default: Rates{Dup: 1}}, sim.NewRNG(1))
-	ft.Register(1, "p", func(mesh.NodeID, interface{}) {})
-	ft.Send(0, 1, "p", 0, "m")
+	ft.Register(1, protoP, func(mesh.NodeID, interface{}) {})
+	ft.Send(0, 1, protoP, 0, "m")
 	e.Run()
 	if len(fk.log) != 2 || ft.Duplicated != 1 {
 		t.Fatalf("dup rate 1: inner saw %d sends, %d duplicated", len(fk.log), ft.Duplicated)
@@ -133,8 +136,8 @@ func TestFaultyDupAndDelay(t *testing.T) {
 		Default: Rates{Delay: 1, DelayMin: lag, DelayMax: lag},
 	}, sim.NewRNG(1))
 	var at sim.Time
-	ft2.Register(1, "p", func(mesh.NodeID, interface{}) { at = e2.Now() })
-	ft2.Send(0, 1, "p", 0, "m")
+	ft2.Register(1, protoP, func(mesh.NodeID, interface{}) { at = e2.Now() })
+	ft2.Send(0, 1, protoP, 0, "m")
 	e2.Run()
 	if ft2.Delayed != 1 || at != sim.Time(lag) {
 		t.Fatalf("delay rate 1: delivered at %v (delayed=%d), want %v", at, ft2.Delayed, lag)
@@ -146,8 +149,8 @@ func TestFaultyLoopbackExempt(t *testing.T) {
 	fk := newFake(e)
 	ft := NewFaulty(e, fk, FaultPlan{Default: Rates{Drop: 1}}, sim.NewRNG(1))
 	got := 0
-	ft.Register(0, "p", func(mesh.NodeID, interface{}) { got++ })
-	ft.Send(0, 0, "p", 0, "local")
+	ft.Register(0, protoP, func(mesh.NodeID, interface{}) { got++ })
+	ft.Send(0, 0, protoP, 0, "local")
 	e.Run()
 	if got != 1 || ft.Dropped != 0 {
 		t.Fatalf("loopback faulted: delivered=%d dropped=%d", got, ft.Dropped)
@@ -165,10 +168,10 @@ func TestFaultyPerLinkOverride(t *testing.T) {
 	delivered := map[mesh.NodeID]int{}
 	for _, n := range []mesh.NodeID{1, 2} {
 		n := n
-		ft.Register(n, "p", func(mesh.NodeID, interface{}) { delivered[n]++ })
+		ft.Register(n, protoP, func(mesh.NodeID, interface{}) { delivered[n]++ })
 	}
-	ft.Send(0, 1, "p", 0, "x")
-	ft.Send(0, 2, "p", 0, "y")
+	ft.Send(0, 1, protoP, 0, "x")
+	ft.Send(0, 2, protoP, 0, "y")
 	e.Run()
 	if delivered[1] != 0 || delivered[2] != 1 {
 		t.Fatalf("per-link override ignored: %v (dropped=%d)", delivered, ft.Dropped)

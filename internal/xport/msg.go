@@ -1,0 +1,20 @@
+package xport
+
+// MsgKind discriminates message types within one protocol. Kinds are
+// protocol-scoped: each protocol package numbers its own messages from 0
+// and is the only interpreter of its kinds, so two protocols may reuse the
+// same values.
+type MsgKind uint8
+
+// Msg is the typed message envelope protocol messages implement. Kind
+// lets a handler dispatch through a dense switch (a jump table) instead of
+// a linear type-assertion chain, and WireBytes makes payload accounting
+// self-describing: the sender passes m.WireBytes() to Send instead of
+// recomputing the payload convention at every call site.
+type Msg interface {
+	// Kind discriminates the message within its protocol.
+	Kind() MsgKind
+	// WireBytes is the protocol payload this message carries on the wire
+	// (page contents ride along; requests and acks are header-only).
+	WireBytes() int
+}

@@ -70,20 +70,22 @@ type relFrame struct {
 // per-node channel (relAckProto), not the frame's own proto: many protocols
 // are asymmetric (a pager client sends on the server's channel but listens
 // only on its private reply channel), so the frame proto is not guaranteed
-// to have a handler at the sender. Proto names the link being acked.
+// to have a handler at the sender. Proto identifies the link being acked.
 type relAck struct {
-	Proto string
+	Proto ProtoID
 	Seq   uint64
 }
 
 // relAckProto is the reliability layer's own ack channel, registered for a
 // node the first time it sends.
-const relAckProto = "rel/ack"
+var relAckProto = RegisterProto("rel/ack")
 
-// relLink identifies a directed (src, dst, proto) channel.
+// relLink identifies a directed (src, dst, proto) channel — three small
+// integers, so the sequence/ack state maps hash and compare without
+// touching a string.
 type relLink struct {
 	src, dst mesh.NodeID
-	proto    string
+	proto    ProtoID
 }
 
 // relPending is one unacknowledged message at the sender.
@@ -142,7 +144,7 @@ func (r *Reliable) Name() string { return r.inner.Name() }
 
 // Register implements Transport: the inner registration decodes frames,
 // acks them, suppresses duplicates, and hands fresh messages to h.
-func (r *Reliable) Register(n mesh.NodeID, proto string, h Handler) {
+func (r *Reliable) Register(n mesh.NodeID, proto ProtoID, h Handler) {
 	r.inner.Register(n, proto, func(src mesh.NodeID, m interface{}) {
 		switch f := m.(type) {
 		case relFrame:
@@ -178,7 +180,7 @@ func (r *Reliable) Register(n mesh.NodeID, proto string, h Handler) {
 }
 
 // Send implements Transport: frame, remember, transmit, arm the timer.
-func (r *Reliable) Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{}) {
+func (r *Reliable) Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes int, m interface{}) {
 	if !r.ackReg[src] {
 		r.ackReg[src] = true
 		r.inner.Register(src, relAckProto, func(from mesh.NodeID, m interface{}) {

@@ -18,7 +18,7 @@ func TestReliableRetransmitsLostFrames(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
 	tried := map[uint64]bool{}
-	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+	fk.drop = func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool {
 		f, ok := m.(relFrame)
 		if !ok || tried[f.Seq] {
 			return false
@@ -28,10 +28,10 @@ func TestReliableRetransmitsLostFrames(t *testing.T) {
 	}
 	r := NewReliable(e, fk, relTestCfg())
 	var got []int
-	r.Register(1, "p", func(src mesh.NodeID, m interface{}) { got = append(got, m.(int)) })
+	r.Register(1, protoP, func(src mesh.NodeID, m interface{}) { got = append(got, m.(int)) })
 	const n = 5
 	for i := 0; i < n; i++ {
-		r.Send(0, 1, "p", 0, i)
+		r.Send(0, 1, protoP, 0, i)
 	}
 	e.Run()
 	if len(got) != n {
@@ -55,7 +55,7 @@ func TestReliableSuppressesDuplicates(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
 	acked := map[uint64]bool{}
-	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+	fk.drop = func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool {
 		a, ok := m.(relAck)
 		if !ok || acked[a.Seq] {
 			return false
@@ -65,10 +65,10 @@ func TestReliableSuppressesDuplicates(t *testing.T) {
 	}
 	r := NewReliable(e, fk, relTestCfg())
 	got := 0
-	r.Register(1, "p", func(mesh.NodeID, interface{}) { got++ })
+	r.Register(1, protoP, func(mesh.NodeID, interface{}) { got++ })
 	const n = 4
 	for i := 0; i < n; i++ {
-		r.Send(0, 1, "p", 0, i)
+		r.Send(0, 1, protoP, 0, i)
 	}
 	e.Run()
 	if got != n {
@@ -87,13 +87,13 @@ func TestReliableSuppressesDuplicates(t *testing.T) {
 func TestReliableGivesUpLoudly(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
-	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+	fk.drop = func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool {
 		_, isFrame := m.(relFrame)
 		return isFrame // black-hole all data frames, let acks through
 	}
 	r := NewReliable(e, fk, relTestCfg())
-	r.Register(1, "p", func(mesh.NodeID, interface{}) {})
-	r.Send(0, 1, "p", 0, "doomed")
+	r.Register(1, protoP, func(mesh.NodeID, interface{}) {})
+	r.Send(0, 1, protoP, 0, "doomed")
 	defer func() {
 		if recover() == nil {
 			t.Fatal("dead link did not panic after MaxRetries")
@@ -112,12 +112,12 @@ func TestReliableNackCancelsAndPassesUp(t *testing.T) {
 	fk := newFake(e)
 	r := NewReliable(e, fk, relTestCfg())
 	var nk *Nack
-	r.Register(0, "p", func(src mesh.NodeID, m interface{}) {
+	r.Register(0, protoP, func(src mesh.NodeID, m interface{}) {
 		n := m.(Nack)
 		nk = &n
 	})
-	r.Send(0, 9, "p", 0, "stray") // node 9 never registered
-	e.Run() // would panic via MaxRetries if the pending entry survived
+	r.Send(0, 9, protoP, 0, "stray") // node 9 never registered
+	e.Run()                          // would panic via MaxRetries if the pending entry survived
 	if nk == nil {
 		t.Fatal("no Nack surfaced")
 	}
@@ -135,7 +135,7 @@ func TestReliableBackoffDoubles(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
 	var attempts []sim.Time
-	fk.drop = func(src, dst mesh.NodeID, proto string, m interface{}) bool {
+	fk.drop = func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool {
 		if _, ok := m.(relFrame); ok {
 			attempts = append(attempts, e.Now())
 			return len(attempts) < 5 // deliver the 5th transmission
@@ -144,8 +144,8 @@ func TestReliableBackoffDoubles(t *testing.T) {
 	}
 	r := NewReliable(e, fk, relTestCfg())
 	got := 0
-	r.Register(1, "p", func(mesh.NodeID, interface{}) { got++ })
-	r.Send(0, 1, "p", 0, "x")
+	r.Register(1, protoP, func(mesh.NodeID, interface{}) { got++ })
+	r.Send(0, 1, protoP, 0, "x")
 	e.Run()
 	if got != 1 {
 		t.Fatalf("delivered %d times, want 1", got)
@@ -168,19 +168,20 @@ func TestReliableSeparateLinkSequences(t *testing.T) {
 	e := sim.NewEngine()
 	fk := newFake(e)
 	r := NewReliable(e, fk, relTestCfg())
-	got := map[string]int{}
-	for _, proto := range []string{"a", "b"} {
+	protoA, protoB := RegisterProto("a"), RegisterProto("b")
+	got := map[ProtoID]int{}
+	for _, proto := range []ProtoID{protoA, protoB} {
 		proto := proto
 		r.Register(1, proto, func(mesh.NodeID, interface{}) { got[proto]++ })
 		r.Register(2, proto, func(mesh.NodeID, interface{}) { got[proto]++ })
 	}
 	for i := 0; i < 3; i++ {
-		r.Send(0, 1, "a", 0, i)
-		r.Send(0, 1, "b", 0, i)
-		r.Send(0, 2, "a", 0, i)
+		r.Send(0, 1, protoA, 0, i)
+		r.Send(0, 1, protoB, 0, i)
+		r.Send(0, 2, protoA, 0, i)
 	}
 	e.Run()
-	if got["a"] != 6 || got["b"] != 3 || r.DupsSuppressed != 0 {
+	if got[protoA] != 6 || got[protoB] != 3 || r.DupsSuppressed != 0 {
 		t.Fatalf("cross-link interference: got=%v dups=%d", got, r.DupsSuppressed)
 	}
 }

@@ -3,7 +3,9 @@
 // typed-message IPC, used by XMM) and the SVM Transport Service (ASVM's
 // dedicated lightweight protocol). Protocol layers address each other by
 // (node, proto-channel); each message is an arbitrary Go value plus an
-// accounted payload size.
+// accounted payload size. Channels are registered names interned to dense
+// integer ProtoIDs (see proto.go), so transports dispatch through per-node
+// slices with no string hashing on the message path.
 package xport
 
 import "asvm/internal/mesh"
@@ -17,7 +19,7 @@ type Handler func(src mesh.NodeID, m interface{})
 type Transport interface {
 	// Register installs the handler for messages to proto on node n.
 	// Registering twice for the same (n, proto) panics.
-	Register(n mesh.NodeID, proto string, h Handler)
+	Register(n mesh.NodeID, proto ProtoID, h Handler)
 
 	// Send delivers m to (dst, proto). payloadBytes is the protocol
 	// payload (page contents etc.); implementations add their own framing
@@ -26,7 +28,7 @@ type Transport interface {
 	// sender's own handler for the same proto, so protocol layers can fall
 	// back to another route. Only when the sender itself has no handler —
 	// nobody to tell — does the transport panic.
-	Send(src, dst mesh.NodeID, proto string, payloadBytes int, m interface{})
+	Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes int, m interface{})
 
 	// Name identifies the transport ("norma" or "sts").
 	Name() string
@@ -39,7 +41,7 @@ type Nack struct {
 	// Dst is the destination that had no handler.
 	Dst mesh.NodeID
 	// Proto is the channel the message was sent on.
-	Proto string
+	Proto ProtoID
 	// Msg is the original message.
 	Msg interface{}
 }

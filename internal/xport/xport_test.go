@@ -30,6 +30,12 @@ func newEnv(n int) *env {
 	return &env{eng: e, nodes: nodes, net: net}
 }
 
+var (
+	protoP     = xport.RegisterProto("p")
+	protoRT    = xport.RegisterProto("rt")
+	protoStorm = xport.RegisterProto("storm")
+)
+
 func transports(ev *env) map[string]xport.Transport {
 	return map[string]xport.Transport{
 		"norma": norma.New(ev.eng, ev.net, ev.nodes, norma.DefaultCosts()),
@@ -43,10 +49,10 @@ func TestDelivery(t *testing.T) {
 		name, tr := name, tr
 		var got interface{}
 		var from mesh.NodeID
-		tr.Register(2, "p", func(src mesh.NodeID, m interface{}) {
+		tr.Register(2, protoP, func(src mesh.NodeID, m interface{}) {
 			got, from = m, src
 		})
-		tr.Send(0, 2, "p", 0, "hello-"+name)
+		tr.Send(0, 2, protoP, 0, "hello-"+name)
 		ev.eng.Run()
 		if got != "hello-"+name || from != 0 {
 			t.Fatalf("%s: got %v from %v", name, got, from)
@@ -63,7 +69,7 @@ func TestUnregisteredPanics(t *testing.T) {
 					t.Fatalf("%s: send to unregistered proto did not panic", name)
 				}
 			}()
-			tr.Send(0, 1, "nope", 0, nil)
+			tr.Send(0, 1, xport.RegisterProto("nope"), 0, nil)
 		}()
 	}
 }
@@ -71,14 +77,14 @@ func TestUnregisteredPanics(t *testing.T) {
 func TestDuplicateRegisterPanics(t *testing.T) {
 	ev := newEnv(2)
 	for name, tr := range transports(ev) {
-		tr.Register(0, "p", func(mesh.NodeID, interface{}) {})
+		tr.Register(0, protoP, func(mesh.NodeID, interface{}) {})
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Fatalf("%s: duplicate register did not panic", name)
 				}
 			}()
-			tr.Register(0, "p", func(mesh.NodeID, interface{}) {})
+			tr.Register(0, protoP, func(mesh.NodeID, interface{}) {})
 		}()
 	}
 }
@@ -87,11 +93,12 @@ func TestOrderingBetweenSamePair(t *testing.T) {
 	ev := newEnv(2)
 	for name, tr := range transports(ev) {
 		var order []int
-		tr.Register(1, "p"+name, func(src mesh.NodeID, m interface{}) {
+		pn := xport.RegisterProto("p" + name)
+		tr.Register(1, pn, func(src mesh.NodeID, m interface{}) {
 			order = append(order, m.(int))
 		})
 		for i := 0; i < 5; i++ {
-			tr.Send(0, 1, "p"+name, 0, i)
+			tr.Send(0, 1, pn, 0, i)
 		}
 		ev.eng.Run()
 		for i, v := range order {
@@ -109,13 +116,13 @@ func TestNormaSlowerThanSTS(t *testing.T) {
 		ev := newEnv(2)
 		tr := mk(ev)
 		var done sim.Time
-		tr.Register(1, "rt", func(src mesh.NodeID, m interface{}) {
-			tr.Send(1, 0, "rt", 8192, "reply")
+		tr.Register(1, protoRT, func(src mesh.NodeID, m interface{}) {
+			tr.Send(1, 0, protoRT, 8192, "reply")
 		})
-		tr.Register(0, "rt", func(src mesh.NodeID, m interface{}) {
+		tr.Register(0, protoRT, func(src mesh.NodeID, m interface{}) {
 			done = ev.eng.Now()
 		})
-		tr.Send(0, 1, "rt", 0, "req")
+		tr.Send(0, 1, protoRT, 0, "req")
 		ev.eng.Run()
 		return done
 	}
@@ -136,11 +143,11 @@ func TestMsgProcContention(t *testing.T) {
 	ev := newEnv(16)
 	tr := sts.New(ev.eng, ev.net, ev.nodes, sts.DefaultCosts())
 	var times []sim.Time
-	tr.Register(0, "p", func(src mesh.NodeID, m interface{}) {
+	tr.Register(0, protoP, func(src mesh.NodeID, m interface{}) {
 		times = append(times, ev.eng.Now())
 	})
 	for i := 1; i < 16; i++ {
-		tr.Send(mesh.NodeID(i), 0, "p", 0, i)
+		tr.Send(mesh.NodeID(i), 0, protoP, 0, i)
 	}
 	ev.eng.Run()
 	if len(times) != 15 {
@@ -155,9 +162,9 @@ func TestMsgProcContention(t *testing.T) {
 func TestStatsCount(t *testing.T) {
 	ev := newEnv(2)
 	st := sts.New(ev.eng, ev.net, ev.nodes, sts.DefaultCosts())
-	st.Register(1, "p", func(mesh.NodeID, interface{}) {})
-	st.Send(0, 1, "p", 0, nil)
-	st.Send(0, 1, "p", sts.PageBytes, nil)
+	st.Register(1, protoP, func(mesh.NodeID, interface{}) {})
+	st.Send(0, 1, protoP, 0, nil)
+	st.Send(0, 1, protoP, sts.PageBytes, nil)
 	ev.eng.Run()
 	if st.Msgs != 2 || st.PageMsgs != 1 {
 		t.Fatalf("msgs=%d pageMsgs=%d", st.Msgs, st.PageMsgs)
@@ -185,10 +192,10 @@ func TestNormaManyToOneRetransmits(t *testing.T) {
 	costs.RecvBufferMsgs = 8
 	nt := norma.New(ev.eng, ev.net, ev.nodes, costs)
 	got := 0
-	nt.Register(0, "storm", func(src mesh.NodeID, m interface{}) { got++ })
+	nt.Register(0, protoStorm, func(src mesh.NodeID, m interface{}) { got++ })
 	for round := 0; round < 4; round++ {
 		for i := 1; i < 64; i++ {
-			nt.Send(mesh.NodeID(i), 0, "storm", 1024, round)
+			nt.Send(mesh.NodeID(i), 0, protoStorm, 1024, round)
 		}
 	}
 	ev.eng.Run()
