@@ -12,6 +12,7 @@
 //	asvmbench -exp all -quick        # everything, reduced sweeps
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
 //	asvmbench -chaos                 # degradation sweep under message faults
+//	asvmbench -explore               # schedule-exploration smoke (asvmcheck)
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
 package main
@@ -23,12 +24,14 @@ import (
 	"time"
 
 	"asvm/internal/exp"
+	"asvm/internal/explore"
 )
 
 func main() {
 	var (
 		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|all")
 		chaos   = flag.Bool("chaos", false, "run the chaos degradation sweep (same as -exp chaos)")
+		explOpt = flag.Bool("explore", false, "run the schedule-exploration smoke pass and exit")
 		quick   = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
 		iters   = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
@@ -78,14 +81,18 @@ func main() {
 		fmt.Printf("[%s done in %.1fs]\n\n", name, time.Since(t0).Seconds())
 	}
 
+	if *explOpt {
+		// Schedule exploration is a protocol check, not an experiment cell:
+		// it perturbs schedules, so its runs never feed the result tables.
+		run("explore", func() error { return explore.Smoke(os.Stdout, 200, *seed) })
+		return
+	}
 	if *chaos {
 		*which = "chaos"
 	}
 	all := *which == "all"
-	switch *which {
-	case "all", "table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos":
-	default:
-		fmt.Fprintf(os.Stderr, "asvmbench: unknown experiment %q (want table1|fig10|fig11|table2|table3|dist|ablations|chaos|all)\n", *which)
+	if _, err := exp.ParseExp(*which); err != nil {
+		fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
 		os.Exit(2)
 	}
 	if all || *which == "table1" {

@@ -63,6 +63,26 @@ type Node struct {
 	instances map[vm.ObjID]*Instance
 
 	Ctr *sim.Counters
+
+	// Trace is this node's bounded protocol trace sink.
+	Trace *TraceBuf
+
+	// MidCheck, when set, is invoked at every quiesce of a page's busy bit
+	// — the earliest points where the page's cross-node state is supposed
+	// to be consistent again. The schedule explorer installs one to run
+	// CheckPageInvariants mid-flight; production runs leave it nil. The
+	// hook may be called on a proc goroutine (fault path), so it must
+	// record findings rather than panic.
+	MidCheck func(info *DomainInfo, idx vm.PageIdx)
+
+	// Hooks re-enable known-bad behaviours for explorer mutation tests.
+	// All false in production.
+	Hooks struct {
+		// DropXferReaders skips installing the reader list when accepting
+		// an ownership transfer — the classic DSM bug where the new owner
+		// forgets who holds read copies and never invalidates them.
+		DropXferReaders bool
+	}
 }
 
 // NewNode creates the ASVM runtime for one node and registers its
@@ -72,6 +92,7 @@ func NewNode(eng *sim.Engine, k *vm.Kernel, tr xport.Transport, cfg Config) *Nod
 		Self: k.Node, Eng: eng, K: k, TR: tr, Cfg: cfg,
 		instances: make(map[vm.ObjID]*Instance),
 		Ctr:       sim.NewCounters(),
+		Trace:     newTraceBuf(k.Node),
 	}
 	tr.Register(n.Self, Proto, n.handle)
 	return n

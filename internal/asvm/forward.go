@@ -357,7 +357,7 @@ func (in *Instance) handleAtHome(req accessReq) {
 			})
 		} else {
 			in.nd.Ctr.V[sim.CtrHomeFreshGrants]++
-			trace("t fresh: home %d fresh-grants %v p%d to %d", in.self(), in.info.ID, req.Idx, req.Origin)
+			in.trace("t fresh: home %d fresh-grants %v p%d to %d", in.self(), in.info.ID, req.Idx, req.Origin)
 			in.send(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Fresh: true, Ownership: true, From: in.self(),

@@ -26,6 +26,21 @@ type pageState struct {
 type pendingFault struct {
 	want    vm.Prot
 	retries int
+	// staleFrom lists nodes that invalidated us while this fault was
+	// outstanding: a non-ownership grant one of them sent before the
+	// invalidation may still be in flight and must not install.
+	staleFrom []mesh.NodeID
+}
+
+// dropStale consumes one stale-grant marker for from, if present.
+func (pf *pendingFault) dropStale(from mesh.NodeID) bool {
+	for i, n := range pf.staleFrom {
+		if n == from {
+			pf.staleFrom = append(pf.staleFrom[:i], pf.staleFrom[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // homeState is the home node's authoritative view of a page's relationship
@@ -123,6 +138,17 @@ func (in *Instance) Owns(idx vm.PageIdx) bool { return in.pages[idx] != nil }
 
 func (in *Instance) self() mesh.NodeID { return in.nd.Self }
 
+// clearBusy quiesces a page's busy bit. When a mid-flight checker is
+// attached (schedule exploration), this is where it fires: the quiesce is
+// the earliest moment the page's cross-node state must be consistent
+// again. Production runs pay one nil check.
+func (in *Instance) clearBusy(idx vm.PageIdx, ps *pageState) {
+	ps.busy = false
+	if in.nd.MidCheck != nil {
+		in.nd.MidCheck(in.info, idx)
+	}
+}
+
 // send ships a protocol message; the payload accounting comes from the
 // message itself (xport.Msg), so call sites cannot drift from the wire
 // convention.
@@ -215,6 +241,19 @@ func (in *Instance) handleGrant(g grantMsg) {
 		})
 		return
 	}
+	if pf != nil && !g.Ownership && pf.dropStale(g.From) {
+		// The granting owner invalidated us after issuing this grant (the
+		// invalidation overtook it in flight): the copy it carries is dead
+		// on arrival. Discard it and chase the current owner. Ownership
+		// grants are exempt — they carry present authority, not a copy.
+		in.nd.Ctr.V[sim.CtrStaleGrants]++
+		in.forward(accessReq{
+			Obj: in.info.ID, Target: in.info.ID, Idx: g.Idx,
+			Want: pf.want, ReqKind: kindAccess,
+			Origin: in.self(), LastFrom: in.self(),
+		})
+		return
+	}
 	switch {
 	case g.Fresh:
 		in.nd.Ctr.V[sim.CtrFreshGrants]++
@@ -226,7 +265,7 @@ func (in *Instance) handleGrant(g grantMsg) {
 	}
 	delete(in.pend, g.Idx)
 	if g.Ownership {
-		trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, g.Idx, g.Fresh, g.HasData, g.Lock, g.From, pf == nil)
+		in.trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, g.Idx, g.Fresh, g.HasData, g.Lock, g.From, pf == nil)
 		readers := make(map[mesh.NodeID]bool, len(g.Readers))
 		for _, r := range g.Readers {
 			if r != in.self() {
@@ -301,6 +340,13 @@ func (in *Instance) invalidateReaders(ps *pageState, idx vm.PageIdx, newOwner me
 func (in *Instance) handleInval(iv invalMsg) {
 	// Transition 8: drop the read copy and learn the new owner.
 	in.nd.K.LockRequest(in.o, iv.Idx, vm.ProtNone, false, nil)
+	if pf := in.pend[iv.Idx]; pf != nil {
+		// The sender may have served our outstanding fault just before
+		// invalidating us — that grant is still in flight and now stale.
+		// Remember the sender so handleGrant can discard it instead of
+		// installing a copy the new owner does not know about.
+		pf.staleFrom = append(pf.staleFrom, iv.From)
+	}
 	if in.info.Cfg.DynamicForwarding {
 		in.dyn.Put(iv.Idx, iv.NewOwner)
 	}

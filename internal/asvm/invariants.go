@@ -2,6 +2,7 @@ package asvm
 
 import (
 	"fmt"
+	"strings"
 
 	"asvm/internal/mesh"
 	"asvm/internal/vm"
@@ -111,4 +112,120 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 		}
 	}
 	return nil
+}
+
+// CheckPageInvariants validates the safety core of the protocol for one
+// page mid-flight — it is sound at any busy-bit quiesce point, not just at
+// full drain. Liveness-flavoured properties (an owner exists, home
+// bookkeeping agrees) are deliberately NOT checked here: a grant or
+// transfer legitimately in flight leaves zero owners, or a home whose view
+// lags. What can never happen, even transiently, once no instance is
+// mid-operation on the page:
+//
+//  1. two owners (an ownership transfer hands over before the sender
+//     forgets, but the sender stays busy until it has — so two owners with
+//     all busy bits clear is a real protocol bug);
+//  2. an owner not holding the page in its VM cache;
+//  3. a writer that is not the owner, or a writer coexisting with copies;
+//  4. a (non-owner) copy the owner does not know about.
+//
+// If any instance still has the page busy, the check vacuously passes —
+// that instance's operation is mid-protocol and owns the page's
+// consistency. Returns nil when the page is consistent.
+func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) error {
+	var owners []*Instance
+	type holder struct {
+		node mesh.NodeID
+		pg   *vm.Page
+		in   *Instance
+	}
+	var holders []holder
+
+	for _, nid := range info.Mapping {
+		nd := nodeByID(cluster, nid)
+		in := nd.instances[info.ID]
+		if in == nil {
+			return fmt.Errorf("asvm: node %d lost its instance of %v", nid, info.ID)
+		}
+		if ps := in.pages[idx]; ps != nil {
+			if ps.busy {
+				return nil // mid-operation: state legitimately transient
+			}
+			owners = append(owners, in)
+		}
+		if pg := in.o.Pages[idx]; pg != nil {
+			holders = append(holders, holder{nid, pg, in})
+		}
+	}
+
+	if len(owners) > 1 {
+		ns := make([]mesh.NodeID, len(owners))
+		for i, in := range owners {
+			ns[i] = in.self()
+		}
+		return fmt.Errorf("asvm: page %d has %d owners: %v", idx, len(owners), ns)
+	}
+	var owner *Instance
+	if len(owners) == 1 {
+		owner = owners[0]
+		if !owner.o.Resident(idx) {
+			return fmt.Errorf("asvm: node %d owns page %d without holding it (owner invariant)", owner.self(), idx)
+		}
+	}
+
+	writers := 0
+	for _, h := range holders {
+		if h.pg.Lock >= vm.ProtWrite {
+			writers++
+			if h.in != owner {
+				return fmt.Errorf("asvm: page %d write-held by non-owner node %d", idx, h.node)
+			}
+		}
+		if owner != nil && h.in != owner && !owner.pages[idx].readers[h.node] {
+			return fmt.Errorf("asvm: page %d held by node %d unknown to owner %d",
+				idx, h.node, owner.self())
+		}
+	}
+	if writers > 0 && len(holders) > 1 {
+		return fmt.Errorf("asvm: page %d has a writer and %d other copies", idx, len(holders)-1)
+	}
+	return nil
+}
+
+// DumpPage renders one page's cross-node protocol state — owners with
+// reader lists, holders with locks, home bookkeeping, in-flight protocol
+// state — for invariant-failure reports.
+func DumpPage(cluster []*Node, info *DomainInfo, idx vm.PageIdx) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "page %d of %v:", idx, info.ID)
+	for _, nid := range info.Mapping {
+		nd := nodeByID(cluster, nid)
+		in := nd.instances[info.ID]
+		if in == nil {
+			continue
+		}
+		var parts []string
+		if ps := in.pages[idx]; ps != nil {
+			readers := make([]mesh.NodeID, 0, len(ps.readers))
+			for r := range ps.readers {
+				readers = append(readers, r)
+			}
+			sortNodeIDs(readers)
+			parts = append(parts, fmt.Sprintf("owner readers=%v busy=%v held=%v queued=%d ver=%d",
+				readers, ps.busy, ps.held, len(ps.queue), ps.version))
+		}
+		if pg := in.o.Pages[idx]; pg != nil {
+			parts = append(parts, fmt.Sprintf("holds lock=%v evicting=%v", pg.Lock, pg.Evicting))
+		}
+		if in.pend[idx] != nil {
+			parts = append(parts, "fault-pending")
+		}
+		if hs := in.home[idx]; hs != nil {
+			parts = append(parts, fmt.Sprintf("home granted=%v atPager=%v", hs.granted, hs.atPager))
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, "\n  n%d: %s", nid, strings.Join(parts, "; "))
+		}
+	}
+	return b.String()
 }

@@ -29,7 +29,7 @@ func (in *Instance) process(req accessReq, ps *pageState) {
 	ps.busy = true
 	idx := req.Idx
 	done := func() {
-		ps.busy = false
+		in.clearBusy(idx, ps)
 		in.drainQueue(idx, ps)
 	}
 	switch req.ReqKind {
@@ -133,7 +133,7 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 				}
 			}
 			in.nd.Ctr.V[sim.CtrWriteGrants]++
-			trace("t xfer: node %d grants ownership of %v p%d to %d (upgrade=%v)", in.self(), in.info.ID, idx, req.Origin, upgrade)
+			in.trace("t xfer: node %d grants ownership of %v p%d to %d (upgrade=%v)", in.self(), in.info.ID, idx, req.Origin, upgrade)
 			in.send(req.Origin, g)
 			if g.Retry {
 				done()

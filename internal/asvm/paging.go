@@ -200,7 +200,7 @@ func (in *Instance) evictFinish(idx vm.PageIdx, ps *pageState, newOwner mesh.Nod
 	} else {
 		in.dyn.Delete(idx)
 	}
-	ps.busy = false
+	in.clearBusy(idx, ps)
 	in.drainQueue(idx, ps)
 }
 
@@ -212,9 +212,11 @@ func (in *Instance) handleOwnerXfer(x ownerXfer) {
 	accept := pg != nil && !pg.Evicting && in.pages[x.Idx] == nil
 	if accept {
 		readers := make(map[mesh.NodeID]bool, len(x.Readers))
-		for _, r := range x.Readers {
-			if r != in.self() {
-				readers[r] = true
+		if !in.nd.Hooks.DropXferReaders {
+			for _, r := range x.Readers {
+				if r != in.self() {
+					readers[r] = true
+				}
 			}
 		}
 		in.pages[x.Idx] = &pageState{readers: readers, version: x.Version}

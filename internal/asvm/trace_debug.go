@@ -3,16 +3,81 @@ package asvm
 import (
 	"fmt"
 	"os"
+
+	"asvm/internal/mesh"
 )
 
-// debugTrace enables verbose protocol tracing: ownership grants, transfers
-// and fresh grants print one line each. It is wired to the ASVM_TRACE
-// environment variable so a failing simulation can be replayed with full
-// visibility (runs are deterministic, so the trace is too).
-var debugTrace = os.Getenv("ASVM_TRACE") != ""
+// TraceBuf is a bounded per-node ring buffer of protocol trace lines:
+// ownership grants, transfers and fresh grants record one line each. It
+// replaces the old process-wide stdout tracing, so parallel experiment
+// cells cannot interleave output, and a schedule explorer can attach each
+// node's recent history to a failing run. Recording is off by default (one
+// bool check per trace site); it turns on when the ASVM_TRACE environment
+// variable is set at node creation — which also echoes lines to stdout,
+// preserving the old interactive behaviour — or when a checker calls
+// Enable.
+type TraceBuf struct {
+	node  mesh.NodeID
+	lines []string
+	next  int // overwrite cursor, valid once the buffer is full
+	total uint64
+	on    bool
+	echo  bool
+}
 
-func trace(format string, args ...interface{}) {
-	if debugTrace {
-		fmt.Printf(format+"\n", args...)
+// traceBufCap bounds each node's retained history. Failing schedules are
+// short (bounded scenarios, shrunk reproducers), so the tail is all that
+// matters.
+const traceBufCap = 64
+
+func newTraceBuf(node mesh.NodeID) *TraceBuf {
+	t := &TraceBuf{node: node}
+	if os.Getenv("ASVM_TRACE") != "" {
+		t.on, t.echo = true, true
 	}
+	return t
+}
+
+// Enable turns on recording without the stdout echo.
+func (t *TraceBuf) Enable() { t.on = true }
+
+// Enabled reports whether trace lines are being recorded.
+func (t *TraceBuf) Enabled() bool { return t.on }
+
+// Addf records one formatted line, overwriting the oldest once full.
+func (t *TraceBuf) Addf(format string, args ...interface{}) {
+	if !t.on {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	if t.echo {
+		fmt.Printf("[n%d] %s\n", t.node, line)
+	}
+	t.total++
+	if len(t.lines) < traceBufCap {
+		t.lines = append(t.lines, line)
+		return
+	}
+	t.lines[t.next] = line
+	t.next = (t.next + 1) % traceBufCap
+}
+
+// Total returns how many lines have been recorded over the buffer's
+// lifetime (including ones already overwritten).
+func (t *TraceBuf) Total() uint64 { return t.total }
+
+// Lines returns the retained lines, oldest first, as a fresh slice.
+func (t *TraceBuf) Lines() []string {
+	if len(t.lines) < traceBufCap {
+		return append([]string(nil), t.lines...)
+	}
+	out := make([]string, 0, traceBufCap)
+	out = append(out, t.lines[t.next:]...)
+	out = append(out, t.lines[:t.next]...)
+	return out
+}
+
+// trace records one line into the owning node's buffer.
+func (in *Instance) trace(format string, args ...interface{}) {
+	in.nd.Trace.Addf(format, args...)
 }

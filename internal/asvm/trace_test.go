@@ -1,0 +1,56 @@
+package asvm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTraceBufDisabledRecordsNothing(t *testing.T) {
+	tb := &TraceBuf{}
+	tb.Addf("grant %d", 1)
+	if tb.Total() != 0 || len(tb.Lines()) != 0 {
+		t.Fatalf("disabled buffer recorded: total=%d lines=%v", tb.Total(), tb.Lines())
+	}
+}
+
+func TestTraceBufOrderAndOverwrite(t *testing.T) {
+	tb := &TraceBuf{}
+	tb.Enable()
+	if !tb.Enabled() {
+		t.Fatal("Enable did not take")
+	}
+	n := traceBufCap + 17
+	for i := 0; i < n; i++ {
+		tb.Addf("line %d", i)
+	}
+	if got := tb.Total(); got != uint64(n) {
+		t.Fatalf("Total = %d, want %d", got, n)
+	}
+	lines := tb.Lines()
+	if len(lines) != traceBufCap {
+		t.Fatalf("retained %d lines, want %d", len(lines), traceBufCap)
+	}
+	// Oldest-first: the buffer keeps exactly the last traceBufCap lines.
+	for i, ln := range lines {
+		want := fmt.Sprintf("line %d", n-traceBufCap+i)
+		if ln != want {
+			t.Fatalf("lines[%d] = %q, want %q", i, ln, want)
+		}
+	}
+	// Lines returns a fresh slice, not the ring's backing array.
+	lines[0] = "clobbered"
+	if tb.Lines()[0] == "clobbered" {
+		t.Fatal("Lines exposed the ring's backing storage")
+	}
+}
+
+func TestTraceBufPartialFill(t *testing.T) {
+	tb := &TraceBuf{}
+	tb.Enable()
+	tb.Addf("a")
+	tb.Addf("b")
+	lines := tb.Lines()
+	if len(lines) != 2 || lines[0] != "a" || lines[1] != "b" {
+		t.Fatalf("Lines = %v, want [a b]", lines)
+	}
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// expNames is the closed set of -exp selectors asvmbench accepts, in the
+// order the experiments run. "all" runs the paper-reproduction set (chaos
+// stays opt-in; see cmd/asvmbench).
+var expNames = []string{
+	"table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos", "all",
+}
+
+// ExpNames returns the valid -exp selectors in run order.
+func ExpNames() []string {
+	out := make([]string, len(expNames))
+	copy(out, expNames)
+	return out
+}
+
+// ParseExp validates an -exp selector. It returns the canonical name, or an
+// error that lists the valid set so the CLI message stays in sync with the
+// experiments that actually exist.
+func ParseExp(name string) (string, error) {
+	for _, n := range expNames {
+		if name == n {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("unknown experiment %q (want %s)", name, strings.Join(expNames, "|"))
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExpAcceptsEveryListedName(t *testing.T) {
+	for _, n := range ExpNames() {
+		got, err := ParseExp(n)
+		if err != nil {
+			t.Errorf("ParseExp(%q): unexpected error %v", n, err)
+		}
+		if got != n {
+			t.Errorf("ParseExp(%q) = %q, want identity", n, got)
+		}
+	}
+}
+
+func TestParseExpRejectsUnknownNames(t *testing.T) {
+	for _, bad := range []string{"", "tabel1", "table4", "ALL", "chaos ", "figure10"} {
+		got, err := ParseExp(bad)
+		if err == nil {
+			t.Errorf("ParseExp(%q) = %q, want error", bad, got)
+			continue
+		}
+		// The error must name the valid set: it is the CLI's usage message.
+		for _, n := range ExpNames() {
+			if !strings.Contains(err.Error(), n) {
+				t.Errorf("ParseExp(%q) error %q does not mention %q", bad, err, n)
+			}
+		}
+	}
+}
+
+func TestExpNamesIsACopy(t *testing.T) {
+	a := ExpNames()
+	a[0] = "clobbered"
+	if b := ExpNames(); b[0] != "table1" {
+		t.Fatalf("ExpNames returns shared backing storage: %v", b)
+	}
+}

@@ -1,0 +1,36 @@
+package explore
+
+import "asvm/internal/sim"
+
+// recChooser implements sim.Chooser. The first len(prefix) choice points
+// are answered from prefix; later points take alternative 0 (the default
+// schedule) or, when rng is set, a uniformly random alternative. Every
+// point is recorded, so the full trace of a run — and therefore its exact
+// replay — is always available.
+//
+// A prefix entry can exceed the point's width when the file being replayed
+// desynchronized from the scenario (edited reproducer, changed code). The
+// chooser clamps to the last alternative rather than crashing, and flags
+// the run so drivers can warn.
+type recChooser struct {
+	prefix  []int
+	rng     *sim.RNG
+	trace   []Choice
+	clamped bool
+}
+
+// Choose implements sim.Chooser.
+func (c *recChooser) Choose(kind sim.ChoiceKind, n int) int {
+	k := 0
+	if i := len(c.trace); i < len(c.prefix) {
+		k = c.prefix[i]
+		if k >= n {
+			k = n - 1
+			c.clamped = true
+		}
+	} else if c.rng != nil {
+		k = c.rng.Intn(n)
+	}
+	c.trace = append(c.trace, Choice{Kind: kind, N: n, K: k})
+	return k
+}

@@ -1,0 +1,94 @@
+package explore
+
+// DFS systematically enumerates schedules: the search tree's nodes are
+// choice strings, and a run's recorded trace tells the driver how wide
+// each point was. Backtracking is classic depth-first iteration — take the
+// deepest point that has an untried alternative, bump it, truncate
+// everything after it (later points depend on earlier outcomes, so they
+// must be rediscovered).
+
+// DFSOptions bound the exhaustive search. The zero value picks defaults.
+type DFSOptions struct {
+	// MaxChoices is the perturbation depth: choice points past this index
+	// always take the default alternative.
+	MaxChoices int
+	// MaxBranch caps how many alternatives are tried per point.
+	MaxBranch int
+	// MaxRuns is the schedule budget; the search reports Complete=false
+	// when it runs out.
+	MaxRuns int
+}
+
+func (o DFSOptions) withDefaults() DFSOptions {
+	if o.MaxChoices <= 0 {
+		o.MaxChoices = 12
+	}
+	if o.MaxBranch <= 0 {
+		o.MaxBranch = 4
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 3000
+	}
+	return o
+}
+
+// DFSResult summarizes a search.
+type DFSResult struct {
+	Runs     int
+	Complete bool // the bounded space was exhausted within MaxRuns
+	// V is the first violation found (nil: none). Reproducer is its
+	// shrunk choice string.
+	V          *Violation
+	Reproducer []int
+}
+
+// DFS exhaustively explores sc within opt's bounds, stopping at the first
+// violation (which it shrinks) or when the space or budget is exhausted.
+func DFS(sc *Scenario, opt DFSOptions, mutate Mutate) DFSResult {
+	opt = opt.withDefaults()
+	var res DFSResult
+	var prefix []int
+	for {
+		out := runOne(sc, prefix, nil, mutate)
+		res.Runs++
+		if out.V != nil {
+			res.V = out.V
+			res.Reproducer = Shrink(sc, Ks(out.Choices), mutate)
+			return res
+		}
+		if res.Runs >= opt.MaxRuns {
+			return res
+		}
+		prefix = nextPrefix(out.Choices, opt)
+		if prefix == nil {
+			res.Complete = true
+			return res
+		}
+	}
+}
+
+// nextPrefix advances the search: it returns the choice prefix of the next
+// schedule in depth-first order, or nil when the bounded space is
+// exhausted. t is the full trace of the schedule just run (whose first
+// len(prefix) entries were forced, and the rest defaulted to 0).
+func nextPrefix(t []Choice, opt DFSOptions) []int {
+	limit := len(t)
+	if limit > opt.MaxChoices {
+		limit = opt.MaxChoices
+	}
+	for i := limit - 1; i >= 0; i-- {
+		width := t[i].N
+		if width > opt.MaxBranch {
+			width = opt.MaxBranch
+		}
+		if t[i].K+1 < width {
+			out := make([]int, i+1)
+			for j := 0; j < i; j++ {
+				out[j] = t[j].K
+			}
+			out[i] = t[i].K + 1
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Choice strings are one base36 digit per choice point (alternative
+// indices never approach 36: event ties are capped at 8, latency steps at
+// 3, fault fates at 4). The empty sequence — the unperturbed default
+// schedule — encodes as "-" so it survives whitespace-delimited file
+// formats.
+
+const choiceDigits = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+// EncodeChoices renders a choice sequence as a compact string.
+func EncodeChoices(ks []int) string {
+	if len(ks) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	b.Grow(len(ks))
+	for _, k := range ks {
+		if k < 0 || k >= len(choiceDigits) {
+			panic(fmt.Sprintf("explore: choice %d out of encodable range", k))
+		}
+		b.WriteByte(choiceDigits[k])
+	}
+	return b.String()
+}
+
+// DecodeChoices parses a choice string produced by EncodeChoices.
+func DecodeChoices(s string) ([]int, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	out := make([]int, len(s))
+	for i := 0; i < len(s); i++ {
+		j := strings.IndexByte(choiceDigits, s[i])
+		if j < 0 {
+			return nil, fmt.Errorf("explore: invalid choice digit %q at offset %d", s[i], i)
+		}
+		out[i] = j
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Reproducer files pin a failing schedule to disk so it can be committed
+// next to the fix and replayed in CI. The format is two whitespace-keyed
+// lines, with '#' comments:
+//
+//	# found by asvmcheck -walk
+//	scenario xfer-evict
+//	choices 1020013        # base36 digits; "-" is the default schedule
+
+// WriteReproducer saves a reproducer file.
+func WriteReproducer(path, scenario string, ks []int) error {
+	body := fmt.Sprintf("scenario %s\nchoices %s\n", scenario, EncodeChoices(ks))
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+// LoadReproducer parses a reproducer file, returning the scenario name and
+// decoded choice string.
+func LoadReproducer(path string) (scenario string, ks []int, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return "", nil, fmt.Errorf("%s:%d: want \"key value\", got %q", path, ln+1, line)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "scenario":
+			scenario = val
+		case "choices":
+			if ks, err = DecodeChoices(val); err != nil {
+				return "", nil, fmt.Errorf("%s:%d: %v", path, ln+1, err)
+			}
+		default:
+			return "", nil, fmt.Errorf("%s:%d: unknown key %q", path, ln+1, key)
+		}
+	}
+	if scenario == "" {
+		return "", nil, fmt.Errorf("%s: missing \"scenario\" line", path)
+	}
+	return scenario, ks, nil
+}

@@ -1,0 +1,72 @@
+package explore
+
+// Shrink reduces a failing choice string to a minimal reproducer. Zero is
+// special in this encoding — it is the default alternative, and choices
+// past the string's end are implicitly zero — so minimization is two
+// moves: set a choice to 0, and strip trailing zeros. The result is the
+// shortest suffix-free string this greedy pass can reach whose replay
+// still fails; it is verified by re-running every candidate.
+//
+// Random-walk traces can be hundreds of choices long, so a bisection pass
+// first truncates the tail (violations trigger early in these scenarios)
+// before the quadratic zeroing pass runs.
+func Shrink(sc *Scenario, ks []int, mutate Mutate) []int {
+	fails := func(cand []int) bool {
+		return Replay(sc, cand, mutate).V != nil
+	}
+	cur := trimZeros(ks)
+	if !fails(cur) {
+		// Flaky under re-execution would mean broken determinism; be
+		// conservative and return the original string unshrunk.
+		return ks
+	}
+
+	// Coarse truncation for long traces: find a short failing prefix by
+	// bisection. The predicate is not strictly monotonic, so the result is
+	// validated before being adopted.
+	if len(cur) > 48 {
+		lo, hi := 0, len(cur)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if fails(trimZeros(cur[:mid])) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if cand := trimZeros(cur[:hi]); len(cand) < len(cur) && fails(cand) {
+			cur = cand
+		}
+	}
+
+	// Greedy zeroing to fixpoint, deepest choices first (zeroing the tail
+	// also shortens the string via trimZeros).
+	for changed := true; changed; {
+		changed = false
+		for i := len(cur) - 1; i >= 0; i-- {
+			if cur[i] == 0 {
+				continue
+			}
+			cand := append([]int(nil), cur[:i]...)
+			cand = append(cand, 0)
+			cand = append(cand, cur[i+1:]...)
+			cand = trimZeros(cand)
+			if fails(cand) {
+				cur = cand
+				changed = true
+				if i >= len(cur) {
+					i = len(cur)
+				}
+			}
+		}
+	}
+	return cur
+}
+
+func trimZeros(ks []int) []int {
+	n := len(ks)
+	for n > 0 && ks[n-1] == 0 {
+		n--
+	}
+	return append([]int(nil), ks[:n]...)
+}

@@ -1,0 +1,34 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+)
+
+// Smoke is the CI-sized exploration pass shared by `asvmbench -explore` and
+// the workflow smoke leg: a quick DFS over every bounded scenario plus a
+// random walk of walkRuns schedules over the full registry. It stops at the
+// first violation, printing the failure the same way asvmcheck does, and
+// returns an error carrying the reproducer.
+func Smoke(w io.Writer, walkRuns int, seed uint64) error {
+	opt := DFSOptions{MaxChoices: 8, MaxRuns: 400}
+	for _, sc := range BoundedScenarios() {
+		r := DFS(sc, opt, nil)
+		if r.V != nil {
+			fmt.Fprintf(w, "explore dfs  %-10s VIOLATION: %v\n", sc.Name, r.V)
+			return fmt.Errorf("scenario %s: %v (reproducer %s)",
+				sc.Name, r.V.Err, EncodeChoices(r.Reproducer))
+		}
+		fmt.Fprintf(w, "explore dfs  %-10s %4d schedules clean\n", sc.Name, r.Runs)
+	}
+	for _, sc := range Scenarios() {
+		r := Walk(sc, walkRuns, seed, nil)
+		if r.V != nil {
+			fmt.Fprintf(w, "explore walk %-10s VIOLATION: %v\n", sc.Name, r.V)
+			return fmt.Errorf("scenario %s: %v (reproducer %s)",
+				sc.Name, r.V.Err, EncodeChoices(r.Reproducer))
+		}
+		fmt.Fprintf(w, "explore walk %-10s %4d schedules clean\n", sc.Name, r.Runs)
+	}
+	return nil
+}

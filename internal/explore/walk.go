@@ -1,0 +1,31 @@
+package explore
+
+import "asvm/internal/sim"
+
+// WalkResult summarizes a random-walk campaign.
+type WalkResult struct {
+	Runs int
+	// V is the first violation found (nil: none); Reproducer its shrunk
+	// choice string.
+	V          *Violation
+	Reproducer []int
+}
+
+// Walk samples runs schedules of sc uniformly at random from seed,
+// stopping at the first violation (which it shrinks). Unlike DFS it
+// perturbs every choice point of a run, so it reaches deep interleavings
+// of Table-1-scale scenarios that exhaustive search cannot.
+func Walk(sc *Scenario, runs int, seed uint64, mutate Mutate) WalkResult {
+	var res WalkResult
+	rng := sim.NewRNG(seed)
+	for i := 0; i < runs; i++ {
+		out := runOne(sc, nil, sim.NewRNG(rng.Uint64()), mutate)
+		res.Runs++
+		if out.V != nil {
+			res.V = out.V
+			res.Reproducer = Shrink(sc, Ks(out.Choices), mutate)
+			return res
+		}
+	}
+	return res
+}

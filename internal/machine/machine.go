@@ -54,6 +54,12 @@ type Params struct {
 	// OSMemMB is memory reserved for kernel + OS servers per node.
 	OSMemMB int
 
+	// MemPages, when nonzero, sets the per-node VM cache capacity directly
+	// in pages, overriding MemMB. The schedule explorer uses it to build
+	// tiny caches (2–4 pages) where eviction and ownership transfer
+	// interleave within a handful of events.
+	MemPages int
+
 	// TrackData carries real page contents (correctness tests; large
 	// benchmarks run metadata-only).
 	TrackData bool
@@ -129,6 +135,9 @@ func DefaultParams(n int) Params {
 // UserPages returns the per-node VM cache capacity in pages (0 =
 // unlimited).
 func (p Params) UserPages() int {
+	if p.MemPages > 0 {
+		return p.MemPages
+	}
 	if p.MemMB <= 0 {
 		return 0
 	}
@@ -279,6 +288,11 @@ type Region struct {
 
 // Obj returns the region's vm object on a node.
 func (r *Region) Obj(nodeIdx int) *vm.Object { return r.objs[nodeIdx] }
+
+// ASVMInfo returns the region's ASVM domain description (nil under XMM).
+// The schedule explorer uses it to run invariant checks against the
+// region's cluster-wide state.
+func (r *Region) ASVMInfo() *asvm.DomainInfo { return r.info }
 
 // NewSharedRegion creates a shared memory object across the given node
 // indices, backed by the home node group's paging space. Under ASVM the

@@ -132,6 +132,20 @@ func (nw *Network) serialization(bytes int) time.Duration {
 	return time.Duration(float64(bytes) / nw.cfg.BytesPerSecond * float64(time.Second))
 }
 
+// latencyChoiceSteps are the extra in-flight latency alternatives a
+// schedule chooser may inject per message (choice point: can this delivery
+// overtake, or be overtaken by, nearby protocol activity?). Alternative 0
+// is always "none", so the default schedule is the unperturbed one. The
+// steps bracket the per-message software costs, which is what makes
+// reorderings against neighbouring sends reachable.
+var latencyChoiceSteps = [...]time.Duration{0, 30 * time.Microsecond, 150 * time.Microsecond}
+
+// chooseExtraLatency resolves the per-message latency choice point; it is
+// free (one nil check inside Choose) when no chooser is installed.
+func (nw *Network) chooseExtraLatency() time.Duration {
+	return latencyChoiceSteps[nw.eng.Choose(sim.ChoiceLatency, len(latencyChoiceSteps))]
+}
+
 // Send transmits a message of the given size from src to dst and runs
 // deliver at the destination when the last byte arrives. The sender's NIC
 // is occupied for the serialization time, so concurrent sends from the same
@@ -141,11 +155,11 @@ func (nw *Network) Send(src, dst NodeID, bytes int, deliver func()) {
 	nw.Stats.Messages++
 	nw.Stats.Bytes += uint64(bytes)
 	if src == dst {
-		nw.eng.Schedule(nw.cfg.SetupLatency, deliver)
+		nw.eng.Schedule(nw.cfg.SetupLatency+nw.chooseExtraLatency(), deliver)
 		return
 	}
 	ser := nw.serialization(bytes)
-	flight := nw.cfg.SetupLatency + time.Duration(nw.Hops(src, dst))*nw.cfg.HopLatency
+	flight := nw.cfg.SetupLatency + time.Duration(nw.Hops(src, dst))*nw.cfg.HopLatency + nw.chooseExtraLatency()
 	nw.nics[src].Do(ser, func() {
 		if nw.cfg.LinkContention {
 			stall := nw.occupyRoute(src, dst, ser)
@@ -190,11 +204,11 @@ func (nw *Network) SendRun(src, dst NodeID, bytes int, r sim.Runnable) {
 	nw.Stats.Messages++
 	nw.Stats.Bytes += uint64(bytes)
 	if src == dst {
-		nw.eng.ScheduleRun(nw.cfg.SetupLatency, r)
+		nw.eng.ScheduleRun(nw.cfg.SetupLatency+nw.chooseExtraLatency(), r)
 		return
 	}
 	ser := nw.serialization(bytes)
-	flight := nw.cfg.SetupLatency + time.Duration(nw.Hops(src, dst))*nw.cfg.HopLatency
+	flight := nw.cfg.SetupLatency + time.Duration(nw.Hops(src, dst))*nw.cfg.HopLatency + nw.chooseExtraLatency()
 	var h *hop
 	if n := len(nw.hopPool); n > 0 {
 		h = nw.hopPool[n-1]

@@ -131,6 +131,12 @@ type Engine struct {
 	nprocs int // live procs, for leak detection
 	halted bool
 
+	// chooser is the schedule-exploration hook (see choose.go); nil in
+	// every production run, and the hot loop pays one nil check for it.
+	chooser Chooser
+	// scratch holds same-timestamp candidates while the chooser picks.
+	scratch []event
+
 	// Executed is the total number of events executed so far.
 	Executed uint64
 }
@@ -218,7 +224,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
-		ev := e.q.pop()
+		var ev event
+		if e.chooser != nil {
+			ev = e.popChoose()
+		} else {
+			ev = e.q.pop()
+		}
 		e.now = ev.at
 		e.Executed++
 		if ev.proc != nil {

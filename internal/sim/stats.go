@@ -179,6 +179,7 @@ const (
 	CtrReqNacks
 	CtrSelfUpgrades
 	CtrShadowInterpose
+	CtrStaleGrants
 	CtrStaticMisses
 	CtrStaticOwnerHits
 	CtrStaticPagedHits
@@ -251,6 +252,7 @@ var ctrNames = [NumCtrs]string{
 	CtrReqNacks:          "req_nacks",
 	CtrSelfUpgrades:      "self_upgrades",
 	CtrShadowInterpose:   "shadow_interpose",
+	CtrStaleGrants:       "stale_grants",
 	CtrStaticMisses:      "static_misses",
 	CtrStaticOwnerHits:   "static_owner_hits",
 	CtrStaticPagedHits:   "static_paged_hits",

@@ -208,6 +208,7 @@ func TestCounterNameTableGolden(t *testing.T) {
 		CtrReqNacks:          "req_nacks",
 		CtrSelfUpgrades:      "self_upgrades",
 		CtrShadowInterpose:   "shadow_interpose",
+		CtrStaleGrants:       "stale_grants",
 		CtrStaticMisses:      "static_misses",
 		CtrStaticOwnerHits:   "static_owner_hits",
 		CtrStaticPagedHits:   "static_paged_hits",

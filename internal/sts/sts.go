@@ -194,6 +194,13 @@ func (t *Transport) Send(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes
 		sendCost += t.costs.PagePrep
 		recvCost += t.costs.PagePrep
 	}
+	// Choice point: the receiver's message processor may pick this message
+	// up one dispatch quantum late, letting a concurrently arriving message
+	// overtake it in handler order. Free (Choose short-circuits on the nil
+	// chooser) in production runs.
+	if k := t.eng.Choose(sim.ChoiceLatency, 2); k == 1 {
+		recvCost += t.costs.RecvCPU
+	}
 	d := t.get()
 	d.src, d.dst, d.proto = src, dst, proto
 	d.h, d.m = h, m

@@ -110,6 +110,10 @@ func (t *FaultyTransport) Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes
 		t.inner.Send(src, dst, proto, payloadBytes, m)
 		return
 	}
+	if t.eng.Exploring() {
+		t.sendChoose(src, dst, proto, payloadBytes, m, r)
+		return
+	}
 	if r.Drop > 0 && t.rng.Float64() < r.Drop {
 		t.Dropped++
 		return
@@ -130,6 +134,46 @@ func (t *FaultyTransport) Send(src, dst mesh.NodeID, proto ProtoID, payloadBytes
 		return
 	}
 	t.inner.Send(src, dst, proto, payloadBytes, m)
+}
+
+// sendChoose decides a fault-eligible message's fate under schedule
+// exploration: instead of random draws, each configured fault class becomes
+// one enumerable alternative of a single ChoiceFault point (0 always means
+// "deliver normally", so the default schedule is fault-free). The delay
+// alternative uses the plan's DelayMax deterministically — no RNG is
+// consumed at all while exploring, keeping replay exact.
+func (t *FaultyTransport) sendChoose(src, dst mesh.NodeID, proto ProtoID, payloadBytes int, m interface{}, r Rates) {
+	// Fixed class order (drop, dup, delay) so a choice index always maps to
+	// the same fate for a given plan.
+	n := 1
+	dropAt, dupAt, delayAt := -1, -1, -1
+	if r.Drop > 0 {
+		dropAt = n
+		n++
+	}
+	if r.Dup > 0 {
+		dupAt = n
+		n++
+	}
+	if r.Delay > 0 && r.DelayMax > 0 {
+		delayAt = n
+		n++
+	}
+	switch k := t.eng.Choose(sim.ChoiceFault, n); k {
+	case dropAt:
+		t.Dropped++
+	case dupAt:
+		t.Duplicated++
+		t.inner.Send(src, dst, proto, payloadBytes, m)
+		t.inner.Send(src, dst, proto, payloadBytes, m)
+	case delayAt:
+		t.Delayed++
+		t.eng.Schedule(r.DelayMax, func() {
+			t.inner.Send(src, dst, proto, payloadBytes, m)
+		})
+	default:
+		t.inner.Send(src, dst, proto, payloadBytes, m)
+	}
 }
 
 var _ Transport = (*FaultyTransport)(nil)
