@@ -8,6 +8,7 @@
 //
 // Usage:
 //
+//	asvmbench -list                  # print the valid -exp names
 //	asvmbench -exp table1            # one experiment
 //	asvmbench -exp all -quick        # everything, reduced sweeps
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
@@ -37,8 +38,16 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
 		workers = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut = flag.String("json", "", "write a machine-readable benchmark snapshot to this path and exit")
+		list    = flag.Bool("list", false, "list the valid -exp experiment names and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, n := range exp.ExpNames() {
+			fmt.Println(n)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		t0 := time.Now()

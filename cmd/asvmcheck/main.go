@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"asvm/internal/asvm"
 	"asvm/internal/explore"
 	"asvm/internal/machine"
 )
@@ -40,6 +41,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced budgets (CI smoke)")
 		out      = flag.String("o", "", "write a reproducer file here on failure")
 		selftest = flag.Bool("selftest", false, "plant a known protocol bug and verify the explorer finds it")
+		mincover = flag.Float64("mincover", 0, "fail unless at least this fraction of legal protocol transitions was exercised")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 	}
 
 	scs := pick(*scenario, *walk > 0)
+	var cover asvm.Coverage
 	for _, sc := range scs {
 		t0 := time.Now()
 		var v *explore.Violation
@@ -69,10 +72,12 @@ func main() {
 		if *walk > 0 {
 			r := explore.Walk(sc, *walk, *seed, nil)
 			v, repro = r.V, r.Reproducer
+			cover.Merge(&r.Cover)
 			label = fmt.Sprintf("walk %-10s %4d schedules", sc.Name, r.Runs)
 		} else {
 			r := explore.DFS(sc, opt, nil)
 			v, repro = r.V, r.Reproducer
+			cover.Merge(&r.Cover)
 			state := "budget-capped"
 			if r.Complete {
 				state = "complete"
@@ -91,6 +96,17 @@ func main() {
 			} else {
 				fmt.Printf("  reproducer written to %s\n", *out)
 			}
+		}
+		os.Exit(1)
+	}
+
+	hit, legal := cover.Exercised()
+	frac := float64(hit) / float64(legal)
+	fmt.Printf("transition coverage: %d/%d table entries (%.1f%%)\n", hit, legal, 100*frac)
+	if *mincover > 0 && frac < *mincover {
+		fmt.Fprintf(os.Stderr, "asvmcheck: coverage %.3f below -mincover %.3f; unexercised:\n", frac, *mincover)
+		for _, pair := range cover.Unexercised() {
+			fmt.Fprintf(os.Stderr, "  %s\n", pair)
 		}
 		os.Exit(1)
 	}

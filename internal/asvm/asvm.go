@@ -67,13 +67,18 @@ type Node struct {
 	// Trace is this node's bounded protocol trace sink.
 	Trace *TraceBuf
 
-	// MidCheck, when set, is invoked at every quiesce of a page's busy bit
-	// — the earliest points where the page's cross-node state is supposed
-	// to be consistent again. The schedule explorer installs one to run
-	// CheckPageInvariants mid-flight; production runs leave it nil. The
-	// hook may be called on a proc goroutine (fault path), so it must
+	// MidCheck, when set, is invoked at every quiesce of a page's busy
+	// window — the earliest points where the page's cross-node state is
+	// supposed to be consistent again. The schedule explorer installs one
+	// to run CheckPageInvariants mid-flight; production runs leave it nil.
+	// The hook may be called on a proc goroutine (fault path), so it must
 	// record findings rather than panic.
 	MidCheck func(info *DomainInfo, idx vm.PageIdx)
+
+	// Cover counts every dispatched protocol transition per (state, event)
+	// table cell. The schedule explorer merges these across nodes and runs
+	// to report which legal table entries a search exercised.
+	Cover Coverage
 
 	// Hooks re-enable known-bad behaviours for explorer mutation tests.
 	// All false in production.
@@ -121,44 +126,46 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 	}
 	// Dispatch on the envelope's small-int kind: a jump table instead of a
 	// chain of per-type comparisons. The concrete assertion in each arm is
-	// then unconditional (a mismatched Kind is a construction bug).
+	// then unconditional (a mismatched Kind is a construction bug). Each
+	// arm feeds the page's state machine, passing the already-boxed m
+	// through so the hot path re-boxes nothing.
 	switch env.Kind() {
 	case msgAccessReq:
 		msg := m.(accessReq)
-		n.inst(msg.Obj).handleRequest(msg)
+		n.inst(msg.Obj).dispatch(EvAccessReq, msg.Idx, m)
 	case msgGrant:
 		msg := m.(grantMsg)
-		n.inst(msg.Obj).handleGrant(msg)
+		n.inst(msg.Obj).dispatch(EvGrant, msg.Idx, m)
 	case msgInval:
 		msg := m.(invalMsg)
-		n.inst(msg.Obj).handleInval(msg)
+		n.inst(msg.Obj).dispatch(EvInval, msg.Idx, m)
 	case msgInvalAck:
 		msg := m.(invalAck)
-		n.inst(msg.Obj).handleInvalAck(msg)
+		n.inst(msg.Obj).dispatch(EvInvalAck, msg.Idx, m)
 	case msgOwnerUpdate:
 		msg := m.(ownerUpdate)
-		n.inst(msg.Obj).handleOwnerUpdate(msg)
+		n.inst(msg.Obj).dispatch(EvOwnerUpdate, msg.Idx, m)
 	case msgOwnerXfer:
 		msg := m.(ownerXfer)
-		n.inst(msg.Obj).handleOwnerXfer(msg)
+		n.inst(msg.Obj).dispatch(EvOwnerXfer, msg.Idx, m)
 	case msgOwnerXferAck:
 		msg := m.(ownerXferAck)
-		n.inst(msg.Obj).handleOwnerXferAck(msg)
+		n.inst(msg.Obj).dispatch(EvOwnerXferAck, msg.Idx, m)
 	case msgPageOffer:
 		msg := m.(pageOffer)
-		n.inst(msg.Obj).handlePageOffer(msg)
+		n.inst(msg.Obj).dispatch(EvPageOffer, msg.Idx, m)
 	case msgPageOfferAck:
 		msg := m.(pageOfferAck)
-		n.inst(msg.Obj).handlePageOfferAck(msg)
+		n.inst(msg.Obj).dispatch(EvPageOfferAck, msg.Idx, m)
 	case msgToPager:
 		msg := m.(toPager)
-		n.inst(msg.Obj).handleToPager(msg)
+		n.inst(msg.Obj).dispatch(EvToPager, msg.Idx, m)
 	case msgToPagerAck:
 		msg := m.(toPagerAck)
-		n.inst(msg.Obj).handleToPagerAck(msg)
+		n.inst(msg.Obj).dispatch(EvToPagerAck, msg.Idx, m)
 	case msgPushScanAck:
 		msg := m.(pushScanAck)
-		n.inst(msg.SrcObj).handlePushScanAck(msg)
+		n.inst(msg.SrcObj).dispatch(EvPushScanAck, msg.Idx, m)
 	default:
 		panic(fmt.Sprintf("asvm: unknown message kind %d (%T)", env.Kind(), m))
 	}
@@ -173,7 +180,7 @@ func (n *Node) handleNack(nk xport.Nack) {
 	n.Ctr.V[sim.CtrNacks]++
 	switch msg := nk.Msg.(type) {
 	case accessReq:
-		n.inst(msg.Obj).handleReqNack(nk.Dst, msg)
+		n.inst(msg.Obj).dispatch(EvReqNack, msg.Idx, nk)
 	case ownerUpdate:
 		// A hint refresh for an unreachable static manager: lose the hint,
 		// requests will fall through to the home instead.
@@ -294,7 +301,14 @@ func AddNode(info *DomainInfo, n *Node) *Instance {
 	return newInstance(n, info)
 }
 
-// Teardown removes a domain from every node: local vm objects are
+// actTeardown drops one page's protocol state as its domain goes away.
+// (teardown)
+func actTeardown(in *Instance, idx vm.PageIdx, m interface{}) {
+	in.slots[idx] = pageSlot{}
+}
+
+// Teardown removes a domain from every node: every page's protocol state
+// retires through the EvTeardown transition, local vm objects are
 // destroyed (frames freed) and instances dropped. The caller must have
 // quiesced the domain (no faults in flight), as with Mach's
 // memory_object_terminate.
@@ -304,6 +318,11 @@ func Teardown(cluster []*Node, info *DomainInfo) {
 		in := nd.instances[info.ID]
 		if in == nil {
 			continue
+		}
+		for idx := range in.slots {
+			if in.slots[idx].state != StInvalid {
+				in.dispatch(EvTeardown, vm.PageIdx(idx), nil)
+			}
 		}
 		nd.K.DestroyObject(in.o)
 		delete(nd.instances, info.ID)

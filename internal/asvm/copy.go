@@ -14,12 +14,22 @@ import (
 
 // pushIfNeeded runs before any write grant: if a copy of the domain was
 // made since this page was last pushed, the pre-write contents must reach
-// the newest copy domain first.
-func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
-	if in.info.Copy == nil || ps.version == in.info.Version {
+// the newest copy domain first. The push itself is the EvPushStart
+// transition (Serving → PushWait); an up-to-date page continues
+// synchronously without leaving Serving.
+func (in *Instance) pushIfNeeded(idx vm.PageIdx, cont func()) {
+	if in.info.Copy == nil || in.slots[idx].version == in.info.Version {
 		cont()
 		return
 	}
+	in.dispatch(EvPushStart, idx, cont)
+}
+
+// actPushStart scans the copy domain for an existing page owner before
+// pushing the pre-write contents (paper §3.7.2); the page waits in
+// PushWait for the scan's answer. (pushScan)
+func actPushStart(in *Instance, idx vm.PageIdx, m interface{}) {
+	cont := m.(func())
 	cInst := in.nd.instances[in.info.Copy.ID]
 	if cInst == nil {
 		panic(fmt.Sprintf("asvm: node %d shares %v but has no instance of its copy %v",
@@ -43,15 +53,16 @@ func (in *Instance) pushIfNeeded(ps *pageState, idx vm.PageIdx, cont func()) {
 				cpg.Dirty = true
 				cpg.Lock = vm.ProtRead
 			}
-			cInst.pages[idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: 0}
+			cInst.installOwner(idx, map[mesh.NodeID]bool{}, 0)
 			cInst.announceOwner(idx)
 			in.nd.Ctr.V[sim.CtrPushesInstalled]++
 		} else {
 			in.nd.Ctr.V[sim.CtrPushesCancelled]++
 		}
-		ps.version = in.info.Version
+		in.slots[idx].version = in.info.Version
 		cont()
 	}
+	in.setState(idx, StPushWait)
 	// Push scan: does the copy domain already have an owner for the page?
 	cInst.forward(accessReq{
 		Obj: in.info.Copy.ID, Target: in.info.ID, Idx: idx,
@@ -76,12 +87,16 @@ func (in *Instance) homePushScan(req accessReq, hs *homeState) {
 	in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: req.Idx, Found: found})
 }
 
-func (in *Instance) handlePushScanAck(msg pushScanAck) {
-	cb := in.pendPush[msg.Idx]
+// actPushScanAck resumes the pushing owner: the page returns to Serving
+// and the write grant proceeds (push installed or cancelled). (pushAck)
+func actPushScanAck(in *Instance, idx vm.PageIdx, m interface{}) {
+	msg := m.(pushScanAck)
+	cb := in.pendPush[idx]
 	if cb == nil {
-		panic(fmt.Sprintf("asvm: stray push scan ack for %v page %d", msg.SrcObj, msg.Idx))
+		panic(fmt.Sprintf("asvm: stray push scan ack for %v page %d", msg.SrcObj, idx))
 	}
-	delete(in.pendPush, msg.Idx)
+	delete(in.pendPush, idx)
+	in.setState(idx, StServing)
 	cb(msg.Found)
 }
 

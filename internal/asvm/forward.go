@@ -7,6 +7,7 @@ import (
 
 	"asvm/internal/mesh"
 	"asvm/internal/vm"
+	"asvm/internal/xport"
 )
 
 // hintCache is a bounded FIFO cache of page -> probable-owner hints (the
@@ -138,18 +139,15 @@ func (s *staticLRU) Put(idx vm.PageIdx, e staticEntry) {
 // makes a page momentarily ownerless.
 const homeRetryDelay = 300 * time.Microsecond
 
-// handleRequest is the transport entry point for forwarded requests.
-func (in *Instance) handleRequest(req accessReq) {
-	in.forward(req)
-}
-
 // forward implements the layered redirector: owner short-circuit, request
 // combining, dynamic hints, static managers, global ring scan, and finally
-// the home/pager (paper §3.4).
+// the home/pager (paper §3.4). Requests arriving on the transport enter
+// through the EvAccessReq dispatch; forward is the internal re-entry point
+// for chasing, retries and locally generated requests.
 func (in *Instance) forward(req accessReq) {
 	self := in.self()
 	// Owner short-circuit: the request has arrived.
-	if in.pages[req.Idx] != nil {
+	if in.slots[req.Idx].state.Owner() {
 		in.handleAsOwner(req)
 		return
 	}
@@ -265,6 +263,14 @@ func (in *Instance) continueScanFrom(at mesh.NodeID, req accessReq) {
 		return
 	}
 	in.sendReq(next, req)
+}
+
+// actReqNack resumes a request that bounced off a dead node, whatever our
+// own page state is — we may even own the page by now and serve it.
+// (nackResume)
+func actReqNack(in *Instance, idx vm.PageIdx, m interface{}) {
+	nk := m.(xport.Nack)
+	in.handleReqNack(nk.Dst, nk.Msg.(accessReq))
 }
 
 // handleReqNack resumes a request whose forwarding hop bounced off a node

@@ -10,33 +10,46 @@ import (
 	"asvm/internal/xport"
 )
 
-// pageState is the owner-side state of a page. Only owners hold one — the
-// paper's invariant that a node keeps state only for pages in its VM cache.
-type pageState struct {
-	readers map[mesh.NodeID]bool
-	version uint64 // push version (paper §3.7.2)
-	busy    bool
-	queue   []accessReq
-	// held marks a range-locked page (§6 extension): foreign requests
-	// queue until release.
-	held bool
-}
+// pageSlot is one page's protocol state at this node — one dense table
+// entry per page of the domain, replacing the old owner-side pageState map
+// and the separate pending-fault map. The slot's PageProtoState encodes
+// what the two maps and the busy bool used to say implicitly:
+//
+//	state.Owner()    ⇔ the old pages[idx] != nil
+//	state.Busy()     ⇔ the old pages[idx].busy
+//	state.FaultOut() ⇔ the old pend[idx] != nil
+//
+// The slot array is allocated once per instance and never grows, so
+// &in.slots[idx] is a stable pointer the protocol's completion closures
+// can capture, and the fault-path lookup is an index, not a map probe.
+type pageSlot struct {
+	state PageProtoState
 
-// pendingFault tracks a fault this node has in flight.
-type pendingFault struct {
+	// held marks a range-locked page (§6 extension): foreign requests
+	// queue until release. Only meaningful in owner states.
+	held bool
+
+	// want is the strongest access the outstanding local fault needs
+	// (FaultOut states); retries counts grant retries for it.
 	want    vm.Prot
 	retries int
-	// staleFrom lists nodes that invalidated us while this fault was
+
+	// staleFrom lists nodes that invalidated us while the fault was
 	// outstanding: a non-ownership grant one of them sent before the
 	// invalidation may still be in flight and must not install.
 	staleFrom []mesh.NodeID
+
+	// Owner-side state (owner and busy states).
+	readers map[mesh.NodeID]bool
+	version uint64 // push version (paper §3.7.2)
+	queue   []accessReq
 }
 
 // dropStale consumes one stale-grant marker for from, if present.
-func (pf *pendingFault) dropStale(from mesh.NodeID) bool {
-	for i, n := range pf.staleFrom {
+func (sl *pageSlot) dropStale(from mesh.NodeID) bool {
+	for i, n := range sl.staleFrom {
 		if n == from {
-			pf.staleFrom = append(pf.staleFrom[:i], pf.staleFrom[i+1:]...)
+			sl.staleFrom = append(sl.staleFrom[:i], sl.staleFrom[i+1:]...)
 			return true
 		}
 	}
@@ -64,8 +77,7 @@ type Instance struct {
 
 	pagerCli pager.PagerIO
 
-	pages  map[vm.PageIdx]*pageState
-	pend   map[vm.PageIdx]*pendingFault
+	slots  []pageSlot
 	dyn    *hintCache
 	static *staticLRU
 	home   map[vm.PageIdx]*homeState
@@ -91,8 +103,7 @@ type Instance struct {
 func newInstance(nd *Node, info *DomainInfo) *Instance {
 	in := &Instance{
 		nd: nd, info: info,
-		pages:     make(map[vm.PageIdx]*pageState),
-		pend:      make(map[vm.PageIdx]*pendingFault),
+		slots:     make([]pageSlot, info.SizePages),
 		dyn:       newHintCache(info.Cfg.DynamicCacheSize),
 		static:    newStaticLRU(info.Cfg.StaticCacheSize),
 		home:      make(map[vm.PageIdx]*homeState),
@@ -111,7 +122,7 @@ func newInstance(nd *Node, info *DomainInfo) *Instance {
 		o.Mgr = in
 		o.Strategy = vm.CopyAsymmetric
 		for idx := range o.Pages {
-			in.pages[idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: info.Version}
+			in.installOwner(idx, map[mesh.NodeID]bool{}, info.Version)
 			if nd.Self == info.Home {
 				in.home[idx] = &homeState{granted: true}
 			}
@@ -134,16 +145,46 @@ func (in *Instance) Obj() *vm.Object { return in.o }
 func (in *Instance) Info() *DomainInfo { return in.info }
 
 // Owns reports whether this node currently owns the page.
-func (in *Instance) Owns(idx vm.PageIdx) bool { return in.pages[idx] != nil }
+func (in *Instance) Owns(idx vm.PageIdx) bool { return in.slots[idx].state.Owner() }
+
+// State returns the page's current protocol state at this node.
+func (in *Instance) State(idx vm.PageIdx) PageProtoState { return in.slots[idx].state }
 
 func (in *Instance) self() mesh.NodeID { return in.nd.Self }
 
-// clearBusy quiesces a page's busy bit. When a mid-flight checker is
-// attached (schedule exploration), this is where it fires: the quiesce is
-// the earliest moment the page's cross-node state must be consistent
-// again. Production runs pay one nil check.
-func (in *Instance) clearBusy(idx vm.PageIdx, ps *pageState) {
-	ps.busy = false
+// installOwner makes this node the page's owner at rest — Owner or
+// OwnerSole per the reader list — taking over whatever state the slot was
+// in. Fault bookkeeping (want/retries/staleFrom) is deliberately left in
+// place: ownership can land while a local fault is still formally
+// outstanding (push installs), and the eventual grant settles it.
+func (in *Instance) installOwner(idx vm.PageIdx, readers map[mesh.NodeID]bool, version uint64) {
+	sl := &in.slots[idx]
+	sl.readers = readers
+	sl.version = version
+	in.setState(idx, restOwnerState(len(readers)))
+}
+
+// leaveOwner drops ownership: the slot returns to Invalid, keeping any
+// queued requests (the drain re-forwards them to the new owner).
+func (in *Instance) leaveOwner(idx vm.PageIdx) {
+	sl := &in.slots[idx]
+	sl.readers = nil
+	sl.version = 0
+	sl.held = false
+	in.setState(idx, StInvalid)
+}
+
+// quiesce ends a busy window: the page returns to its at-rest owner state
+// (or stays wherever the operation left it, e.g. Invalid after the
+// ownership moved away). When a mid-flight checker is attached (schedule
+// exploration), this is where it fires: the quiesce is the earliest moment
+// the page's cross-node state must be consistent again. Production runs
+// pay one nil check.
+func (in *Instance) quiesce(idx vm.PageIdx) {
+	sl := &in.slots[idx]
+	if sl.state.Busy() {
+		in.setState(idx, restOwnerState(len(sl.readers)))
+	}
 	if in.nd.MidCheck != nil {
 		in.nd.MidCheck(in.info, idx)
 	}
@@ -173,19 +214,11 @@ func copyData(d []byte) []byte {
 // DataRequest implements vm.MemoryManager: the local VM cache misses.
 func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 	in.nd.Ctr.V[sim.CtrDataRequests]++
-	pf := in.pend[idx]
-	if pf == nil {
-		pf = &pendingFault{}
-		in.pend[idx] = pf
+	ev := EvFaultRead
+	if desired >= vm.ProtWrite {
+		ev = EvFaultWrite
 	}
-	if desired > pf.want {
-		pf.want = desired
-	}
-	in.forward(accessReq{
-		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
-		Want: desired, ReqKind: kindAccess,
-		Origin: in.self(), LastFrom: in.self(),
-	})
+	in.dispatch(ev, idx, desired)
 }
 
 // DataUnlock implements vm.MemoryManager: a write upgrade on a resident
@@ -193,22 +226,25 @@ func (in *Instance) DataRequest(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 // the owner sees us on its reader list and grants without contents.
 func (in *Instance) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 	in.nd.Ctr.V[sim.CtrDataUnlocks]++
-	if ps := in.pages[idx]; ps != nil {
-		req := accessReq{
-			Obj: in.info.ID, Target: in.info.ID, Idx: idx,
-			Want: desired, ReqKind: kindAccess,
-			Origin: in.self(), LastFrom: in.self(),
-		}
-		in.handleAsOwner(req)
-		return
+	in.dispatch(EvFaultWrite, idx, desired)
+}
+
+// Terminate implements vm.MemoryManager.
+func (in *Instance) Terminate(o *vm.Object) {}
+
+// actFault starts or widens an outstanding fault at a non-owner: remember
+// the strongest access wanted, mark the page faulting, and enter the
+// request redirector. (faultStart/faultMerge/upgradeStart)
+func actFault(in *Instance, idx vm.PageIdx, m interface{}) {
+	desired := m.(vm.Prot)
+	sl := &in.slots[idx]
+	if desired > sl.want {
+		sl.want = desired
 	}
-	pf := in.pend[idx]
-	if pf == nil {
-		pf = &pendingFault{}
-		in.pend[idx] = pf
-	}
-	if desired > pf.want {
-		pf.want = desired
+	if sl.want >= vm.ProtWrite {
+		in.setState(idx, StFaultOutWrite)
+	} else {
+		in.setState(idx, StFaultOutRead)
 	}
 	in.forward(accessReq{
 		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
@@ -217,39 +253,52 @@ func (in *Instance) DataUnlock(o *vm.Object, idx vm.PageIdx, desired vm.Prot) {
 	})
 }
 
-// Terminate implements vm.MemoryManager.
-func (in *Instance) Terminate(o *vm.Object) {}
+// actFaultOwner serves (or queues) a local write upgrade at the owner —
+// transition 7 of the paper's state machine. (upgradeSelf/upgradeQueue)
+func actFaultOwner(in *Instance, idx vm.PageIdx, m interface{}) {
+	desired := m.(vm.Prot)
+	in.handleAsOwner(accessReq{
+		Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+		Want: desired, ReqKind: kindAccess,
+		Origin: in.self(), LastFrom: in.self(),
+	})
+}
 
 // ---------------------------------------------------------------------------
 // Grant / invalidation handling
 
-func (in *Instance) handleGrant(g grantMsg) {
-	pf := in.pend[g.Idx]
+// actGrant answers this node's outstanding fault — or tolerates a grant
+// that arrives after the fault was satisfied through another path (retry
+// races and push installs make that reachable). (grant/grantLate)
+func actGrant(in *Instance, idx vm.PageIdx, m interface{}) {
+	g := m.(grantMsg)
+	sl := &in.slots[idx]
+	faulting := sl.state.FaultOut()
 	if g.Retry {
-		if pf == nil {
+		if !faulting {
 			return // request already satisfied through another path
 		}
-		pf.retries++
-		if pf.retries > 10000 {
-			panic(fmt.Sprintf("asvm: grant retry livelock on %v page %d at node %d", in.info.ID, g.Idx, in.self()))
+		sl.retries++
+		if sl.retries > 10000 {
+			panic(fmt.Sprintf("asvm: grant retry livelock on %v page %d at node %d", in.info.ID, idx, in.self()))
 		}
 		in.nd.Ctr.V[sim.CtrGrantRetries]++
 		in.forward(accessReq{
-			Obj: in.info.ID, Target: in.info.ID, Idx: g.Idx,
-			Want: pf.want, ReqKind: kindAccess,
+			Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+			Want: sl.want, ReqKind: kindAccess,
 			Origin: in.self(), LastFrom: in.self(),
 		})
 		return
 	}
-	if pf != nil && !g.Ownership && pf.dropStale(g.From) {
+	if faulting && !g.Ownership && sl.dropStale(g.From) {
 		// The granting owner invalidated us after issuing this grant (the
 		// invalidation overtook it in flight): the copy it carries is dead
 		// on arrival. Discard it and chase the current owner. Ownership
 		// grants are exempt — they carry present authority, not a copy.
 		in.nd.Ctr.V[sim.CtrStaleGrants]++
 		in.forward(accessReq{
-			Obj: in.info.ID, Target: in.info.ID, Idx: g.Idx,
-			Want: pf.want, ReqKind: kindAccess,
+			Obj: in.info.ID, Target: in.info.ID, Idx: idx,
+			Want: sl.want, ReqKind: kindAccess,
 			Origin: in.self(), LastFrom: in.self(),
 		})
 		return
@@ -257,29 +306,31 @@ func (in *Instance) handleGrant(g grantMsg) {
 	switch {
 	case g.Fresh:
 		in.nd.Ctr.V[sim.CtrFreshGrants]++
-		in.nd.K.DataUnavailable(in.o, g.Idx, g.Lock)
+		in.nd.K.DataUnavailable(in.o, idx, g.Lock)
 	case g.HasData:
-		in.nd.K.DataSupply(in.o, g.Idx, g.Data, g.Lock, false)
+		in.nd.K.DataSupply(in.o, idx, g.Data, g.Lock, false)
 	default:
-		in.nd.K.LockGrant(in.o, g.Idx, g.Lock)
+		in.nd.K.LockGrant(in.o, idx, g.Lock)
 	}
-	delete(in.pend, g.Idx)
 	if g.Ownership {
-		in.trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, g.Idx, g.Fresh, g.HasData, g.Lock, g.From, pf == nil)
+		in.trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, idx, g.Fresh, g.HasData, g.Lock, g.From, !faulting)
 		readers := make(map[mesh.NodeID]bool, len(g.Readers))
 		for _, r := range g.Readers {
 			if r != in.self() {
 				readers[r] = true
 			}
 		}
-		in.pages[g.Idx] = &pageState{readers: readers, version: g.Version}
-		if pg := in.o.Pages[g.Idx]; pg != nil && !g.AtPagerCopy {
+		in.installOwner(idx, readers, g.Version)
+		if pg := in.o.Pages[idx]; pg != nil && !g.AtPagerCopy {
 			// Unless the pager also holds these contents, the owner is
 			// solely responsible for them: never drop silently.
 			pg.Dirty = true
 		}
-		in.announceOwner(g.Idx)
+		in.announceOwner(idx)
+	} else if !sl.state.Owner() {
+		in.setState(idx, StReadShared)
 	}
+	sl.want, sl.retries, sl.staleFrom = 0, 0, nil
 }
 
 // announceOwner refreshes the static ownership manager's cache.
@@ -294,6 +345,12 @@ func (in *Instance) announceOwner(idx vm.PageIdx) {
 		return
 	}
 	in.send(sm, upd)
+}
+
+// actOwnerUpdate refreshes the static cache; orthogonal to the page's own
+// protocol state. (ownerHint)
+func actOwnerUpdate(in *Instance, idx vm.PageIdx, m interface{}) {
+	in.handleOwnerUpdate(m.(ownerUpdate))
 }
 
 func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
@@ -311,24 +368,28 @@ type invalBatch struct {
 }
 
 // invalidateReaders sends invalidations to every reader except keep, waits
-// for all acks, clears the reader list and continues (transitions 6/7).
-func (in *Instance) invalidateReaders(ps *pageState, idx vm.PageIdx, newOwner mesh.NodeID, cont func()) {
+// for all acks in the InvalWait state, clears the reader list and resumes
+// the Serving window (transitions 6/7).
+func (in *Instance) invalidateReaders(idx vm.PageIdx, newOwner mesh.NodeID, cont func()) {
+	sl := &in.slots[idx]
 	var targets []mesh.NodeID
-	for r := range ps.readers {
+	for r := range sl.readers {
 		if r != newOwner && r != in.self() {
 			targets = append(targets, r)
 		}
 	}
 	sortNodeIDs(targets)
 	if len(targets) == 0 {
-		ps.readers = make(map[mesh.NodeID]bool)
+		sl.readers = make(map[mesh.NodeID]bool)
 		cont()
 		return
 	}
 	in.seq++
 	seq := in.seq
+	in.setState(idx, StInvalWait)
 	in.pendInval[seq] = &invalBatch{remaining: len(targets), cont: func() {
-		ps.readers = make(map[mesh.NodeID]bool)
+		in.setState(idx, StServing)
+		sl.readers = make(map[mesh.NodeID]bool)
 		cont()
 	}}
 	for _, r := range targets {
@@ -337,23 +398,35 @@ func (in *Instance) invalidateReaders(ps *pageState, idx vm.PageIdx, newOwner me
 	}
 }
 
-func (in *Instance) handleInval(iv invalMsg) {
-	// Transition 8: drop the read copy and learn the new owner.
-	in.nd.K.LockRequest(in.o, iv.Idx, vm.ProtNone, false, nil)
-	if pf := in.pend[iv.Idx]; pf != nil {
+// actInval is transition 8 at a reader: drop the read copy, learn the new
+// owner, and — if our own fault is outstanding — remember the sender so a
+// grant it issued before invalidating us is discarded on arrival.
+// (invalLate/invalStale/invalDrop)
+func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
+	iv := m.(invalMsg)
+	// Dropping a dirty copy re-enters the machine as EvEvict (the kernel
+	// returns the contents); a clean copy is just removed.
+	in.nd.K.LockRequest(in.o, idx, vm.ProtNone, false, nil)
+	sl := &in.slots[idx]
+	if sl.state.FaultOut() {
 		// The sender may have served our outstanding fault just before
 		// invalidating us — that grant is still in flight and now stale.
-		// Remember the sender so handleGrant can discard it instead of
-		// installing a copy the new owner does not know about.
-		pf.staleFrom = append(pf.staleFrom, iv.From)
+		sl.staleFrom = append(sl.staleFrom, iv.From)
 	}
 	if in.info.Cfg.DynamicForwarding {
-		in.dyn.Put(iv.Idx, iv.NewOwner)
+		in.dyn.Put(idx, iv.NewOwner)
 	}
-	in.send(iv.From, invalAck{Obj: in.info.ID, Idx: iv.Idx, Seq: iv.Seq})
+	in.send(iv.From, invalAck{Obj: in.info.ID, Idx: idx, Seq: iv.Seq})
+	if sl.state == StReadShared {
+		// A clean copy's removal fires no DataReturn: normalize here.
+		in.setState(idx, StInvalid)
+	}
 }
 
-func (in *Instance) handleInvalAck(ack invalAck) {
+// actInvalAck completes one invalidation in the owner's InvalWait round.
+// (invalAck)
+func actInvalAck(in *Instance, idx vm.PageIdx, m interface{}) {
+	ack := m.(invalAck)
 	b := in.pendInval[ack.Seq]
 	if b == nil {
 		panic(fmt.Sprintf("asvm: stray invalidation ack seq %d", ack.Seq))

@@ -20,7 +20,10 @@ import (
 //  4. home bookkeeping: an owner exists if and only if the home believes
 //     the page is granted (never both granted and at-pager);
 //  5. no dangling protocol state: no busy pages, queued requests, pending
-//     faults, or unacknowledged transfers.
+//     faults, or unacknowledged transfers;
+//  6. protocol-state coherence: each page's PageProtoState agrees with
+//     the data it summarizes — Owner has readers, OwnerSole has none, a
+//     ReadShared node holds the copy and appears on the owner's list.
 //
 // It must be called with the simulation drained (Engine.Pending() == 0).
 func CheckInvariants(cluster []*Node, info *DomainInfo) error {
@@ -31,6 +34,7 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 	}
 	holders := make(map[vm.PageIdx][]holder)
 	owners := make(map[vm.PageIdx][]*Instance)
+	readShared := make(map[vm.PageIdx][]mesh.NodeID)
 
 	for _, nid := range info.Mapping {
 		nd := nodeByID(cluster, nid)
@@ -38,22 +42,44 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 		if in == nil {
 			return fmt.Errorf("asvm: node %d lost its instance of %v", nid, info.ID)
 		}
-		if len(in.pend) != 0 {
-			return fmt.Errorf("asvm: node %d has %d pending faults", nid, len(in.pend))
+		pend := 0
+		for i := range in.slots {
+			if in.slots[i].state.FaultOut() {
+				pend++
+			}
+		}
+		if pend != 0 {
+			return fmt.Errorf("asvm: node %d has %d pending faults", nid, pend)
 		}
 		if len(in.pendInval) != 0 || len(in.pendXfer) != 0 || len(in.pendPush) != 0 || len(in.pendPgr) != 0 {
 			return fmt.Errorf("asvm: node %d has dangling protocol completions", nid)
 		}
-		for idx, ps := range in.pages {
-			if ps.busy {
-				return fmt.Errorf("asvm: node %d page %d still busy", nid, idx)
+		for i := range in.slots {
+			idx := vm.PageIdx(i)
+			sl := &in.slots[i]
+			if sl.state.Busy() {
+				return fmt.Errorf("asvm: node %d page %d still busy (%v)", nid, idx, sl.state)
 			}
-			if len(ps.queue) != 0 {
-				return fmt.Errorf("asvm: node %d page %d has %d queued requests", nid, idx, len(ps.queue))
+			if len(sl.queue) != 0 {
+				return fmt.Errorf("asvm: node %d page %d has %d queued requests", nid, idx, len(sl.queue))
 			}
-			owners[idx] = append(owners[idx], in)
-			if !in.o.Resident(idx) {
-				return fmt.Errorf("asvm: node %d owns page %d without holding it (owner invariant)", nid, idx)
+			switch sl.state {
+			case StOwner, StOwnerSole:
+				owners[idx] = append(owners[idx], in)
+				if !in.o.Resident(idx) {
+					return fmt.Errorf("asvm: node %d owns page %d without holding it (owner invariant)", nid, idx)
+				}
+				if sl.state == StOwner && len(sl.readers) == 0 {
+					return fmt.Errorf("asvm: node %d page %d in state Owner with no readers", nid, idx)
+				}
+				if sl.state == StOwnerSole && len(sl.readers) != 0 {
+					return fmt.Errorf("asvm: node %d page %d in state OwnerSole with %d readers", nid, idx, len(sl.readers))
+				}
+			case StReadShared:
+				if !in.o.Resident(idx) {
+					return fmt.Errorf("asvm: node %d page %d in state ReadShared without a copy", nid, idx)
+				}
+				readShared[idx] = append(readShared[idx], nid)
 			}
 		}
 		for idx, pg := range in.o.Pages {
@@ -71,6 +97,21 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 		}
 	}
 
+	// Protocol-state coherence: a ReadShared node is on its owner's list
+	// (the state says "the owner will invalidate me before any write").
+	for idx, ns := range readShared {
+		os := owners[idx]
+		if len(os) == 0 {
+			return fmt.Errorf("asvm: page %d read-shared on %v with no owner", idx, ns)
+		}
+		for _, n := range ns {
+			if !os[0].slots[idx].readers[n] {
+				return fmt.Errorf("asvm: page %d read-shared at node %d but absent from owner %d's reader list",
+					idx, n, os[0].self())
+			}
+		}
+	}
+
 	for idx, hs := range holders {
 		os := owners[idx]
 		if len(os) == 0 {
@@ -85,7 +126,7 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 					return fmt.Errorf("asvm: page %d write-held by non-owner node %d", idx, h.node)
 				}
 			}
-			if h.in != owner && !owner.pages[idx].readers[h.node] {
+			if h.in != owner && !owner.slots[idx].readers[h.node] {
 				return fmt.Errorf("asvm: page %d held by node %d unknown to owner %d",
 					idx, h.node, owner.self())
 			}
@@ -115,22 +156,25 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 }
 
 // CheckPageInvariants validates the safety core of the protocol for one
-// page mid-flight — it is sound at any busy-bit quiesce point, not just at
-// full drain. Liveness-flavoured properties (an owner exists, home
-// bookkeeping agrees) are deliberately NOT checked here: a grant or
-// transfer legitimately in flight leaves zero owners, or a home whose view
-// lags. What can never happen, even transiently, once no instance is
+// page mid-flight — it is sound at any quiesce point, not just at full
+// drain. Liveness-flavoured properties (an owner exists, home bookkeeping
+// agrees) are deliberately NOT checked here: a grant or transfer
+// legitimately in flight leaves zero owners, or a home whose view lags.
+// What can never happen, even transiently, once no instance is
 // mid-operation on the page:
 //
 //  1. two owners (an ownership transfer hands over before the sender
 //     forgets, but the sender stays busy until it has — so two owners with
-//     all busy bits clear is a real protocol bug);
+//     every node's page at rest is a real protocol bug);
 //  2. an owner not holding the page in its VM cache;
 //  3. a writer that is not the owner, or a writer coexisting with copies;
-//  4. a (non-owner) copy the owner does not know about.
+//  4. a (non-owner) copy the owner does not know about;
+//  5. protocol-state incoherence: an at-rest owner whose Owner/OwnerSole
+//     split disagrees with its reader list, or a ReadShared node without
+//     its copy or missing from the owner's reader list.
 //
-// If any instance still has the page busy, the check vacuously passes —
-// that instance's operation is mid-protocol and owns the page's
+// If any instance still has the page in a busy state, the check vacuously
+// passes — that instance's operation is mid-protocol and owns the page's
 // consistency. Returns nil when the page is consistent.
 func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) error {
 	var owners []*Instance
@@ -140,6 +184,7 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 		in   *Instance
 	}
 	var holders []holder
+	var readShared []mesh.NodeID
 
 	for _, nid := range info.Mapping {
 		nd := nodeByID(cluster, nid)
@@ -147,11 +192,24 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 		if in == nil {
 			return fmt.Errorf("asvm: node %d lost its instance of %v", nid, info.ID)
 		}
-		if ps := in.pages[idx]; ps != nil {
-			if ps.busy {
-				return nil // mid-operation: state legitimately transient
-			}
+		sl := &in.slots[idx]
+		if sl.state.Busy() {
+			return nil // mid-operation: state legitimately transient
+		}
+		switch sl.state {
+		case StOwner, StOwnerSole:
 			owners = append(owners, in)
+			if sl.state == StOwner && len(sl.readers) == 0 {
+				return fmt.Errorf("asvm: node %d page %d in state Owner with no readers", nid, idx)
+			}
+			if sl.state == StOwnerSole && len(sl.readers) != 0 {
+				return fmt.Errorf("asvm: node %d page %d in state OwnerSole with %d readers", nid, idx, len(sl.readers))
+			}
+		case StReadShared:
+			if !in.o.Resident(idx) {
+				return fmt.Errorf("asvm: node %d page %d in state ReadShared without a copy", nid, idx)
+			}
+			readShared = append(readShared, nid)
 		}
 		if pg := in.o.Pages[idx]; pg != nil {
 			holders = append(holders, holder{nid, pg, in})
@@ -181,7 +239,7 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 				return fmt.Errorf("asvm: page %d write-held by non-owner node %d", idx, h.node)
 			}
 		}
-		if owner != nil && h.in != owner && !owner.pages[idx].readers[h.node] {
+		if owner != nil && h.in != owner && !owner.slots[idx].readers[h.node] {
 			return fmt.Errorf("asvm: page %d held by node %d unknown to owner %d",
 				idx, h.node, owner.self())
 		}
@@ -189,12 +247,20 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 	if writers > 0 && len(holders) > 1 {
 		return fmt.Errorf("asvm: page %d has a writer and %d other copies", idx, len(holders)-1)
 	}
+	if owner != nil {
+		for _, n := range readShared {
+			if !owner.slots[idx].readers[n] {
+				return fmt.Errorf("asvm: page %d read-shared at node %d but absent from owner %d's reader list",
+					idx, n, owner.self())
+			}
+		}
+	}
 	return nil
 }
 
-// DumpPage renders one page's cross-node protocol state — owners with
-// reader lists, holders with locks, home bookkeeping, in-flight protocol
-// state — for invariant-failure reports.
+// DumpPage renders one page's cross-node protocol state — each node's
+// PageProtoState, owner reader lists, holders with locks, home
+// bookkeeping, in-flight fault state — for invariant-failure reports.
 func DumpPage(cluster []*Node, info *DomainInfo, idx vm.PageIdx) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "page %d of %v:", idx, info.ID)
@@ -204,21 +270,25 @@ func DumpPage(cluster []*Node, info *DomainInfo, idx vm.PageIdx) string {
 		if in == nil {
 			continue
 		}
+		sl := &in.slots[idx]
 		var parts []string
-		if ps := in.pages[idx]; ps != nil {
-			readers := make([]mesh.NodeID, 0, len(ps.readers))
-			for r := range ps.readers {
+		if sl.state != StInvalid {
+			parts = append(parts, fmt.Sprintf("state=%v", sl.state))
+		}
+		if sl.state.Owner() {
+			readers := make([]mesh.NodeID, 0, len(sl.readers))
+			for r := range sl.readers {
 				readers = append(readers, r)
 			}
 			sortNodeIDs(readers)
-			parts = append(parts, fmt.Sprintf("owner readers=%v busy=%v held=%v queued=%d ver=%d",
-				readers, ps.busy, ps.held, len(ps.queue), ps.version))
+			parts = append(parts, fmt.Sprintf("readers=%v held=%v queued=%d ver=%d",
+				readers, sl.held, len(sl.queue), sl.version))
 		}
 		if pg := in.o.Pages[idx]; pg != nil {
 			parts = append(parts, fmt.Sprintf("holds lock=%v evicting=%v", pg.Lock, pg.Evicting))
 		}
-		if in.pend[idx] != nil {
-			parts = append(parts, "fault-pending")
+		if sl.state.FaultOut() {
+			parts = append(parts, fmt.Sprintf("fault-pending want=%v staleFrom=%v", sl.want, sl.staleFrom))
 		}
 		if hs := in.home[idx]; hs != nil {
 			parts = append(parts, fmt.Sprintf("home granted=%v atPager=%v", hs.granted, hs.atPager))

@@ -39,7 +39,7 @@ func TestInvariantsDetectDoubleOwner(t *testing.T) {
 	// Corrupt: force a second owner.
 	in1 := c.asvms[1].Instance(sharedID)
 	c.kerns[1].InstallPage(in1.o, 0, nil, vm.ProtWrite)
-	in1.pages[0] = &pageState{readers: map[mesh.NodeID]bool{}}
+	in1.installOwner(0, map[mesh.NodeID]bool{}, 0)
 	if err := CheckInvariants(c.asvms, info); err == nil {
 		t.Fatal("double owner not detected")
 	}
@@ -79,7 +79,7 @@ func TestInvariantsDetectOwnerWithoutPage(t *testing.T) {
 func TestInvariantsDetectUnknownReader(t *testing.T) {
 	err := corruptibleCluster(t, func(c *cluster) {
 		in0 := c.asvms[0].Instance(sharedID)
-		delete(in0.pages[0].readers, 1)
+		delete(in0.slots[0].readers, 1)
 	})
 	if err == nil {
 		t.Fatal("reader unknown to the owner not detected")
@@ -99,10 +99,69 @@ func TestInvariantsDetectHomeGrantMismatch(t *testing.T) {
 func TestInvariantsDetectDanglingBusy(t *testing.T) {
 	err := corruptibleCluster(t, func(c *cluster) {
 		in0 := c.asvms[0].Instance(sharedID)
-		in0.pages[0].busy = true
+		in0.slots[0].state = StServing
 	})
 	if err == nil {
 		t.Fatal("dangling busy state not detected")
+	}
+}
+
+// The protocol-state coherence checks added with the explicit state
+// machine: each corruption makes the PageProtoState lie about the data it
+// summarizes, and CheckInvariants must call it out.
+
+func TestInvariantsDetectOwnerStateWithoutReaders(t *testing.T) {
+	// After tasks[0] writes and tasks[1] reads, node 0 is in StOwner with
+	// node 1 on its reader list. Empty the list without changing state:
+	// StOwner now claims readers that do not exist. (The unknown-reader
+	// check also fires for node 1's copy, so corrupt the state first.)
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		in0.slots[0].state = StOwner
+		in0.slots[0].readers = map[mesh.NodeID]bool{}
+		// Silence the holder-based check so the state-coherence check is
+		// what must catch this: drop node 1's copy and its ReadShared state.
+		in1 := c.asvms[1].Instance(sharedID)
+		c.kerns[1].RemovePage(in1.o, 0)
+		in1.slots[0] = pageSlot{}
+	})
+	if err == nil {
+		t.Fatal("Owner state with empty reader list not detected")
+	}
+}
+
+func TestInvariantsDetectOwnerSoleStateWithReaders(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		in0.slots[0].state = StOwnerSole
+	})
+	if err == nil {
+		t.Fatal("OwnerSole state with readers not detected")
+	}
+}
+
+func TestInvariantsDetectReadSharedWithoutCopy(t *testing.T) {
+	err := corruptibleCluster(t, func(c *cluster) {
+		in1 := c.asvms[1].Instance(sharedID)
+		c.kerns[1].RemovePage(in1.o, 0)
+	})
+	if err == nil {
+		t.Fatal("ReadShared state without a resident copy not detected")
+	}
+}
+
+func TestInvariantsDetectReadSharedOffOwnerList(t *testing.T) {
+	// Drop node 1 from the owner's reader list and fix up the owner's own
+	// Owner/OwnerSole split so only node 1's surviving ReadShared state
+	// disagrees: the state-coherence check (which runs before the
+	// holder-based checks) must flag it.
+	err := corruptibleCluster(t, func(c *cluster) {
+		in0 := c.asvms[0].Instance(sharedID)
+		delete(in0.slots[0].readers, 1)
+		in0.slots[0].state = StOwnerSole
+	})
+	if err == nil {
+		t.Fatal("ReadShared node missing from owner's reader list not detected")
 	}
 }
 

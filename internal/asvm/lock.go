@@ -34,14 +34,14 @@ func (in *Instance) AcquireRange(p *sim.Proc, task *vm.Task, base vm.Addr, lo, h
 			if _, err := task.Touch(p, addr, vm.ProtWrite); err != nil {
 				return err
 			}
-			ps := in.pages[idx]
-			if ps == nil || ps.busy {
+			sl := &in.slots[idx]
+			if !sl.state.AtRest() {
 				// Ownership was stolen (or is mid-operation) between the
 				// fault resolving and now; go again.
 				p.Yield()
 				continue
 			}
-			ps.held = true
+			sl.held = true
 			in.nd.K.Pin(in.o, idx)
 			in.nd.Ctr.V[sim.CtrRangeLocks]++
 			break
@@ -54,21 +54,20 @@ func (in *Instance) AcquireRange(p *sim.Proc, task *vm.Task, base vm.Addr, lo, h
 // and queued foreign requests are served.
 func (in *Instance) ReleaseRange(lo, hi vm.PageIdx) {
 	for idx := lo; idx < hi; idx++ {
-		ps := in.pages[idx]
-		if ps == nil || !ps.held {
+		sl := &in.slots[idx]
+		if !sl.held {
 			continue
 		}
-		ps.held = false
+		sl.held = false
 		in.nd.K.Unpin(in.o, idx)
 		in.nd.Ctr.V[sim.CtrRangeUnlocks]++
-		if !ps.busy {
-			in.drainQueue(idx, ps)
+		if !sl.state.Busy() {
+			in.drainQueue(idx)
 		}
 	}
 }
 
 // Held reports whether the page is currently range-locked by this node.
 func (in *Instance) Held(idx vm.PageIdx) bool {
-	ps := in.pages[idx]
-	return ps != nil && ps.held
+	return in.slots[idx].held
 }

@@ -7,30 +7,38 @@ import (
 	"asvm/internal/vm"
 )
 
+// actAccessReq routes one request through the page state machine: at a
+// non-owner it re-enters the redirector, at an owner at rest it is served,
+// and at a busy owner it queues. (fwdReq/serveReq/queueReq)
+func actAccessReq(in *Instance, idx vm.PageIdx, m interface{}) {
+	in.handleAsOwner(m.(accessReq))
+}
+
 // handleAsOwner runs the page state machine (Figure 7) at the page owner.
 // Operations on one page are serialized: a busy page queues requests.
 func (in *Instance) handleAsOwner(req accessReq) {
-	ps := in.pages[req.Idx]
-	if ps == nil {
-		// Ownership left between queueing and processing: chase it.
+	sl := &in.slots[req.Idx]
+	if !sl.state.Owner() {
+		// Ownership left between queueing and processing (or never arrived
+		// here): chase it.
 		in.forward(req)
 		return
 	}
-	if ps.busy || (ps.held && req.Origin != in.self()) {
-		ps.queue = append(ps.queue, req)
+	if sl.state.Busy() || (sl.held && req.Origin != in.self()) {
+		sl.queue = append(sl.queue, req)
 		return
 	}
-	in.process(req, ps)
+	in.process(req)
 }
 
-// process executes one request at the owner. It must be entered with
-// ps.busy == false and leaves through done().
-func (in *Instance) process(req accessReq, ps *pageState) {
-	ps.busy = true
+// process executes one request at the owner. It must be entered with the
+// page at rest; the page is Serving (or a deeper busy state) until done().
+func (in *Instance) process(req accessReq) {
 	idx := req.Idx
+	in.setState(idx, StServing)
 	done := func() {
-		in.clearBusy(idx, ps)
-		in.drainQueue(idx, ps)
+		in.quiesce(idx)
+		in.drainQueue(idx)
 	}
 	switch req.ReqKind {
 	case kindPushScan:
@@ -38,12 +46,12 @@ func (in *Instance) process(req accessReq, ps *pageState) {
 		in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: idx, Found: true})
 		done()
 	case kindPull:
-		in.servePull(req, ps, done)
+		in.servePull(req, done)
 	case kindAccess:
 		if req.Want == vm.ProtRead {
-			in.serveRead(req, ps, done)
+			in.serveRead(req, done)
 		} else {
-			in.serveWrite(req, ps, done)
+			in.serveWrite(req, done)
 		}
 	default:
 		panic(fmt.Sprintf("asvm: unknown request kind %d", req.ReqKind))
@@ -52,39 +60,40 @@ func (in *Instance) process(req accessReq, ps *pageState) {
 
 // drainQueue continues with queued work after an operation completes. If
 // ownership moved away, everything queued chases the new owner.
-func (in *Instance) drainQueue(idx vm.PageIdx, ps *pageState) {
-	if len(ps.queue) == 0 {
+func (in *Instance) drainQueue(idx vm.PageIdx) {
+	sl := &in.slots[idx]
+	if len(sl.queue) == 0 {
 		return
 	}
-	if in.pages[idx] == nil {
-		q := ps.queue
-		ps.queue = nil
+	if !sl.state.Owner() {
+		q := sl.queue
+		sl.queue = nil
 		for _, r := range q {
 			in.forward(r)
 		}
 		return
 	}
-	next := ps.queue[0]
-	if ps.held && next.Origin != in.self() {
+	next := sl.queue[0]
+	if sl.held && next.Origin != in.self() {
 		return // range-locked: foreign requests wait for ReleaseRange
 	}
-	ps.queue = ps.queue[1:]
-	in.process(next, ps)
+	sl.queue = sl.queue[1:]
+	in.process(next)
 }
 
 // serveRead is transition 5: grant read access, remember the reader.
-func (in *Instance) serveRead(req accessReq, ps *pageState, done func()) {
+func (in *Instance) serveRead(req accessReq, done func()) {
 	pg := in.o.Pages[req.Idx]
 	if pg == nil {
 		// Shouldn't happen (owners keep the page resident) but recover by
 		// chasing forwarding.
-		delete(in.pages, req.Idx)
+		in.leaveOwner(req.Idx)
 		in.forward(req)
 		done()
 		return
 	}
 	in.nd.Ctr.V[sim.CtrReadGrants]++
-	ps.readers[req.Origin] = true
+	in.slots[req.Idx].readers[req.Origin] = true
 	in.send(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: vm.ProtRead,
 		Data: copyData(pg.Data), HasData: true, From: in.self(),
@@ -101,11 +110,12 @@ func (in *Instance) serveRead(req accessReq, ps *pageState, done func()) {
 // serveWrite is transitions 2/3/4/6/7: push if a delayed copy needs the
 // old contents, invalidate all readers, then grant write (with ownership
 // when the requester is remote).
-func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
+func (in *Instance) serveWrite(req accessReq, done func()) {
 	idx := req.Idx
-	in.pushIfNeeded(ps, idx, func() {
-		upgrade := ps.readers[req.Origin]
-		in.invalidateReaders(ps, idx, req.Origin, func() {
+	in.pushIfNeeded(idx, func() {
+		sl := &in.slots[idx]
+		upgrade := sl.readers[req.Origin]
+		in.invalidateReaders(idx, req.Origin, func() {
 			if req.Origin == in.self() {
 				// Transition 7: our own upgrade; we stay owner.
 				in.nd.Ctr.V[sim.CtrSelfUpgrades]++
@@ -120,7 +130,7 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 			pg := in.o.Pages[idx]
 			g := grantMsg{
 				Obj: req.Target, Idx: idx, Lock: vm.ProtWrite,
-				Ownership: true, Version: ps.version, From: in.self(),
+				Ownership: true, Version: sl.version, From: in.self(),
 			}
 			if !upgrade {
 				if pg == nil {
@@ -143,7 +153,7 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 			in.transferring = true
 			in.nd.K.LockRequest(in.o, idx, vm.ProtNone, false, nil)
 			in.transferring = false
-			delete(in.pages, idx)
+			in.leaveOwner(idx)
 			in.dyn.Put(idx, req.Origin)
 			done()
 		})
@@ -155,8 +165,9 @@ func (in *Instance) serveWrite(req accessReq, ps *pageState, done func()) {
 // for the newest copy, its current contents may postdate the copy — the
 // requester must retry in the copy domain, where the pushed page now has
 // an owner (the paper's push/pull synchronization).
-func (in *Instance) servePull(req accessReq, ps *pageState, done func()) {
-	if in.info.Copy != nil && ps.version == in.info.Version {
+func (in *Instance) servePull(req accessReq, done func()) {
+	sl := &in.slots[req.Idx]
+	if in.info.Copy != nil && sl.version == in.info.Version {
 		in.nd.Ctr.V[sim.CtrPullRetries]++
 		in.send(req.Origin, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
 		done()
@@ -164,7 +175,7 @@ func (in *Instance) servePull(req accessReq, ps *pageState, done func()) {
 	}
 	pg := in.o.Pages[req.Idx]
 	if pg == nil {
-		delete(in.pages, req.Idx)
+		in.leaveOwner(req.Idx)
 		in.forward(req)
 		done()
 		return

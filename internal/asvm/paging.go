@@ -15,6 +15,13 @@ import (
 // selected by a cycling counter that locks onto accepting nodes, and only
 // then (3) pageout to the memory object's pager.
 
+// evictEvent carries the kernel's pageout notification into the state
+// machine dispatch.
+type evictEvent struct {
+	data  []byte
+	dirty bool
+}
+
 // DataReturn implements vm.MemoryManager: the local kernel is evicting (or
 // cleaning) a page.
 func (in *Instance) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty, kept bool) {
@@ -26,43 +33,61 @@ func (in *Instance) DataReturn(o *vm.Object, idx vm.PageIdx, data []byte, dirty,
 		// content responsibility; nothing to do.
 		return
 	}
-	ps := in.pages[idx]
-	if ps == nil {
-		// Not the owner: a read copy is simply discarded (step 1). The
-		// owner's reader list self-corrects on its next probe.
-		in.nd.Ctr.V[sim.CtrEvictDiscard]++
-		in.nd.K.RemovePage(o, idx)
+	in.dispatch(EvEvict, idx, &evictEvent{data: data, dirty: dirty})
+}
+
+// actEvictDiscard drops a non-owned copy (step 1). The owner's reader list
+// self-corrects on its next probe. A faulting page keeps its fault
+// bookkeeping — only a read-shared copy settles back to Invalid.
+// (evictDiscard)
+func actEvictDiscard(in *Instance, idx vm.PageIdx, m interface{}) {
+	in.nd.Ctr.V[sim.CtrEvictDiscard]++
+	in.nd.K.RemovePage(in.o, idx)
+	if in.slots[idx].state == StReadShared {
+		in.setState(idx, StInvalid)
+	}
+}
+
+// actEvictCancel skips this pageout round for a page that is
+// mid-protocol. (evictCancel)
+func actEvictCancel(in *Instance, idx vm.PageIdx, m interface{}) {
+	in.nd.K.CancelEviction(in.o, idx)
+}
+
+// actEvictOwner starts the owner eviction chain — unless the page is
+// range-held, in which case the pageout daemon skips it. (evictOwner)
+func actEvictOwner(in *Instance, idx vm.PageIdx, m interface{}) {
+	ev := m.(*evictEvent)
+	sl := &in.slots[idx]
+	if sl.held || in.pendPush[idx] != nil {
+		in.nd.K.CancelEviction(in.o, idx)
 		return
 	}
-	if ps.busy || ps.held || in.pendPush[idx] != nil {
-		// Mid-protocol: let this round of pageout skip the page.
-		in.nd.K.CancelEviction(o, idx)
-		return
-	}
-	ps.busy = true
+	in.setState(idx, StXferOut)
 	in.nd.Ctr.V[sim.CtrEvictOwner]++
 	if in.info.Cfg.DisableInternodePaging {
-		in.evictToPager(idx, ps, copyData(data), dirty)
+		in.evictToPager(idx, copyData(ev.data), ev.dirty)
 		return
 	}
-	in.evictTryReaders(idx, ps, copyData(data), dirty)
+	in.evictTryReaders(idx, copyData(ev.data), ev.dirty)
 }
 
 // evictTryReaders is step 2: ask readers one after another; the first that
 // still holds the page takes ownership (no page contents needed).
-func (in *Instance) evictTryReaders(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+func (in *Instance) evictTryReaders(idx vm.PageIdx, data []byte, dirty bool) {
+	sl := &in.slots[idx]
 	var reader mesh.NodeID = -1
-	for r := range ps.readers {
+	for r := range sl.readers {
 		if reader == -1 || r < reader {
 			reader = r
 		}
 	}
 	if reader == -1 {
-		in.evictTryTransfer(idx, ps, data, dirty)
+		in.evictTryTransfer(idx, data, dirty)
 		return
 	}
-	others := make([]mesh.NodeID, 0, len(ps.readers)-1)
-	for r := range ps.readers {
+	others := make([]mesh.NodeID, 0, len(sl.readers)-1)
+	for r := range sl.readers {
 		if r != reader {
 			others = append(others, r)
 		}
@@ -73,49 +98,49 @@ func (in *Instance) evictTryReaders(idx vm.PageIdx, ps *pageState, data []byte, 
 	in.pendXfer[seq] = func(accepted bool) {
 		if accepted {
 			in.nd.Ctr.V[sim.CtrEvictOwnerXfer]++
-			in.evictFinish(idx, ps, reader)
+			in.evictFinish(idx, reader)
 			return
 		}
-		delete(ps.readers, reader)
-		in.evictTryReaders(idx, ps, data, dirty)
+		delete(sl.readers, reader)
+		in.evictTryReaders(idx, data, dirty)
 	}
 	in.send(reader, ownerXfer{
 		Obj: in.info.ID, Idx: idx, Readers: others,
-		Version: ps.version, Seq: seq, From: in.self(),
+		Version: sl.version, Seq: seq, From: in.self(),
 	})
 }
 
 // evictTryTransfer is step 3: offer the page to another mapping node with
 // free memory, cycling through the mapping and locking onto the last
 // accepter.
-func (in *Instance) evictTryTransfer(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+func (in *Instance) evictTryTransfer(idx vm.PageIdx, data []byte, dirty bool) {
 	target := in.nextPageoutTarget()
 	if target == -1 {
-		in.evictToPager(idx, ps, data, dirty)
+		in.evictToPager(idx, data, dirty)
 		return
 	}
-	in.offerPage(idx, ps, data, dirty, target, func(accepted bool) {
+	in.offerPage(idx, data, dirty, target, func(accepted bool) {
 		if accepted {
 			in.lastAccepted = target
 			in.nd.Ctr.V[sim.CtrEvictPageXfer]++
-			in.evictFinish(idx, ps, target)
+			in.evictFinish(idx, target)
 			return
 		}
 		// Ask the node that most recently accepted a transfer.
 		last := in.lastAccepted
 		if last != -1 && last != target && last != in.self() {
-			in.offerPage(idx, ps, data, dirty, last, func(accepted bool) {
+			in.offerPage(idx, data, dirty, last, func(accepted bool) {
 				if accepted {
 					in.nd.Ctr.V[sim.CtrEvictPageXfer]++
-					in.evictFinish(idx, ps, last)
+					in.evictFinish(idx, last)
 					return
 				}
 				in.lastAccepted = -1
-				in.evictToPager(idx, ps, data, dirty)
+				in.evictToPager(idx, data, dirty)
 			})
 			return
 		}
-		in.evictToPager(idx, ps, data, dirty)
+		in.evictToPager(idx, data, dirty)
 	})
 }
 
@@ -136,20 +161,20 @@ func (in *Instance) nextPageoutTarget() mesh.NodeID {
 	return -1
 }
 
-func (in *Instance) offerPage(idx vm.PageIdx, ps *pageState, data []byte, dirty bool, to mesh.NodeID, cb func(bool)) {
+func (in *Instance) offerPage(idx vm.PageIdx, data []byte, dirty bool, to mesh.NodeID, cb func(bool)) {
 	in.seq++
 	seq := in.seq
 	in.pendXfer[seq] = cb
 	in.send(to, pageOffer{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
-		Version: ps.version, Seq: seq, From: in.self(),
+		Version: in.slots[idx].version, Seq: seq, From: in.self(),
 	})
 	_ = dirty
 }
 
 // evictToPager is step 4: return the page to the memory object's pager via
 // the home instance.
-func (in *Instance) evictToPager(idx vm.PageIdx, ps *pageState, data []byte, dirty bool) {
+func (in *Instance) evictToPager(idx vm.PageIdx, data []byte, dirty bool) {
 	in.nd.Ctr.V[sim.CtrEvictToPager]++
 	if in.info.Home == in.self() {
 		in.homePagerOut(idx, data, dirty, func() {
@@ -161,14 +186,14 @@ func (in *Instance) evictToPager(idx vm.PageIdx, ps *pageState, data []byte, dir
 			hs.granted = false
 			hs.atPager = true
 			in.announcePaged(idx)
-			in.evictFinish(idx, ps, -1)
+			in.evictFinish(idx, -1)
 		})
 		return
 	}
 	in.seq++
 	seq := in.seq
 	in.pendPgr[seq] = func() {
-		in.evictFinish(idx, ps, -1)
+		in.evictFinish(idx, -1)
 	}
 	in.send(in.info.Home, toPager{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
@@ -192,24 +217,27 @@ func (in *Instance) announcePaged(idx vm.PageIdx) {
 
 // evictFinish drops local state and releases the frame; queued requests
 // chase the new owner (or the pager).
-func (in *Instance) evictFinish(idx vm.PageIdx, ps *pageState, newOwner mesh.NodeID) {
-	delete(in.pages, idx)
+func (in *Instance) evictFinish(idx vm.PageIdx, newOwner mesh.NodeID) {
+	in.leaveOwner(idx)
 	in.nd.K.RemovePage(in.o, idx)
 	if newOwner >= 0 {
 		in.dyn.Put(idx, newOwner)
 	} else {
 		in.dyn.Delete(idx)
 	}
-	in.clearBusy(idx, ps)
-	in.drainQueue(idx, ps)
+	in.quiesce(idx)
+	in.drainQueue(idx)
 }
 
 // ---------------------------------------------------------------------------
 // Receiving side
 
-func (in *Instance) handleOwnerXfer(x ownerXfer) {
-	pg := in.o.Pages[x.Idx]
-	accept := pg != nil && !pg.Evicting && in.pages[x.Idx] == nil
+// actOwnerXfer is eviction step 2 at a reader: take ownership over if the
+// copy is still held (no contents needed). (xferTake)
+func actOwnerXfer(in *Instance, idx vm.PageIdx, m interface{}) {
+	x := m.(ownerXfer)
+	pg := in.o.Pages[idx]
+	accept := pg != nil && !pg.Evicting
 	if accept {
 		readers := make(map[mesh.NodeID]bool, len(x.Readers))
 		if !in.nd.Hooks.DropXferReaders {
@@ -219,15 +247,25 @@ func (in *Instance) handleOwnerXfer(x ownerXfer) {
 				}
 			}
 		}
-		in.pages[x.Idx] = &pageState{readers: readers, version: x.Version}
+		in.installOwner(idx, readers, x.Version)
 		pg.Dirty = true // contents now live here alone
-		in.announceOwner(x.Idx)
+		in.announceOwner(idx)
 		in.nd.Ctr.V[sim.CtrOwnerXferAccepted]++
 	}
-	in.send(x.From, ownerXferAck{Obj: in.info.ID, Idx: x.Idx, Seq: x.Seq, Accepted: accept})
+	in.send(x.From, ownerXferAck{Obj: in.info.ID, Idx: idx, Seq: x.Seq, Accepted: accept})
 }
 
-func (in *Instance) handleOwnerXferAck(a ownerXferAck) {
+// actOwnerXferDecline declines an ownership offer: a faulting node must
+// not adopt the page mid-fault, and an owner (or busy owner) already has
+// it. (xferDecline)
+func actOwnerXferDecline(in *Instance, idx vm.PageIdx, m interface{}) {
+	x := m.(ownerXfer)
+	in.send(x.From, ownerXferAck{Obj: in.info.ID, Idx: idx, Seq: x.Seq, Accepted: false})
+}
+
+// actOwnerXferAck resumes the evicting owner's transfer chain. (xferAck)
+func actOwnerXferAck(in *Instance, idx vm.PageIdx, m interface{}) {
+	a := m.(ownerXferAck)
 	cb := in.pendXfer[a.Seq]
 	if cb == nil {
 		panic(fmt.Sprintf("asvm: stray owner transfer ack seq %d", a.Seq))
@@ -236,22 +274,35 @@ func (in *Instance) handleOwnerXferAck(a ownerXferAck) {
 	cb(a.Accepted)
 }
 
-func (in *Instance) handlePageOffer(po pageOffer) {
+// actPageOffer is eviction step 3 at a candidate: adopt the page if free
+// memory allows. (offerTake)
+func actPageOffer(in *Instance, idx vm.PageIdx, m interface{}) {
+	po := m.(pageOffer)
 	accept := in.nd.K.Mem.FreePages() > in.info.Cfg.PageOfferReserve &&
-		in.o.Pages[po.Idx] == nil && in.pages[po.Idx] == nil
+		in.o.Pages[idx] == nil
 	if accept {
-		pg := in.nd.K.InstallPage(in.o, po.Idx, po.Data, vm.ProtRead)
+		pg := in.nd.K.InstallPage(in.o, idx, po.Data, vm.ProtRead)
 		pg.Dirty = true
-		in.pages[po.Idx] = &pageState{readers: map[mesh.NodeID]bool{}, version: po.Version}
-		in.announceOwner(po.Idx)
+		in.installOwner(idx, map[mesh.NodeID]bool{}, po.Version)
+		in.announceOwner(idx)
 		in.nd.Ctr.V[sim.CtrPageOfferAccepted]++
 	} else {
 		in.nd.Ctr.V[sim.CtrPageOfferDeclined]++
 	}
-	in.send(po.From, pageOfferAck{Obj: in.info.ID, Idx: po.Idx, Seq: po.Seq, Accepted: accept})
+	in.send(po.From, pageOfferAck{Obj: in.info.ID, Idx: idx, Seq: po.Seq, Accepted: accept})
 }
 
-func (in *Instance) handlePageOfferAck(a pageOfferAck) {
+// actPageOfferDecline declines a page transfer at any node already
+// involved with the page. (offerDecline)
+func actPageOfferDecline(in *Instance, idx vm.PageIdx, m interface{}) {
+	po := m.(pageOffer)
+	in.nd.Ctr.V[sim.CtrPageOfferDeclined]++
+	in.send(po.From, pageOfferAck{Obj: in.info.ID, Idx: idx, Seq: po.Seq, Accepted: false})
+}
+
+// actPageOfferAck resumes the evicting owner's offer chain. (offerAck)
+func actPageOfferAck(in *Instance, idx vm.PageIdx, m interface{}) {
+	a := m.(pageOfferAck)
 	cb := in.pendXfer[a.Seq]
 	if cb == nil {
 		panic(fmt.Sprintf("asvm: stray page offer ack seq %d", a.Seq))
@@ -260,21 +311,26 @@ func (in *Instance) handlePageOfferAck(a pageOfferAck) {
 	cb(a.Accepted)
 }
 
-func (in *Instance) handleToPager(tp toPager) {
-	in.homePagerOut(tp.Idx, tp.Data, tp.Dirty, func() {
-		hs := in.home[tp.Idx]
+// actToPager parks an evicted page's contents at the home's backing store
+// (eviction step 4 at the home node). (pagerPark)
+func actToPager(in *Instance, idx vm.PageIdx, m interface{}) {
+	tp := m.(toPager)
+	in.homePagerOut(idx, tp.Data, tp.Dirty, func() {
+		hs := in.home[idx]
 		if hs == nil {
 			hs = &homeState{}
-			in.home[tp.Idx] = hs
+			in.home[idx] = hs
 		}
 		hs.granted = false
 		hs.atPager = true
-		in.announcePaged(tp.Idx)
-		in.send(tp.From, toPagerAck{Obj: in.info.ID, Idx: tp.Idx, Seq: tp.Seq})
+		in.announcePaged(idx)
+		in.send(tp.From, toPagerAck{Obj: in.info.ID, Idx: idx, Seq: tp.Seq})
 	})
 }
 
-func (in *Instance) handleToPagerAck(a toPagerAck) {
+// actToPagerAck completes the evicting owner's pageout. (pagerAck)
+func actToPagerAck(in *Instance, idx vm.PageIdx, m interface{}) {
+	a := m.(toPagerAck)
 	cb := in.pendPgr[a.Seq]
 	if cb == nil {
 		panic(fmt.Sprintf("asvm: stray pager ack seq %d", a.Seq))

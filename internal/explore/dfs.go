@@ -1,5 +1,7 @@
 package explore
 
+import "asvm/internal/asvm"
+
 // DFS systematically enumerates schedules: the search tree's nodes are
 // choice strings, and a run's recorded trace tells the driver how wide
 // each point was. Backtracking is classic depth-first iteration — take the
@@ -40,6 +42,8 @@ type DFSResult struct {
 	// shrunk choice string.
 	V          *Violation
 	Reproducer []int
+	// Cover accumulates transition coverage over every schedule run.
+	Cover asvm.Coverage
 }
 
 // DFS exhaustively explores sc within opt's bounds, stopping at the first
@@ -51,6 +55,7 @@ func DFS(sc *Scenario, opt DFSOptions, mutate Mutate) DFSResult {
 	for {
 		out := runOne(sc, prefix, nil, mutate)
 		res.Runs++
+		res.Cover.Merge(&out.Cover)
 		if out.V != nil {
 			res.V = out.V
 			res.Reproducer = Shrink(sc, Ks(out.Choices), mutate)

@@ -71,6 +71,10 @@ type Outcome struct {
 	Choices []Choice
 	// V is nil when the run completed cleanly.
 	V *Violation
+	// Cover is the run's protocol transition coverage, merged across all
+	// nodes — which (state, event) cells of the asvm table the schedule
+	// actually exercised.
+	Cover asvm.Coverage
 }
 
 // Ks projects a choice trace to its taken alternatives.
@@ -152,6 +156,9 @@ func runOne(sc *Scenario, prefix []int, rng *sim.RNG, mutate Mutate) Outcome {
 	}
 
 	out := Outcome{Choices: ch.trace}
+	for _, nd := range c.ASVMs {
+		out.Cover.Merge(&nd.Cover)
+	}
 	if vioErr != nil {
 		out.V = &Violation{
 			Kind:    vioKind,

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"asvm/internal/asvm"
 	"asvm/internal/machine"
 )
 
@@ -174,5 +175,42 @@ func TestShrinkPreservesFailure(t *testing.T) {
 	}
 	if rep := Replay(sc, shrunk, dropXferReaders); rep.V == nil {
 		t.Errorf("shrunk trace %s no longer fails", EncodeChoices(shrunk))
+	}
+}
+
+// TestExplorationReportsCoverage pins the coverage plumbing: a campaign
+// over any scenario must exercise protocol transitions and report them,
+// and single-run outcomes must carry per-run coverage that the campaign
+// totals dominate.
+func TestExplorationReportsCoverage(t *testing.T) {
+	sc := Lookup("rw2")
+	if sc == nil {
+		t.Fatal("scenario rw2 missing")
+	}
+	w := Walk(sc, 20, 7, nil)
+	hit, legal := w.Cover.Exercised()
+	if hit == 0 {
+		t.Fatal("walk campaign exercised zero transitions")
+	}
+	if hit > legal {
+		t.Fatalf("hit %d > legal %d", hit, legal)
+	}
+	d := DFS(sc, DFSOptions{MaxChoices: 4, MaxRuns: 40}, nil)
+	if dh, _ := d.Cover.Exercised(); dh == 0 {
+		t.Fatal("dfs campaign exercised zero transitions")
+	}
+	one := Replay(sc, nil, nil)
+	oh, _ := one.Cover.Exercised()
+	if oh == 0 {
+		t.Fatal("single replay exercised zero transitions")
+	}
+	// The default schedule is one of the walk's sampled schedules' peers:
+	// each cell the replay exercised at least exists in the same table.
+	for s := range one.Cover {
+		for e := range one.Cover[s] {
+			if one.Cover[s][e] > 0 && !asvm.TransitionLegal(asvm.PageProtoState(s), asvm.ProtoEvent(e)) {
+				t.Fatalf("coverage recorded on illegal cell %d×%d", s, e)
+			}
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package explore
 
-import "asvm/internal/sim"
+import (
+	"asvm/internal/asvm"
+	"asvm/internal/sim"
+)
 
 // WalkResult summarizes a random-walk campaign.
 type WalkResult struct {
@@ -9,6 +12,9 @@ type WalkResult struct {
 	// choice string.
 	V          *Violation
 	Reproducer []int
+	// Cover accumulates transition coverage over every sampled schedule —
+	// the campaign's measure of how much of the protocol table it reached.
+	Cover asvm.Coverage
 }
 
 // Walk samples runs schedules of sc uniformly at random from seed,
@@ -21,6 +27,7 @@ func Walk(sc *Scenario, runs int, seed uint64, mutate Mutate) WalkResult {
 	for i := 0; i < runs; i++ {
 		out := runOne(sc, nil, sim.NewRNG(rng.Uint64()), mutate)
 		res.Runs++
+		res.Cover.Merge(&out.Cover)
 		if out.V != nil {
 			res.V = out.V
 			res.Reproducer = Shrink(sc, Ks(out.Choices), mutate)

@@ -161,6 +161,7 @@ const (
 	CtrOwnerXferAccepted
 	CtrPageOfferAccepted
 	CtrPageOfferDeclined
+	CtrProtoTransitions
 	CtrProxyEvicts
 	CtrProxyRequests
 	CtrPullGrants
@@ -234,6 +235,7 @@ var ctrNames = [NumCtrs]string{
 	CtrOwnerXferAccepted: "ownerxfer_accepted",
 	CtrPageOfferAccepted: "pageoffer_accepted",
 	CtrPageOfferDeclined: "pageoffer_declined",
+	CtrProtoTransitions:  "proto_transitions",
 	CtrProxyEvicts:       "proxy_evicts",
 	CtrProxyRequests:     "proxy_requests",
 	CtrPullGrants:        "pull_grants",

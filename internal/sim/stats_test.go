@@ -190,6 +190,7 @@ func TestCounterNameTableGolden(t *testing.T) {
 		CtrOwnerXferAccepted: "ownerxfer_accepted",
 		CtrPageOfferAccepted: "pageoffer_accepted",
 		CtrPageOfferDeclined: "pageoffer_declined",
+		CtrProtoTransitions:  "proto_transitions",
 		CtrProxyEvicts:       "proxy_evicts",
 		CtrProxyRequests:     "proxy_requests",
 		CtrPullGrants:        "pull_grants",
