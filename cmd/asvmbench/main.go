@@ -16,16 +16,21 @@
 //	asvmbench -explore               # schedule-exploration smoke (asvmcheck)
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
+//	asvmbench -engine parallel       # lane-parallel engine (same results)
+//	asvmbench -cpuprofile cpu.pb.gz  # pprof the run (see EXPERIMENTS.md)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"asvm/internal/exp"
 	"asvm/internal/explore"
+	"asvm/internal/machine"
 )
 
 func main() {
@@ -39,8 +44,51 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut = flag.String("json", "", "write a machine-readable benchmark snapshot to this path and exit")
 		list    = flag.Bool("list", false, "list the valid -exp experiment names and exit")
+		engine  = flag.String("engine", "serial", "event engine: serial | parallel (per-node event lanes; identical results)")
+		lanes   = flag.Int("lanes", exp.SnapshotEngineLanes, "event lanes for -engine=parallel")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "serial":
+	case "parallel":
+		// Set once at startup, before any cluster is built: every
+		// DefaultParams in every experiment cell picks it up.
+		machine.DefaultEngineLanes = *lanes
+	default:
+		fmt.Fprintf(os.Stderr, "asvmbench: -engine must be serial or parallel, got %q\n", *engine)
+		os.Exit(2)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accurate allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range exp.ExpNames() {

@@ -88,6 +88,54 @@ type Node struct {
 		// forgets who holds read copies and never invalidates them.
 		DropXferReaders bool
 	}
+
+	// poolMsgs enables message-box recycling (see msgPool). On by default;
+	// machine.New turns it off when the transport stack can duplicate or
+	// retain deliveries (fault injection, reliable retransmission).
+	poolMsgs bool
+
+	// Free lists for the hot wire kinds, one per concrete type.
+	reqPool   msgPool[accessReq]
+	grantPool msgPool[grantMsg]
+	invalPool msgPool[invalMsg]
+	iackPool  msgPool[invalAck]
+	oupdPool  msgPool[ownerUpdate]
+}
+
+// SetMsgPooling toggles message-box recycling. It must be off whenever a
+// delivery is not exactly-once-and-then-dead: a duplicating fault plan or a
+// retransmitting reliability layer may hand the same box to handle twice,
+// and a recycled box read twice is memory corruption, not a protocol bug.
+func (n *Node) SetMsgPooling(on bool) { n.poolMsgs = on }
+
+func (n *Node) putReq(b *accessReq) {
+	if n.poolMsgs {
+		n.reqPool.put(b)
+	}
+}
+
+func (n *Node) putGrant(b *grantMsg) {
+	if n.poolMsgs {
+		n.grantPool.put(b)
+	}
+}
+
+func (n *Node) putInval(b *invalMsg) {
+	if n.poolMsgs {
+		n.invalPool.put(b)
+	}
+}
+
+func (n *Node) putInvalAck(b *invalAck) {
+	if n.poolMsgs {
+		n.iackPool.put(b)
+	}
+}
+
+func (n *Node) putOwnerUpdate(b *ownerUpdate) {
+	if n.poolMsgs {
+		n.oupdPool.put(b)
+	}
 }
 
 // NewNode creates the ASVM runtime for one node and registers its
@@ -98,6 +146,7 @@ func NewNode(eng *sim.Engine, k *vm.Kernel, tr xport.Transport, cfg Config) *Nod
 		instances: make(map[vm.ObjID]*Instance),
 		Ctr:       sim.NewCounters(),
 		Trace:     newTraceBuf(k.Node),
+		poolMsgs:  true,
 	}
 	tr.Register(n.Self, Proto, n.handle)
 	return n
@@ -128,23 +177,30 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 	// chain of per-type comparisons. The concrete assertion in each arm is
 	// then unconditional (a mismatched Kind is a construction bug). Each
 	// arm feeds the page's state machine, passing the already-boxed m
-	// through so the hot path re-boxes nothing.
+	// through so the hot path re-boxes nothing. The hot kinds travel as
+	// pooled pointers; their boxes are dead once dispatch returns (actions
+	// copy the value out, never the interface) and go back to the free list.
 	switch env.Kind() {
 	case msgAccessReq:
-		msg := m.(accessReq)
+		msg := m.(*accessReq)
 		n.inst(msg.Obj).dispatch(EvAccessReq, msg.Idx, m)
+		n.putReq(msg)
 	case msgGrant:
-		msg := m.(grantMsg)
+		msg := m.(*grantMsg)
 		n.inst(msg.Obj).dispatch(EvGrant, msg.Idx, m)
+		n.putGrant(msg)
 	case msgInval:
-		msg := m.(invalMsg)
+		msg := m.(*invalMsg)
 		n.inst(msg.Obj).dispatch(EvInval, msg.Idx, m)
+		n.putInval(msg)
 	case msgInvalAck:
-		msg := m.(invalAck)
+		msg := m.(*invalAck)
 		n.inst(msg.Obj).dispatch(EvInvalAck, msg.Idx, m)
+		n.putInvalAck(msg)
 	case msgOwnerUpdate:
-		msg := m.(ownerUpdate)
+		msg := m.(*ownerUpdate)
 		n.inst(msg.Obj).dispatch(EvOwnerUpdate, msg.Idx, m)
+		n.putOwnerUpdate(msg)
 	case msgOwnerXfer:
 		msg := m.(ownerXfer)
 		n.inst(msg.Obj).dispatch(EvOwnerXfer, msg.Idx, m)
@@ -179,12 +235,14 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 func (n *Node) handleNack(nk xport.Nack) {
 	n.Ctr.V[sim.CtrNacks]++
 	switch msg := nk.Msg.(type) {
-	case accessReq:
+	case *accessReq:
 		n.inst(msg.Obj).dispatch(EvReqNack, msg.Idx, nk)
-	case ownerUpdate:
+		n.putReq(msg)
+	case *ownerUpdate:
 		// A hint refresh for an unreachable static manager: lose the hint,
 		// requests will fall through to the home instead.
 		n.Ctr.V[sim.CtrHintNacks]++
+		n.putOwnerUpdate(msg)
 	default:
 		panic(fmt.Sprintf("asvm: %T bounced off node %d", nk.Msg, nk.Dst))
 	}

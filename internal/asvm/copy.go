@@ -3,7 +3,6 @@ package asvm
 import (
 	"fmt"
 
-	"asvm/internal/mesh"
 	"asvm/internal/sim"
 	"asvm/internal/vm"
 )
@@ -53,7 +52,7 @@ func actPushStart(in *Instance, idx vm.PageIdx, m interface{}) {
 				cpg.Dirty = true
 				cpg.Lock = vm.ProtRead
 			}
-			cInst.installOwner(idx, map[mesh.NodeID]bool{}, 0)
+			cInst.installOwner(idx, nil, 0)
 			cInst.announceOwner(idx)
 			in.nd.Ctr.V[sim.CtrPushesInstalled]++
 		} else {
@@ -114,7 +113,7 @@ func (in *Instance) pullLocal(req accessReq, hs *homeState) {
 			if !found {
 				panic(fmt.Sprintf("asvm: atPager page %d missing from store", req.Idx))
 			}
-			in.send(req.Origin, grantMsg{
+			in.sendGrant(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true, Ownership: true,
 				From: in.self(),
@@ -136,7 +135,7 @@ func (in *Instance) pullNow(req accessReq, hs *homeState) {
 		case vm.PullData:
 			hs.granted = true
 			in.dyn.Put(req.Idx, req.Origin)
-			in.send(req.Origin, grantMsg{
+			in.sendGrant(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true,
 				Ownership: true, Version: 0, From: in.self(),
@@ -144,7 +143,7 @@ func (in *Instance) pullNow(req accessReq, hs *homeState) {
 		case vm.PullZeroFill:
 			hs.granted = true
 			in.dyn.Put(req.Idx, req.Origin)
-			in.send(req.Origin, grantMsg{
+			in.sendGrant(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Fresh: true, Ownership: true, From: in.self(),
 			})

@@ -270,7 +270,7 @@ func (in *Instance) continueScanFrom(at mesh.NodeID, req accessReq) {
 // (nackResume)
 func actReqNack(in *Instance, idx vm.PageIdx, m interface{}) {
 	nk := m.(xport.Nack)
-	in.handleReqNack(nk.Dst, nk.Msg.(accessReq))
+	in.handleReqNack(nk.Dst, *nk.Msg.(*accessReq))
 }
 
 // handleReqNack resumes a request whose forwarding hop bounced off a node
@@ -304,7 +304,7 @@ func (in *Instance) sendReq(to mesh.NodeID, req accessReq) {
 	if req.Hops > 10000 {
 		panic(fmt.Sprintf("asvm: forwarding livelock for %v page %d", req.Obj, req.Idx))
 	}
-	in.send(to, req)
+	in.send(to, in.nd.reqPool.get(req))
 }
 
 // handleAtHome resolves requests for pages with no owner: from the pager,
@@ -356,7 +356,7 @@ func (in *Instance) handleAtHome(req accessReq) {
 	in.homePagerIn(req.Idx, func(data []byte, found bool) {
 		if found {
 			in.nd.Ctr.V[sim.CtrHomePagerSupplies]++
-			in.send(req.Origin, grantMsg{
+			in.sendGrant(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Data: copyData(data), HasData: true, Ownership: true,
 				AtPagerCopy: true, From: in.self(),
@@ -364,7 +364,7 @@ func (in *Instance) handleAtHome(req accessReq) {
 		} else {
 			in.nd.Ctr.V[sim.CtrHomeFreshGrants]++
 			in.trace("t fresh: home %d fresh-grants %v p%d to %d", in.self(), in.info.ID, req.Idx, req.Origin)
-			in.send(req.Origin, grantMsg{
+			in.sendGrant(req.Origin, grantMsg{
 				Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 				Fresh: true, Ownership: true, From: in.self(),
 			})

@@ -84,7 +84,7 @@ type Instance struct {
 	store  map[vm.PageIdx][]byte // home-side parking when no pager is configured
 
 	seq       uint64
-	pendInval map[uint64]*invalBatch
+	pendInval map[uint64]invalBatch
 	pendXfer  map[uint64]func(accepted bool)
 	pendPush  map[vm.PageIdx]func(found bool)
 	pendPgr   map[uint64]func()
@@ -92,6 +92,9 @@ type Instance struct {
 	// transferring suppresses DataReturn while the kernel drops a page
 	// whose contents just left with an ownership grant.
 	transferring bool
+
+	// invalScratch is the reusable target buffer for invalidation rounds.
+	invalScratch []mesh.NodeID
 
 	// Internode paging target selection (paper §3.6).
 	pageoutCounter int
@@ -108,7 +111,7 @@ func newInstance(nd *Node, info *DomainInfo) *Instance {
 		static:    newStaticLRU(info.Cfg.StaticCacheSize),
 		home:      make(map[vm.PageIdx]*homeState),
 		store:     make(map[vm.PageIdx][]byte),
-		pendInval: make(map[uint64]*invalBatch),
+		pendInval: make(map[uint64]invalBatch),
 		pendXfer:  make(map[uint64]func(bool)),
 		pendPush:  make(map[vm.PageIdx]func(bool)),
 		pendPgr:   make(map[uint64]func()),
@@ -122,7 +125,7 @@ func newInstance(nd *Node, info *DomainInfo) *Instance {
 		o.Mgr = in
 		o.Strategy = vm.CopyAsymmetric
 		for idx := range o.Pages {
-			in.installOwner(idx, map[mesh.NodeID]bool{}, info.Version)
+			in.installOwner(idx, nil, info.Version)
 			if nd.Self == info.Home {
 				in.home[idx] = &homeState{granted: true}
 			}
@@ -153,22 +156,30 @@ func (in *Instance) State(idx vm.PageIdx) PageProtoState { return in.slots[idx].
 func (in *Instance) self() mesh.NodeID { return in.nd.Self }
 
 // installOwner makes this node the page's owner at rest — Owner or
-// OwnerSole per the reader list — taking over whatever state the slot was
-// in. Fault bookkeeping (want/retries/staleFrom) is deliberately left in
-// place: ownership can land while a local fault is still formally
-// outstanding (push installs), and the eventual grant settles it.
-func (in *Instance) installOwner(idx vm.PageIdx, readers map[mesh.NodeID]bool, version uint64) {
+// OwnerSole per the reader list (self is filtered out) — taking over
+// whatever state the slot was in. Fault bookkeeping (want/retries/
+// staleFrom) is deliberately left in place: ownership can land while a
+// local fault is still formally outstanding (push installs), and the
+// eventual grant settles it. The slot's reader map is reused across
+// ownership episodes, so steady-state transfers allocate nothing.
+func (in *Instance) installOwner(idx vm.PageIdx, readerList []mesh.NodeID, version uint64) {
 	sl := &in.slots[idx]
-	sl.readers = readers
+	in.clearReaders(idx)
+	for _, r := range readerList {
+		if r != in.self() {
+			sl.readers[r] = true
+		}
+	}
 	sl.version = version
-	in.setState(idx, restOwnerState(len(readers)))
+	in.setState(idx, restOwnerState(len(sl.readers)))
 }
 
 // leaveOwner drops ownership: the slot returns to Invalid, keeping any
-// queued requests (the drain re-forwards them to the new owner).
+// queued requests (the drain re-forwards them to the new owner). The
+// reader map is emptied but kept for the slot's next ownership episode.
 func (in *Instance) leaveOwner(idx vm.PageIdx) {
 	sl := &in.slots[idx]
-	sl.readers = nil
+	clear(sl.readers)
 	sl.version = 0
 	sl.held = false
 	in.setState(idx, StInvalid)
@@ -195,6 +206,26 @@ func (in *Instance) quiesce(idx vm.PageIdx) {
 // convention.
 func (in *Instance) send(to mesh.NodeID, m xport.Msg) {
 	in.nd.TR.Send(in.self(), to, Proto, m.WireBytes(), m)
+}
+
+// sendGrant ships a grant in a pooled box (see msgPool). The other typed
+// senders below do the same for their kinds; together with sendReq they
+// cover every hot-path protocol message, so the steady-state send side
+// allocates nothing.
+func (in *Instance) sendGrant(to mesh.NodeID, g grantMsg) {
+	in.send(to, in.nd.grantPool.get(g))
+}
+
+func (in *Instance) sendInval(to mesh.NodeID, iv invalMsg) {
+	in.send(to, in.nd.invalPool.get(iv))
+}
+
+func (in *Instance) sendInvalAck(to mesh.NodeID, a invalAck) {
+	in.send(to, in.nd.iackPool.get(a))
+}
+
+func (in *Instance) sendOwnerUpdate(to mesh.NodeID, u ownerUpdate) {
+	in.send(to, in.nd.oupdPool.get(u))
 }
 
 // copyData snapshots page contents for a message (nil stays nil in
@@ -271,7 +302,7 @@ func actFaultOwner(in *Instance, idx vm.PageIdx, m interface{}) {
 // that arrives after the fault was satisfied through another path (retry
 // races and push installs make that reachable). (grant/grantLate)
 func actGrant(in *Instance, idx vm.PageIdx, m interface{}) {
-	g := m.(grantMsg)
+	g := *m.(*grantMsg)
 	sl := &in.slots[idx]
 	faulting := sl.state.FaultOut()
 	if g.Retry {
@@ -314,13 +345,7 @@ func actGrant(in *Instance, idx vm.PageIdx, m interface{}) {
 	}
 	if g.Ownership {
 		in.trace("t grant: node %d becomes owner of %v p%d (fresh=%v hasData=%v lock=%v from=%d pendnil=%v)", in.self(), in.info.ID, idx, g.Fresh, g.HasData, g.Lock, g.From, !faulting)
-		readers := make(map[mesh.NodeID]bool, len(g.Readers))
-		for _, r := range g.Readers {
-			if r != in.self() {
-				readers[r] = true
-			}
-		}
-		in.installOwner(idx, readers, g.Version)
+		in.installOwner(idx, g.Readers, g.Version)
 		if pg := in.o.Pages[idx]; pg != nil && !g.AtPagerCopy {
 			// Unless the pager also holds these contents, the owner is
 			// solely responsible for them: never drop silently.
@@ -344,13 +369,13 @@ func (in *Instance) announceOwner(idx vm.PageIdx) {
 		in.handleOwnerUpdate(upd)
 		return
 	}
-	in.send(sm, upd)
+	in.sendOwnerUpdate(sm, upd)
 }
 
 // actOwnerUpdate refreshes the static cache; orthogonal to the page's own
 // protocol state. (ownerHint)
 func actOwnerUpdate(in *Instance, idx vm.PageIdx, m interface{}) {
-	in.handleOwnerUpdate(m.(ownerUpdate))
+	in.handleOwnerUpdate(*m.(*ownerUpdate))
 }
 
 func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
@@ -361,10 +386,24 @@ func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
 	in.static.Put(u.Idx, staticEntry{owner: u.Owner})
 }
 
-// invalBatch tracks one round of reader invalidations.
+// invalBatch tracks one round of reader invalidations. Batches are stored
+// by value in pendInval and the completion steps (back to Serving, reader
+// list cleared) run in actInvalAck, so a round costs no batch box and no
+// wrapper closure — only cont, the caller's own continuation.
 type invalBatch struct {
 	remaining int
+	idx       vm.PageIdx
 	cont      func()
+}
+
+// clearReaders empties the reader list, reusing its map.
+func (in *Instance) clearReaders(idx vm.PageIdx) {
+	sl := &in.slots[idx]
+	if sl.readers == nil {
+		sl.readers = make(map[mesh.NodeID]bool)
+		return
+	}
+	clear(sl.readers)
 }
 
 // invalidateReaders sends invalidations to every reader except keep, waits
@@ -372,29 +411,26 @@ type invalBatch struct {
 // the Serving window (transitions 6/7).
 func (in *Instance) invalidateReaders(idx vm.PageIdx, newOwner mesh.NodeID, cont func()) {
 	sl := &in.slots[idx]
-	var targets []mesh.NodeID
+	targets := in.invalScratch[:0]
 	for r := range sl.readers {
 		if r != newOwner && r != in.self() {
 			targets = append(targets, r)
 		}
 	}
+	in.invalScratch = targets // keep the grown capacity for the next round
 	sortNodeIDs(targets)
 	if len(targets) == 0 {
-		sl.readers = make(map[mesh.NodeID]bool)
+		in.clearReaders(idx)
 		cont()
 		return
 	}
 	in.seq++
 	seq := in.seq
 	in.setState(idx, StInvalWait)
-	in.pendInval[seq] = &invalBatch{remaining: len(targets), cont: func() {
-		in.setState(idx, StServing)
-		sl.readers = make(map[mesh.NodeID]bool)
-		cont()
-	}}
+	in.pendInval[seq] = invalBatch{remaining: len(targets), idx: idx, cont: cont}
 	for _, r := range targets {
 		in.nd.Ctr.V[sim.CtrInvalidations]++
-		in.send(r, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
+		in.sendInval(r, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
 	}
 }
 
@@ -403,7 +439,7 @@ func (in *Instance) invalidateReaders(idx vm.PageIdx, newOwner mesh.NodeID, cont
 // grant it issued before invalidating us is discarded on arrival.
 // (invalLate/invalStale/invalDrop)
 func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
-	iv := m.(invalMsg)
+	iv := *m.(*invalMsg)
 	// Dropping a dirty copy re-enters the machine as EvEvict (the kernel
 	// returns the contents); a clean copy is just removed.
 	in.nd.K.LockRequest(in.o, idx, vm.ProtNone, false, nil)
@@ -416,7 +452,7 @@ func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
 	if in.info.Cfg.DynamicForwarding {
 		in.dyn.Put(idx, iv.NewOwner)
 	}
-	in.send(iv.From, invalAck{Obj: in.info.ID, Idx: idx, Seq: iv.Seq})
+	in.sendInvalAck(iv.From, invalAck{Obj: in.info.ID, Idx: idx, Seq: iv.Seq})
 	if sl.state == StReadShared {
 		// A clean copy's removal fires no DataReturn: normalize here.
 		in.setState(idx, StInvalid)
@@ -426,16 +462,20 @@ func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
 // actInvalAck completes one invalidation in the owner's InvalWait round.
 // (invalAck)
 func actInvalAck(in *Instance, idx vm.PageIdx, m interface{}) {
-	ack := m.(invalAck)
-	b := in.pendInval[ack.Seq]
-	if b == nil {
+	ack := *m.(*invalAck)
+	b, ok := in.pendInval[ack.Seq]
+	if !ok {
 		panic(fmt.Sprintf("asvm: stray invalidation ack seq %d", ack.Seq))
 	}
 	b.remaining--
-	if b.remaining == 0 {
-		delete(in.pendInval, ack.Seq)
-		b.cont()
+	if b.remaining > 0 {
+		in.pendInval[ack.Seq] = b
+		return
 	}
+	delete(in.pendInval, ack.Seq)
+	in.setState(b.idx, StServing)
+	in.clearReaders(b.idx)
+	b.cont()
 }
 
 func sortNodeIDs(ns []mesh.NodeID) {

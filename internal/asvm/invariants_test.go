@@ -39,7 +39,7 @@ func TestInvariantsDetectDoubleOwner(t *testing.T) {
 	// Corrupt: force a second owner.
 	in1 := c.asvms[1].Instance(sharedID)
 	c.kerns[1].InstallPage(in1.o, 0, nil, vm.ProtWrite)
-	in1.installOwner(0, map[mesh.NodeID]bool{}, 0)
+	in1.installOwner(0, nil, 0)
 	if err := CheckInvariants(c.asvms, info); err == nil {
 		t.Fatal("double owner not detected")
 	}

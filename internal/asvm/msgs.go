@@ -190,6 +190,39 @@ const (
 // toPager ships it only when dirty (a clean return is just bookkeeping —
 // the pager already has the contents).
 
+// msgPool is a free list of boxed messages for one wire kind. The hot
+// message kinds are sent as *T so the interface box itself is reusable:
+// Node.handle returns each box after its dispatch completes (the protocol
+// never retains one — actions copy the value out). Recycling is gated by
+// Node.poolMsgs: a transport that can duplicate a delivery or retain a
+// message for retransmission (fault injection, the reliable wrapper) makes
+// "dead after dispatch" false, so under those wrappers put is a no-op and
+// every box is simply garbage collected.
+type msgPool[T any] struct {
+	free []*T
+}
+
+// get boxes v, reusing a recycled box when one is available.
+func (p *msgPool[T]) get(v T) *T {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		*b = v
+		return b
+	}
+	b := new(T)
+	*b = v
+	return b
+}
+
+// put recycles a dead box. The zeroing drops payload references (a grant's
+// Data slice lives on with the receiver; the box must not pin it).
+func (p *msgPool[T]) put(b *T) {
+	var zero T
+	*b = zero
+	p.free = append(p.free, b)
+}
+
 func (accessReq) Kind() xport.MsgKind { return msgAccessReq }
 func (accessReq) WireBytes() int      { return 0 }
 

@@ -11,7 +11,7 @@ import (
 // non-owner it re-enters the redirector, at an owner at rest it is served,
 // and at a busy owner it queues. (fwdReq/serveReq/queueReq)
 func actAccessReq(in *Instance, idx vm.PageIdx, m interface{}) {
-	in.handleAsOwner(m.(accessReq))
+	in.handleAsOwner(*m.(*accessReq))
 }
 
 // handleAsOwner runs the page state machine (Figure 7) at the page owner.
@@ -32,30 +32,35 @@ func (in *Instance) handleAsOwner(req accessReq) {
 }
 
 // process executes one request at the owner. It must be entered with the
-// page at rest; the page is Serving (or a deeper busy state) until done().
+// page at rest; the page is Serving (or a deeper busy state) until the
+// serve path reaches opDone.
 func (in *Instance) process(req accessReq) {
 	idx := req.Idx
 	in.setState(idx, StServing)
-	done := func() {
-		in.quiesce(idx)
-		in.drainQueue(idx)
-	}
 	switch req.ReqKind {
 	case kindPushScan:
 		// We own this page of the copy domain: the push is unnecessary.
 		in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: idx, Found: true})
-		done()
+		in.opDone(idx)
 	case kindPull:
-		in.servePull(req, done)
+		in.servePull(req)
 	case kindAccess:
 		if req.Want == vm.ProtRead {
-			in.serveRead(req, done)
+			in.serveRead(req)
 		} else {
-			in.serveWrite(req, done)
+			in.serveWrite(req)
 		}
 	default:
 		panic(fmt.Sprintf("asvm: unknown request kind %d", req.ReqKind))
 	}
+}
+
+// opDone ends one owner operation: quiesce the busy window, then continue
+// with queued work. Every serve path terminates here (possibly from an
+// async continuation).
+func (in *Instance) opDone(idx vm.PageIdx) {
+	in.quiesce(idx)
+	in.drainQueue(idx)
 }
 
 // drainQueue continues with queued work after an operation completes. If
@@ -82,19 +87,19 @@ func (in *Instance) drainQueue(idx vm.PageIdx) {
 }
 
 // serveRead is transition 5: grant read access, remember the reader.
-func (in *Instance) serveRead(req accessReq, done func()) {
+func (in *Instance) serveRead(req accessReq) {
 	pg := in.o.Pages[req.Idx]
 	if pg == nil {
 		// Shouldn't happen (owners keep the page resident) but recover by
 		// chasing forwarding.
 		in.leaveOwner(req.Idx)
 		in.forward(req)
-		done()
+		in.opDone(req.Idx)
 		return
 	}
 	in.nd.Ctr.V[sim.CtrReadGrants]++
 	in.slots[req.Idx].readers[req.Origin] = true
-	in.send(req.Origin, grantMsg{
+	in.sendGrant(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: vm.ProtRead,
 		Data: copyData(pg.Data), HasData: true, From: in.self(),
 	})
@@ -104,13 +109,13 @@ func (in *Instance) serveRead(req accessReq, done func()) {
 	if pg.Lock > vm.ProtRead {
 		in.nd.K.LockRequest(in.o, req.Idx, vm.ProtRead, false, nil)
 	}
-	done()
+	in.opDone(req.Idx)
 }
 
 // serveWrite is transitions 2/3/4/6/7: push if a delayed copy needs the
 // old contents, invalidate all readers, then grant write (with ownership
 // when the requester is remote).
-func (in *Instance) serveWrite(req accessReq, done func()) {
+func (in *Instance) serveWrite(req accessReq) {
 	idx := req.Idx
 	in.pushIfNeeded(idx, func() {
 		sl := &in.slots[idx]
@@ -123,7 +128,7 @@ func (in *Instance) serveWrite(req accessReq, done func()) {
 				if pg := in.o.Pages[idx]; pg != nil {
 					pg.Dirty = true
 				}
-				done()
+				in.opDone(idx)
 				return
 			}
 			// Transitions 4/6: grant write and transfer ownership.
@@ -144,9 +149,9 @@ func (in *Instance) serveWrite(req accessReq, done func()) {
 			}
 			in.nd.Ctr.V[sim.CtrWriteGrants]++
 			in.trace("t xfer: node %d grants ownership of %v p%d to %d (upgrade=%v)", in.self(), in.info.ID, idx, req.Origin, upgrade)
-			in.send(req.Origin, g)
+			in.sendGrant(req.Origin, g)
 			if g.Retry {
-				done()
+				in.opDone(idx)
 				return
 			}
 			// Drop our copy; the contents just left with the grant.
@@ -155,7 +160,7 @@ func (in *Instance) serveWrite(req accessReq, done func()) {
 			in.transferring = false
 			in.leaveOwner(idx)
 			in.dyn.Put(idx, req.Origin)
-			done()
+			in.opDone(idx)
 		})
 	})
 }
@@ -165,19 +170,19 @@ func (in *Instance) serveWrite(req accessReq, done func()) {
 // for the newest copy, its current contents may postdate the copy — the
 // requester must retry in the copy domain, where the pushed page now has
 // an owner (the paper's push/pull synchronization).
-func (in *Instance) servePull(req accessReq, done func()) {
+func (in *Instance) servePull(req accessReq) {
 	sl := &in.slots[req.Idx]
 	if in.info.Copy != nil && sl.version == in.info.Version {
 		in.nd.Ctr.V[sim.CtrPullRetries]++
-		in.send(req.Origin, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
-		done()
+		in.sendGrant(req.Origin, grantMsg{Obj: req.Target, Idx: req.Idx, Retry: true, From: in.self()})
+		in.opDone(req.Idx)
 		return
 	}
 	pg := in.o.Pages[req.Idx]
 	if pg == nil {
 		in.leaveOwner(req.Idx)
 		in.forward(req)
-		done()
+		in.opDone(req.Idx)
 		return
 	}
 	// The contents are still those the copy snapshotted (no push has
@@ -185,10 +190,10 @@ func (in *Instance) servePull(req accessReq, done func()) {
 	// them into the copy object at the origin, which becomes their owner
 	// there. Version 0 keeps the copy's own future pushes armed.
 	in.nd.Ctr.V[sim.CtrPullGrants]++
-	in.send(req.Origin, grantMsg{
+	in.sendGrant(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: req.Want,
 		Data: copyData(pg.Data), HasData: true,
 		Ownership: true, Version: 0, From: in.self(),
 	})
-	done()
+	in.opDone(req.Idx)
 }

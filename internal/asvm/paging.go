@@ -212,7 +212,7 @@ func (in *Instance) announcePaged(idx vm.PageIdx) {
 		in.handleOwnerUpdate(upd)
 		return
 	}
-	in.send(sm, upd)
+	in.sendOwnerUpdate(sm, upd)
 }
 
 // evictFinish drops local state and releases the frame; queued requests
@@ -239,13 +239,9 @@ func actOwnerXfer(in *Instance, idx vm.PageIdx, m interface{}) {
 	pg := in.o.Pages[idx]
 	accept := pg != nil && !pg.Evicting
 	if accept {
-		readers := make(map[mesh.NodeID]bool, len(x.Readers))
-		if !in.nd.Hooks.DropXferReaders {
-			for _, r := range x.Readers {
-				if r != in.self() {
-					readers[r] = true
-				}
-			}
+		readers := x.Readers
+		if in.nd.Hooks.DropXferReaders {
+			readers = nil
 		}
 		in.installOwner(idx, readers, x.Version)
 		pg.Dirty = true // contents now live here alone
@@ -283,7 +279,7 @@ func actPageOffer(in *Instance, idx vm.PageIdx, m interface{}) {
 	if accept {
 		pg := in.nd.K.InstallPage(in.o, idx, po.Data, vm.ProtRead)
 		pg.Dirty = true
-		in.installOwner(idx, map[mesh.NodeID]bool{}, po.Version)
+		in.installOwner(idx, nil, po.Version)
 		in.announceOwner(idx)
 		in.nd.Ctr.V[sim.CtrPageOfferAccepted]++
 	} else {

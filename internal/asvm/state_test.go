@@ -138,7 +138,7 @@ func TestIllegalTransitionPanics(t *testing.T) {
 			t.Fatalf("panic %q does not name both state and event", msg)
 		}
 	}()
-	in.dispatch(EvInvalAck, 0, invalAck{Obj: in.info.ID, Idx: 0})
+	in.dispatch(EvInvalAck, 0, &invalAck{Obj: in.info.ID, Idx: 0})
 }
 
 func TestCoverageHelpers(t *testing.T) {

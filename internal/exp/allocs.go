@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"runtime"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/node"
+	"asvm/internal/sim"
+	"asvm/internal/sts"
+	"asvm/internal/xport"
+)
+
+// allocsPerOp reports steady-state heap allocations per fn call, measured
+// with the runtime's malloc counter after a warmup pass (the warmup sizes
+// pools and free lists, which is the state the hot paths are specified
+// against). It is the same measurement testing.AllocsPerRun makes; having
+// it here lets asvmbench record allocs/op in BENCH_*.json snapshots
+// without linking the testing package.
+func allocsPerOp(n int, fn func()) float64 {
+	for i := 0; i < n/4+1; i++ {
+		fn()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(n)
+}
+
+// EngineAllocsPerOp measures the engine's schedule+dispatch hot path (the
+// BenchmarkScheduleRun shape): it must be 0 in steady state with no
+// chooser installed.
+func EngineAllocsPerOp() float64 {
+	e := sim.NewEngine()
+	fn := func() {}
+	i := 0
+	return allocsPerOp(20000, func() {
+		e.Schedule(time.Duration(i%64)*time.Microsecond, fn)
+		i++
+		if e.Pending() >= 1024 {
+			e.RunUntil(e.Now() + time.Millisecond)
+		}
+	})
+}
+
+// MsgPathAllocsPerOp measures one STS request/grant round trip (the
+// BenchmarkMessagePath shape): also 0 in steady state.
+func MsgPathAllocsPerOp() float64 {
+	eng := sim.NewEngine()
+	net := mesh.New(eng, 2, mesh.DefaultConfig(2))
+	nodes := []*node.Node{node.New(eng, 0), node.New(eng, 1)}
+	tr := sts.New(eng, net, nodes, sts.DefaultCosts())
+	proto := xport.RegisterProto("bench")
+	tr.Register(1, proto, func(src mesh.NodeID, m interface{}) {
+		tr.Send(1, 0, proto, sts.PageBytes, m)
+	})
+	tr.Register(0, proto, func(src mesh.NodeID, m interface{}) {})
+	msg := struct{ pg int }{pg: 7}
+	return allocsPerOp(5000, func() {
+		tr.Send(0, 1, proto, 0, msg)
+		eng.Run()
+	})
+}

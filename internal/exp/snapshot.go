@@ -27,9 +27,17 @@ type Snapshot struct {
 	Quick      bool   `json:"quick"`
 
 	// Simulator speed: events executed per wall-clock second on a busy
-	// 16-node coherence workload (the cost of the reproduction itself).
-	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
-	EngineEvents       uint64  `json:"engine_events"`
+	// 16-node coherence workload (the cost of the reproduction itself),
+	// on the serial engine and on the parallel lane engine (identical
+	// schedule, EngineLanes event lanes).
+	EngineEventsPerSec         float64 `json:"engine_events_per_sec"`
+	EngineEvents               uint64  `json:"engine_events"`
+	EngineEventsPerSecParallel float64 `json:"engine_events_per_sec_parallel"`
+	EngineLanes                int     `json:"engine_lanes"`
+
+	// Hot-path allocation guards, allocs per operation (contract: 0).
+	EngineAllocsPerOp  float64 `json:"engine_allocs_per_op"`
+	MsgPathAllocsPerOp float64 `json:"msgpath_allocs_per_op"`
 
 	// Paper artifacts, in simulated units.
 	Table1MS    map[string][]float64 `json:"table1_ms"`    // system -> fault ms per Table 1 scenario
@@ -57,6 +65,21 @@ func EngineThroughput(seed uint64) (eventsPerSec float64, events uint64, err err
 		wall = 1e-9
 	}
 	return float64(c.Eng.Executed) / wall, c.Eng.Executed, nil
+}
+
+// SnapshotEngineLanes is the lane count the snapshot's parallel engine
+// measurement uses (and the default asvmbench -engine=parallel lane count).
+const SnapshotEngineLanes = 4
+
+// EngineThroughputParallel is EngineThroughput on the parallel lane engine.
+// It temporarily overrides machine.DefaultEngineLanes, so it must not run
+// concurrently with cluster construction elsewhere (CollectSnapshot calls
+// it before any worker fan-out).
+func EngineThroughputParallel(seed uint64, lanes int) (eventsPerSec float64, events uint64, err error) {
+	old := machine.DefaultEngineLanes
+	machine.DefaultEngineLanes = lanes
+	defer func() { machine.DefaultEngineLanes = old }()
+	return EngineThroughput(seed)
 }
 
 // CollectSnapshot measures the snapshot artifact set. quick shrinks the
@@ -92,8 +115,22 @@ func CollectSnapshot(seed uint64, workers int, quick bool) (*Snapshot, error) {
 
 	if err := timed("engine", func() error {
 		eps, n, err := EngineThroughput(seed)
+		if err != nil {
+			return err
+		}
 		snap.EngineEventsPerSec, snap.EngineEvents = eps, n
-		return err
+		peps, pn, err := EngineThroughputParallel(seed, SnapshotEngineLanes)
+		if err != nil {
+			return err
+		}
+		if pn != n {
+			return fmt.Errorf("snapshot: parallel engine executed %d events, serial %d — schedules diverged", pn, n)
+		}
+		snap.EngineEventsPerSecParallel = peps
+		snap.EngineLanes = SnapshotEngineLanes
+		snap.EngineAllocsPerOp = EngineAllocsPerOp()
+		snap.MsgPathAllocsPerOp = MsgPathAllocsPerOp()
+		return nil
 	}); err != nil {
 		return nil, err
 	}

@@ -107,7 +107,21 @@ type Params struct {
 
 	// Seed drives all randomness in workloads.
 	Seed uint64
+
+	// EngineLanes, when above 1, runs the simulation on the deterministic
+	// parallel engine with that many event lanes (nodes are mapped onto
+	// lanes round-robin, lookahead comes from Mesh.LookaheadFloor). The
+	// executed schedule — and every simulated metric — is identical to the
+	// serial engine's; only wall-clock speed differs. 0/1 = serial.
+	EngineLanes int
 }
+
+// DefaultEngineLanes is the lane count DefaultParams starts from, so a
+// whole experiment sweep can be switched to the parallel engine in one
+// place (asvmbench -engine=parallel sets it at startup). It is read at
+// Params construction time only and is not safe to change concurrently
+// with cluster construction.
+var DefaultEngineLanes = 1
 
 // DefaultParams returns the calibrated configuration for n nodes.
 func DefaultParams(n int) Params {
@@ -129,6 +143,7 @@ func DefaultParams(n int) Params {
 		ASVM:               asvm.DefaultConfig(),
 		XMMCopyThreads:     64,
 		Seed:               1,
+		EngineLanes:        DefaultEngineLanes,
 	}
 }
 
@@ -183,7 +198,7 @@ func New(p Params) *Cluster {
 	if p.Nodes < 1 {
 		panic("machine: need at least one node")
 	}
-	e := sim.NewEngine()
+	e := sim.NewParallelEngine(p.EngineLanes, p.Mesh.LookaheadFloor())
 	c := &Cluster{
 		P:           p,
 		Eng:         e,
@@ -239,7 +254,13 @@ func New(p Params) *Cluster {
 	switch p.System {
 	case SysASVM:
 		for i := 0; i < p.Nodes; i++ {
-			c.ASVMs = append(c.ASVMs, asvm.NewNode(e, c.Kerns[i], c.TR, p.ASVM))
+			nd := asvm.NewNode(e, c.Kerns[i], c.TR, p.ASVM)
+			// Message-box recycling assumes every delivery is exactly-once
+			// and dead after dispatch. A duplicating fault plan or the
+			// retransmitting reliability layer breaks that, so chaos
+			// configurations run un-pooled.
+			nd.SetMsgPooling(!p.Fault.Active() && !p.Reliable)
+			c.ASVMs = append(c.ASVMs, nd)
 		}
 	case SysXMM:
 		for i := 0; i < p.Nodes; i++ {
@@ -406,6 +427,13 @@ func (c *Cluster) RemoteFork(parent *vm.Task, dstIdx int, name string) (*vm.Task
 // Spawn starts a proc.
 func (c *Cluster) Spawn(name string, fn func(p *sim.Proc)) *sim.Proc {
 	return c.Eng.Spawn(name, fn)
+}
+
+// SpawnOn starts a proc with event-lane affinity for the node it simulates
+// work on: its wakeups queue on that node's lane under the parallel engine.
+// Identical to Spawn on a serial engine.
+func (c *Cluster) SpawnOn(nodeIdx int, name string, fn func(p *sim.Proc)) *sim.Proc {
+	return c.Eng.SpawnOn(c.Eng.LaneFor(nodeIdx), name, fn)
 }
 
 // Run drives the simulation to completion and returns the final virtual

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the only concurrency in the simulator. The parallel engine's
+// workers never run user code: they drain disjoint lane heaps between
+// windows, bracketed by a start signal (coordinator → worker, one channel
+// send) and a completion barrier (worker → coordinator, WaitGroup). Both
+// edges are happens-before, so the lanes' memory is handed cleanly back and
+// forth and the whole scheme is race-free by phase discipline: workers only
+// touch lanes while the coordinator waits, the coordinator only touches
+// them while the workers are parked.
+
+// lanePool drains lanes on worker goroutines. Lane i belongs to stripe
+// i % stripes; the coordinator drains stripe 0 itself (it would otherwise
+// idle at the barrier), workers take stripes 1..stripes-1.
+type lanePool struct {
+	pe      *parEngine
+	stripes int
+	start   []chan Time
+	wg      sync.WaitGroup
+}
+
+// startPool attaches a worker pool for the duration of one run loop if the
+// machine and lane count can use one. On a single-core machine (or a
+// 2-lane engine on 2 cores, etc.) the pool is skipped and drains run
+// inline — the drained runs, and therefore the schedule, are identical.
+func (pe *parEngine) startPool() {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pe.lanes) {
+		workers = len(pe.lanes)
+	}
+	workers-- // the coordinator drains a stripe too
+	if workers <= 0 {
+		return
+	}
+	p := &lanePool{pe: pe, stripes: workers + 1, start: make([]chan Time, workers)}
+	for w := range p.start {
+		p.start[w] = make(chan Time, 1)
+		go p.worker(w)
+	}
+	pe.pool = p
+}
+
+// stopPool detaches and shuts down the pool; workers exit on channel close.
+// Started per run loop rather than per engine so an abandoned engine never
+// leaks parked goroutines.
+func (pe *parEngine) stopPool() {
+	p := pe.pool
+	if p == nil {
+		return
+	}
+	pe.pool = nil
+	for _, c := range p.start {
+		close(c)
+	}
+}
+
+// worker drains stripe w+1 each window (stripe 0 is the coordinator's).
+func (p *lanePool) worker(w int) {
+	lanes := p.pe.lanes
+	for bound := range p.start[w] {
+		for i := w + 1; i < len(lanes); i += p.stripes {
+			lanes[i].drain(bound)
+		}
+		p.wg.Done()
+	}
+}
+
+// drainWindow runs one parallel drain: release the workers, drain the
+// coordinator's own stripe, wait for the barrier.
+func (p *lanePool) drainWindow(bound Time) {
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- bound
+	}
+	lanes := p.pe.lanes
+	for i := 0; i < len(lanes); i += p.stripes {
+		lanes[i].drain(bound)
+	}
+	p.wg.Wait()
+}

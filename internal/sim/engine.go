@@ -14,6 +14,15 @@
 // steady-state Schedule/dispatch allocates nothing. Proc wakeups carry the
 // *Proc in the event itself (no method-value closure), keeping the
 // park/resume path allocation-free too.
+//
+// Dispatch batches same-instant work: once the heap is clean at the
+// current instant, anything scheduled for that instant (proc wakeups,
+// future completions, zero-delay chains) is appended to a flat dispatch
+// batch instead of round-tripping through the heap — global sequence
+// numbers keep the FIFO contract, and each batched event saves a full
+// push+siftDown+pop. drainAt/drainBefore pop whole timestamp cohorts in
+// one pass for the batch-order tests and the parallel lanes. See lanes.go
+// for the deterministic parallel mode built on top of this.
 package sim
 
 import (
@@ -122,6 +131,42 @@ func (q *eventQueue) siftDown(e event) {
 	q.ev[i] = e
 }
 
+// drainAt pops every event with the given timestamp into buf. The heap
+// yields them in (at, seq) order, so the cohort lands in buf already FIFO
+// by sequence number. The timestamp must be the root's.
+func (q *eventQueue) drainAt(t Time, buf []event) []event {
+	for {
+		buf = append(buf, q.pop())
+		if len(q.ev) == 0 || q.ev[0].at != t {
+			return buf
+		}
+	}
+}
+
+// drainBefore pops every event with time < bound into buf (used by the
+// parallel lanes to pre-pop a conservative window). Events come out in
+// (at, seq) order, so buf stays sorted.
+func (q *eventQueue) drainBefore(bound Time, buf []event) []event {
+	for len(q.ev) > 0 && q.ev[0].at < bound {
+		buf = append(buf, q.pop())
+	}
+	return buf
+}
+
+// shrinkCap is the backing-array capacity above which a drained queue
+// releases its memory when a run completes. Steady-state runs (and the
+// engine microbenchmarks, which cycle ~1k events) never cross it, so the
+// free-list behaviour of the backing array is unchanged; only a queue left
+// huge by a large scenario gives the memory back.
+const shrinkCap = 1 << 12
+
+// shrink releases an oversized backing array once the queue is empty.
+func (q *eventQueue) shrink() {
+	if len(q.ev) == 0 && cap(q.ev) > shrinkCap {
+		q.ev = nil
+	}
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
@@ -130,6 +175,23 @@ type Engine struct {
 	q      eventQueue
 	nprocs int // live procs, for leak detection
 	halted bool
+
+	// batch holds the same-timestamp cohort currently being dispatched:
+	// batch[batchPos:] are executed in order, and events scheduled for the
+	// current instant are appended (their sequence numbers are globally
+	// monotonic, so append preserves FIFO) instead of round-tripping
+	// through the heap. The cohort head itself dispatches straight off the
+	// heap; only the rest of a multi-event cohort transits the batch.
+	batch    []event
+	batchPos int
+	// dispatching is true while the serial run loop is executing events —
+	// the window in which a same-instant schedule may join the batch even
+	// when the batch is momentarily empty (singleton cohorts skip it).
+	dispatching bool
+
+	// par holds the parallel-lane state; nil on serial engines (see
+	// lanes.go).
+	par *parEngine
 
 	// chooser is the schedule-exploration hook (see choose.go); nil in
 	// every production run, and the hot loop pays one nil check for it.
@@ -149,6 +211,30 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// enqueue routes one fully-formed event to its resting place: the live
+// dispatch batch for same-instant work, the parallel lane structures when
+// lanes are enabled, or the serial heap.
+func (e *Engine) enqueue(ev event, lane int) {
+	if e.par != nil && !e.par.retired {
+		e.par.enqueue(ev, lane)
+		return
+	}
+	if ev.at == e.now && e.chooser == nil &&
+		(e.dispatching || e.batchPos < len(e.batch)) &&
+		(e.q.len() == 0 || e.q.ev[0].at != ev.at) {
+		// Same-instant schedule during dispatch with the heap clean at the
+		// current instant: ev's sequence number exceeds every queued
+		// event's, and once the heap is clean at an instant it stays clean
+		// (every later same-instant schedule takes this path too), so
+		// appending to the batch preserves global FIFO while skipping a
+		// heap push+pop round trip. The batch-live disjunct covers
+		// scheduling against a batch parked by a mid-cohort Halt.
+		e.batch = append(e.batch, ev)
+		return
+	}
+	e.q.push(ev)
+}
+
 // Schedule arranges for fn to run after delay. A negative delay is treated
 // as zero. Events scheduled for the same instant run in scheduling order.
 func (e *Engine) Schedule(delay time.Duration, fn func()) {
@@ -166,7 +252,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	e.q.push(event{at: at, seq: e.seq, fn: fn})
+	e.enqueue(event{at: at, seq: e.seq, fn: fn}, e.curLane())
 }
 
 // ScheduleRun arranges for r.Run to execute after delay, allocation-free.
@@ -186,7 +272,7 @@ func (e *Engine) ScheduleRunAt(at Time, r Runnable) {
 		at = e.now
 	}
 	e.seq++
-	e.q.push(event{at: at, seq: e.seq, run: r})
+	e.enqueue(event{at: at, seq: e.seq, run: r}, e.curLane())
 }
 
 // scheduleProcAt enqueues a wakeup for p at absolute time at. This is the
@@ -198,7 +284,7 @@ func (e *Engine) scheduleProcAt(at Time, p *Proc) {
 		at = e.now
 	}
 	e.seq++
-	e.q.push(event{at: at, seq: e.seq, proc: p})
+	e.enqueue(event{at: at, seq: e.seq, proc: p}, int(p.lane))
 }
 
 // wake enqueues a wakeup for p at the current instant, after events already
@@ -208,10 +294,22 @@ func (e *Engine) wake(p *Proc) { e.scheduleProcAt(e.now, p) }
 // Halt stops the run loop after the current event finishes.
 func (e *Engine) Halt() { e.halted = true }
 
+// maxTime is the largest representable deadline (Run's "no deadline").
+const maxTime = Time(1<<62 - 1)
+
 // Run executes events until no events remain or Halt is called. It returns
-// the final virtual time.
+// the final virtual time. When a large scenario has drained, the queue's
+// backing memory is released (see shrinkCap), so a long-lived engine does
+// not pin the high-water mark of its biggest burst.
 func (e *Engine) Run() Time {
-	return e.RunUntil(1<<62 - 1)
+	t := e.RunUntil(maxTime)
+	if e.Pending() == 0 {
+		e.q.shrink()
+		if e.par != nil {
+			e.par.shrink()
+		}
+	}
+	return t
 }
 
 // RunUntil executes events with time <= deadline, then stops. Events beyond
@@ -219,17 +317,64 @@ func (e *Engine) Run() Time {
 // (the deadline if it was reached, otherwise the time of the last event).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
+	if e.par != nil && !e.par.retired {
+		return e.par.run(deadline)
+	}
+	if e.chooser != nil {
+		return e.runChoose(deadline)
+	}
+	e.dispatching = true
+	for !e.halted {
+		var ev event
+		if i := e.batchPos; i < len(e.batch) {
+			ev = e.batch[i]
+			e.batch[i] = event{} // release fn/proc so the slot pins nothing
+			e.batchPos = i + 1
+		} else {
+			// Batch drained: execute the heap head directly. Cohort mates
+			// still in the heap pop one at a time (cheaper than staging
+			// them through the batch); only same-instant events born during
+			// dispatch transit the batch, and each of those saves a full
+			// heap push+pop.
+			e.batch = e.batch[:0]
+			e.batchPos = 0
+			if e.q.len() == 0 {
+				break
+			}
+			t := e.q.ev[0].at
+			if t > deadline {
+				e.now = deadline
+				e.dispatching = false
+				return e.now
+			}
+			e.now = t
+			ev = e.q.pop()
+		}
+		e.Executed++
+		if ev.proc != nil {
+			ev.proc.step()
+		} else if ev.run != nil {
+			ev.run.Run()
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	e.dispatching = false
+	return e.now
+}
+
+// runChoose is the schedule-exploration run loop: per-event pops under
+// chooser control. Batched dispatch is disabled here — the chooser's
+// ChoiceEvent points are defined against the heap's same-timestamp
+// candidate set, so cohorts must stay in the heap for it to see them.
+func (e *Engine) runChoose(deadline Time) Time {
+	e.flushBatch()
 	for e.q.len() > 0 && !e.halted {
 		if e.q.ev[0].at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		var ev event
-		if e.chooser != nil {
-			ev = e.popChoose()
-		} else {
-			ev = e.q.pop()
-		}
+		ev := e.popChoose()
 		e.now = ev.at
 		e.Executed++
 		if ev.proc != nil {
@@ -243,8 +388,26 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// flushBatch returns any not-yet-dispatched cohort events to the heap (they
+// keep their (time, seq) keys, so order is unchanged). Called when leaving
+// batched dispatch: installing a chooser, or draining into RunMax.
+func (e *Engine) flushBatch() {
+	for ; e.batchPos < len(e.batch); e.batchPos++ {
+		e.q.push(e.batch[e.batchPos])
+		e.batch[e.batchPos] = event{}
+	}
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+}
+
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.q.len() }
+func (e *Engine) Pending() int {
+	n := e.q.len() + len(e.batch) - e.batchPos
+	if e.par != nil {
+		n += e.par.pending()
+	}
+	return n
+}
 
 // LiveProcs reports the number of procs that have been spawned and have not
 // yet finished. Useful for detecting stuck protocol operations in tests.
@@ -252,5 +415,5 @@ func (e *Engine) LiveProcs() int { return e.nprocs }
 
 // String implements fmt.Stringer for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%v pending=%d procs=%d}", e.now, e.q.len(), e.nprocs)
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d procs=%d}", e.now, e.Pending(), e.nprocs)
 }

@@ -38,6 +38,23 @@ func NewFutureOf[T any](e *Engine) *FutureOf[T] {
 	return &FutureOf[T]{eng: e}
 }
 
+// Reinit returns a future to the incomplete state, binding it to e — the
+// hook that lets callers embed futures in pooled structures and reuse the
+// allocation. It panics if a waiter or callback is still attached: those
+// hold the future's identity across events, and rebinding under them would
+// hand a stale completion to the next user. (A completed future has no
+// attachments left — complete() clears them as it wakes/schedules.)
+func (f *FutureOf[T]) Reinit(e *Engine) {
+	if f.w0 != nil || len(f.waiters) != 0 || f.cb0 != nil || len(f.cbs) != 0 {
+		panic("sim: Reinit of a future with waiters or callbacks attached")
+	}
+	var zero T
+	f.eng = e
+	f.done = false
+	f.value = zero
+	f.err = nil
+}
+
 // Done reports whether the future has been completed.
 func (f *FutureOf[T]) Done() bool { return f.done }
 

@@ -1,0 +1,390 @@
+package sim
+
+// This file is the deterministic parallel mode of the engine: per-lane event
+// queues drained concurrently under a conservative lookahead window, then
+// merged and executed in global (time, seq) order.
+//
+// The design splits the engine's work into two roles. Lane workers own the
+// expensive heap maintenance: each lane is its own 4-ary min-heap, and
+// draining the events of a window out of P lanes costs P-way parallel
+// sift-downs over heaps a P-th of the size. The coordinator owns execution:
+// it k-way merges the lanes' (already sorted) ready runs and dispatches
+// every event on one goroutine, in exactly the (time, seq) order the serial
+// engine would have used. Determinism is therefore structural, not
+// probabilistic — the executed schedule is identical to the serial engine's
+// by construction, and lane assignment is purely a load-balancing hint:
+// a misrouted event costs locality, never correctness.
+//
+// The conservative window comes from the interconnect's latency floor
+// (mesh.Config.LookaheadFloor): a window [t, t+lookahead) is drained at
+// once because cross-node messages born inside it cannot be delivered
+// inside it. Events that *are* scheduled into the open window while it
+// executes (same-instant wakeups, sub-lookahead local work) do not break
+// the merge: same-instant events join the live dispatch batch, and
+// anything else below the window bound goes to a small overflow heap that
+// the merge consults alongside the lane runs. Correctness never depends on
+// the lookahead value — a too-large window only grows the overflow heap.
+//
+// Two operations force a permanent fallback to the serial engine: installing
+// a schedule Chooser (its ChoiceEvent points are defined against the global
+// heap's same-timestamp candidate sets, which lanes deliberately do not
+// materialize) and RunMax (the explorer's bounded-step loop). retire() moves
+// every queued event back into the serial heap — keys are untouched, so the
+// schedule is unchanged.
+
+// lane is one event shard: a heap plus the sorted ready run its drainer
+// produced for the current window. The pad keeps concurrently-drained
+// neighbours off each other's cache lines.
+type lane struct {
+	q     eventQueue
+	ready []event
+	pos   int
+	_     [64]byte
+}
+
+// drain pre-pops this lane's slice of the window: every event strictly
+// before bound moves from the heap to the ready run, in (time, seq) order.
+func (la *lane) drain(bound Time) {
+	la.ready = la.q.drainBefore(bound, la.ready)
+}
+
+// merge sources beyond the lanes themselves.
+const (
+	srcOverflow = -1
+	srcBatch    = -2
+)
+
+// parEngine is the lane state hung off an Engine by NewParallelEngine.
+type parEngine struct {
+	e         *Engine
+	lanes     []lane
+	lookahead Time
+
+	// overflow holds events scheduled during a window's execution for a
+	// time inside the window but after the current instant — the only
+	// events the pre-drained ready runs cannot contain.
+	overflow eventQueue
+
+	// curLane is the lane of the event being dispatched; untagged schedules
+	// inherit it, so protocol chains stay on their node's lane without
+	// every call site being annotated.
+	curLane int
+
+	// merging marks the coordinator's execution phase: new events must
+	// route to the batch/overflow/lane split. Outside it (setup, between
+	// windows) everything goes straight to its lane heap.
+	merging   bool
+	windowEnd Time
+
+	// pool drains lanes on worker goroutines; nil when GOMAXPROCS or the
+	// lane count make inline draining the faster plan (the schedule is
+	// identical either way).
+	pool *lanePool
+
+	// retired means a Chooser or RunMax forced this engine back onto the
+	// serial heap for good.
+	retired bool
+}
+
+// NewParallelEngine returns an engine that executes the exact serial
+// schedule while sharding queue maintenance across the given number of
+// event lanes. lookahead is the conservative window width, normally the
+// interconnect's minimum cross-node latency (mesh.Config.LookaheadFloor);
+// it affects performance only, never the schedule. lanes <= 1 returns a
+// plain serial engine.
+func NewParallelEngine(lanes int, lookahead Time) *Engine {
+	e := NewEngine()
+	if lanes <= 1 {
+		return e
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	e.par = &parEngine{e: e, lanes: make([]lane, lanes), lookahead: lookahead}
+	return e
+}
+
+// Lanes reports the engine's event-lane count (1 when serial).
+func (e *Engine) Lanes() int {
+	if e.par == nil || e.par.retired {
+		return 1
+	}
+	return len(e.par.lanes)
+}
+
+// Lookahead reports the conservative window width (0 when serial).
+func (e *Engine) Lookahead() Time {
+	if e.par == nil || e.par.retired {
+		return 0
+	}
+	return e.par.lookahead
+}
+
+// LaneFor maps an entity index (normally a node id) onto a lane. Serial
+// engines map everything to lane 0.
+func (e *Engine) LaneFor(n int) int {
+	if e.par == nil || e.par.retired {
+		return 0
+	}
+	l := n % len(e.par.lanes)
+	if l < 0 {
+		l += len(e.par.lanes)
+	}
+	return l
+}
+
+// curLane is the lane untagged schedules inherit: the lane of the event
+// being dispatched (lane 0 on serial engines and outside dispatch).
+func (e *Engine) curLane() int {
+	if e.par == nil || e.par.retired {
+		return 0
+	}
+	return e.par.curLane
+}
+
+// ScheduleLane is Schedule with an explicit lane hint for the parallel
+// engine (cross-node message deliveries tag their destination's lane).
+// On a serial engine it is exactly Schedule.
+func (e *Engine) ScheduleLane(lane int, delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	at := e.now + delay
+	e.seq++
+	e.enqueue(event{at: at, seq: e.seq, fn: fn}, e.clampLane(lane))
+}
+
+// ScheduleRunLane is ScheduleRun with an explicit lane hint.
+func (e *Engine) ScheduleRunLane(lane int, delay Time, r Runnable) {
+	if delay < 0 {
+		delay = 0
+	}
+	at := e.now + delay
+	e.seq++
+	e.enqueue(event{at: at, seq: e.seq, run: r}, e.clampLane(lane))
+}
+
+// clampLane bounds an externally supplied lane index.
+func (e *Engine) clampLane(lane int) int {
+	if e.par == nil || e.par.retired {
+		return 0
+	}
+	if lane < 0 || lane >= len(e.par.lanes) {
+		return 0
+	}
+	return lane
+}
+
+// enqueue routes an event while lanes are live. During the merge phase the
+// split is: current instant → live batch (FIFO by construction — see
+// Engine.enqueue), inside the open window → overflow heap, beyond it → the
+// target lane's heap (safe: workers are parked between windows).
+func (pe *parEngine) enqueue(ev event, lane int) {
+	if pe.merging {
+		if ev.at == pe.e.now {
+			pe.e.batch = append(pe.e.batch, ev)
+			return
+		}
+		if ev.at < pe.windowEnd {
+			pe.overflow.push(ev)
+			return
+		}
+	}
+	pe.lanes[lane].q.push(ev)
+}
+
+// minNext returns the earliest lane-head timestamp, reporting false when
+// every lane is empty.
+func (pe *parEngine) minNext() (Time, bool) {
+	var t Time
+	ok := false
+	for i := range pe.lanes {
+		q := &pe.lanes[i].q
+		if q.len() == 0 {
+			continue
+		}
+		if !ok || q.ev[0].at < t {
+			t = q.ev[0].at
+			ok = true
+		}
+	}
+	return t, ok
+}
+
+// run is the parallel run loop: windows of conservative width are drained
+// lane-parallel and merged serially until the queues empty, the deadline
+// passes, or Halt.
+func (pe *parEngine) run(deadline Time) Time {
+	e := pe.e
+	pe.startPool()
+	defer pe.stopPool()
+	for !e.halted {
+		tmin, ok := pe.minNext()
+		if !ok {
+			break
+		}
+		if tmin > deadline {
+			e.now = deadline
+			return e.now
+		}
+		wend := tmin + pe.lookahead
+		if wend <= tmin {
+			wend = tmin + 1 // lookahead overflow guard
+		}
+		if wend > deadline+1 {
+			wend = deadline + 1 // never pre-pop beyond the deadline
+		}
+		pe.windowEnd = wend
+		pe.drainWindow(wend)
+		pe.merge()
+	}
+	if e.halted {
+		pe.spill()
+	}
+	return e.now
+}
+
+// drainWindow fills every lane's ready run with its events before bound,
+// in parallel when a pool is attached.
+func (pe *parEngine) drainWindow(bound Time) {
+	if pe.pool != nil {
+		pe.pool.drainWindow(bound)
+		return
+	}
+	for i := range pe.lanes {
+		pe.lanes[i].drain(bound)
+	}
+}
+
+// merge executes the window: repeatedly pick the global (time, seq) minimum
+// across the lane ready runs, the overflow heap and the live batch, and
+// dispatch it. This ordering rule is the whole determinism argument — it is
+// the serial heap's ordering rule, computed over a partition of the same
+// events.
+func (pe *parEngine) merge() {
+	e := pe.e
+	pe.merging = true
+	for !e.halted {
+		var best *event
+		src := srcOverflow - 100
+		for i := range pe.lanes {
+			la := &pe.lanes[i]
+			if la.pos < len(la.ready) {
+				c := &la.ready[la.pos]
+				if best == nil || c.before(best) {
+					best, src = c, i
+				}
+			}
+		}
+		if pe.overflow.len() > 0 {
+			if c := &pe.overflow.ev[0]; best == nil || c.before(best) {
+				best, src = c, srcOverflow
+			}
+		}
+		if e.batchPos < len(e.batch) {
+			if c := &e.batch[e.batchPos]; best == nil || c.before(best) {
+				best, src = c, srcBatch
+			}
+		}
+		if best == nil {
+			break
+		}
+		var ev event
+		switch src {
+		case srcOverflow:
+			ev = pe.overflow.pop()
+		case srcBatch:
+			ev = e.batch[e.batchPos]
+			e.batch[e.batchPos] = event{}
+			e.batchPos++
+		default:
+			la := &pe.lanes[src]
+			ev = la.ready[la.pos]
+			la.ready[la.pos] = event{}
+			la.pos++
+			pe.curLane = src
+		}
+		e.now = ev.at
+		e.Executed++
+		if ev.proc != nil {
+			ev.proc.step()
+		} else if ev.run != nil {
+			ev.run.Run()
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	pe.merging = false
+	if !e.halted {
+		for i := range pe.lanes {
+			pe.lanes[i].ready = pe.lanes[i].ready[:0]
+			pe.lanes[i].pos = 0
+		}
+		e.batch = e.batch[:0]
+		e.batchPos = 0
+	}
+}
+
+// spill returns every undispatched window event (ready runs, overflow,
+// batch) to the lane heaps after a mid-window Halt. Keys are untouched, so
+// a later RunUntil resumes the exact schedule.
+func (pe *parEngine) spill() {
+	e := pe.e
+	for i := range pe.lanes {
+		la := &pe.lanes[i]
+		for ; la.pos < len(la.ready); la.pos++ {
+			la.q.push(la.ready[la.pos])
+			la.ready[la.pos] = event{}
+		}
+		la.ready = la.ready[:0]
+		la.pos = 0
+	}
+	for pe.overflow.len() > 0 {
+		pe.lanes[0].q.push(pe.overflow.pop())
+	}
+	for ; e.batchPos < len(e.batch); e.batchPos++ {
+		pe.lanes[0].q.push(e.batch[e.batchPos])
+		e.batch[e.batchPos] = event{}
+	}
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+}
+
+// pending counts events parked in lane structures.
+func (pe *parEngine) pending() int {
+	n := pe.overflow.len()
+	for i := range pe.lanes {
+		la := &pe.lanes[i]
+		n += la.q.len() + len(la.ready) - la.pos
+	}
+	return n
+}
+
+// retire migrates every lane event back to the serial heap and pins the
+// engine to the serial path. Installing a Chooser does this: schedule
+// exploration's event-order choice points are defined against the global
+// heap's same-timestamp cohorts, which the lanes never materialize, so
+// exploration always runs serial (DESIGN.md §10).
+func (pe *parEngine) retire() {
+	pe.spill()
+	for i := range pe.lanes {
+		la := &pe.lanes[i]
+		for la.q.len() > 0 {
+			pe.e.q.push(la.q.pop())
+		}
+		la.q.ev = nil
+	}
+	pe.retired = true
+}
+
+// shrink releases oversized lane buffers once a run has fully drained.
+func (pe *parEngine) shrink() {
+	pe.overflow.shrink()
+	for i := range pe.lanes {
+		la := &pe.lanes[i]
+		la.q.shrink()
+		if cap(la.ready) > shrinkCap {
+			la.ready = nil
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// genWorkload drives e with a randomized self-extending event mix and
+// returns the execution order as event ids. Every event appends its id and
+// may schedule children with random delays (including zero — same-instant
+// chains) on random lanes. The generator is seeded, so two engines given
+// the same seed see the exact same schedule requests; only the engine's
+// internal queuing differs.
+func genWorkload(e *Engine, seed uint64, roots, maxDepth int, lanes int) []int {
+	rng := NewRNG(seed)
+	var order []int
+	nextID := 0
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		id := nextID
+		nextID++
+		return func() {
+			order = append(order, id)
+			if depth >= maxDepth {
+				return
+			}
+			// The rng draw sequence must not depend on the engine mode:
+			// always draw the lane and the tag coin so serial and parallel
+			// runs see identical schedule requests.
+			for k := rng.Intn(3); k > 0; k-- {
+				delay := Time(rng.Intn(5)) * time.Microsecond
+				lane := rng.Intn(max(lanes, 1))
+				tagged := rng.Intn(2) == 0
+				child := spawn(depth + 1)
+				if lanes > 0 && tagged {
+					e.ScheduleLane(lane, delay, child)
+				} else {
+					e.Schedule(delay, child)
+				}
+			}
+		}
+	}
+	for i := 0; i < roots; i++ {
+		e.ScheduleLane(rng.Intn(max(lanes, 1)), Time(rng.Intn(50))*time.Microsecond, spawn(0))
+	}
+	e.Run()
+	return order
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestLaneMergeMatchesSerial is the fuzz-style determinism test for the
+// parallel engine: across many seeds and lane counts, a workload with
+// random lane assignment executes in exactly the serial (time, seq) order.
+// Lane assignment is a load-balancing hint; this test is the contract that
+// it can never change the schedule.
+func TestLaneMergeMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		serial := genWorkload(NewEngine(), seed, 20, 6, 0)
+		for _, lanes := range []int{2, 3, 4, 8} {
+			// Deliberately mis-sized lane hints too: clampLane sends
+			// out-of-range hints to lane 0, order must still hold.
+			par := genWorkload(NewParallelEngine(lanes, 10*time.Microsecond), seed, 20, 6, lanes+2)
+			if len(par) != len(serial) {
+				t.Fatalf("seed %d lanes %d: %d events parallel vs %d serial", seed, lanes, len(par), len(serial))
+			}
+			for i := range par {
+				if par[i] != serial[i] {
+					t.Fatalf("seed %d lanes %d: order diverges at %d: parallel %d serial %d",
+						seed, lanes, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLaneMergeLookaheadInvariance checks the conservative window width is
+// performance-only: any lookahead produces the identical schedule.
+func TestLaneMergeLookaheadInvariance(t *testing.T) {
+	want := genWorkload(NewEngine(), 7, 16, 5, 0)
+	for _, la := range []Time{1, time.Microsecond, 3 * time.Microsecond, time.Millisecond, time.Hour} {
+		got := genWorkload(NewParallelEngine(4, la), 7, 16, 5, 4)
+		if len(got) != len(want) {
+			t.Fatalf("lookahead %v: %d events vs %d", la, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("lookahead %v: order diverges at %d", la, i)
+			}
+		}
+	}
+}
+
+// TestParallelProcsMatchSerial runs proc-based workloads (coroutine wakeups
+// travel the scheduleProcAt path with the proc's own lane) on both engines
+// and compares the interleaving trace.
+func TestParallelProcsMatchSerial(t *testing.T) {
+	run := func(e *Engine, lanes int) []string {
+		var trace []string
+		for i := 0; i < 8; i++ {
+			i := i
+			name := string(rune('a' + i))
+			body := func(p *Proc) {
+				for s := 0; s < 20; s++ {
+					trace = append(trace, name)
+					p.Sleep(Time(1+(i*7+s*3)%5) * time.Microsecond)
+				}
+			}
+			if lanes > 0 {
+				e.SpawnOn(i%lanes, name, body)
+			} else {
+				e.Spawn(name, body)
+			}
+		}
+		e.Run()
+		return trace
+	}
+	want := run(NewEngine(), 0)
+	got := run(NewParallelEngine(4, 2*time.Microsecond), 4)
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("proc interleaving diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelRunUntilDeadline checks deadline semantics match serial:
+// events beyond the deadline stay queued and the clock parks exactly on
+// the deadline, even when the deadline splits a conservative window.
+func TestParallelRunUntilDeadline(t *testing.T) {
+	e := NewParallelEngine(4, 10*time.Microsecond)
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		i := i
+		e.ScheduleLane(i%4, Time(i)*time.Microsecond, func() { fired = append(fired, i) })
+	}
+	// Deadline inside the first window: only events at <= 3µs may run.
+	if got := e.RunUntil(3 * time.Microsecond); got != 3*time.Microsecond {
+		t.Fatalf("RunUntil returned %v, want 3µs", got)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want exactly events 1..3", fired)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending %d after deadline, want 5", e.Pending())
+	}
+	e.Run()
+	for i, id := range fired {
+		if id != i+1 {
+			t.Fatalf("fired order %v, want 1..8", fired)
+		}
+	}
+}
+
+// TestParallelHaltSpills checks a mid-window Halt parks undispatched events
+// back in the lanes with keys intact: resuming completes the same schedule.
+func TestParallelHaltSpills(t *testing.T) {
+	e := NewParallelEngine(4, time.Hour) // one giant window: Halt lands mid-merge
+	var fired []int
+	for i := 1; i <= 16; i++ {
+		i := i
+		e.ScheduleLane(i%4, Time(i)*time.Microsecond, func() {
+			fired = append(fired, i)
+			if i == 5 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events before halt, want 5", len(fired))
+	}
+	if e.Pending() != 11 {
+		t.Fatalf("pending %d after halt, want 11", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 16 {
+		t.Fatalf("fired %d events total, want 16", len(fired))
+	}
+	for i, id := range fired {
+		if id != i+1 {
+			t.Fatalf("fired order %v, want 1..16", fired)
+		}
+	}
+}
+
+// TestParallelChooserRetires checks that installing a Chooser permanently
+// drops a parallel engine onto the serial path with the schedule intact.
+func TestParallelChooserRetires(t *testing.T) {
+	e := NewParallelEngine(4, 10*time.Microsecond)
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		i := i
+		e.ScheduleLane(i%4, Time(i%3)*time.Microsecond, func() { fired = append(fired, i) })
+	}
+	if e.Lanes() != 4 {
+		t.Fatalf("Lanes() = %d before retire, want 4", e.Lanes())
+	}
+	e.SetChooser(zeroChooser{})
+	if e.Lanes() != 1 {
+		t.Fatalf("Lanes() = %d after SetChooser, want 1 (retired)", e.Lanes())
+	}
+	if e.Pending() != 12 {
+		t.Fatalf("pending %d after retire, want 12", e.Pending())
+	}
+	e.Run()
+	want := genChooserWant()
+	for i := range fired {
+		if fired[i] != want[i] {
+			t.Fatalf("retired schedule diverges at %d: %v", i, fired)
+		}
+	}
+}
+
+// genChooserWant is the serial order of TestParallelChooserRetires's
+// workload: sorted by (i%3 µs, schedule order).
+func genChooserWant() []int {
+	var want []int
+	for _, rem := range []int{0, 1, 2} {
+		for i := 1; i <= 12; i++ {
+			if i%3 == rem {
+				want = append(want, i)
+			}
+		}
+	}
+	return want
+}
+
+// zeroChooser always picks the default alternative.
+type zeroChooser struct{}
+
+func (zeroChooser) Choose(ChoiceKind, int) int { return 0 }
+
+// TestParallelRunMaxRetires checks RunMax (the explorer's bounded loop)
+// also forces the serial path and honors its event bound.
+func TestParallelRunMaxRetires(t *testing.T) {
+	e := NewParallelEngine(4, 10*time.Microsecond)
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.ScheduleLane(i%4, Time(i)*time.Microsecond, func() { n++ })
+	}
+	if done := e.RunMax(4); done {
+		t.Fatal("RunMax(4) reported drained with 10 events queued")
+	}
+	if n != 4 {
+		t.Fatalf("RunMax(4) executed %d events, want 4", n)
+	}
+	if !e.RunMax(100) {
+		t.Fatal("RunMax(100) did not drain")
+	}
+	if n != 10 {
+		t.Fatalf("executed %d events total, want 10", n)
+	}
+}
+
+// TestLaneWorkerPoolMatchesSerial forces the worker pool on (it is skipped
+// when GOMAXPROCS would leave no core for a worker) and re-checks schedule
+// identity, so the barrier protocol in barrier.go is exercised — including
+// under -race — even on single-core machines.
+func TestLaneWorkerPoolMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for seed := uint64(1); seed <= 10; seed++ {
+		serial := genWorkload(NewEngine(), seed, 20, 6, 0)
+		par := genWorkload(NewParallelEngine(4, 10*time.Microsecond), seed, 20, 6, 4)
+		if len(par) != len(serial) {
+			t.Fatalf("seed %d: %d events parallel vs %d serial", seed, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("seed %d: order diverges at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestBatchedSameInstantFIFO is the property test for batched dispatch:
+// events that fan out same-instant work mid-dispatch, across several
+// cohorts, must still execute in global (time, seq) FIFO order — the batch
+// bypasses the heap, never the ordering contract.
+func TestBatchedSameInstantFIFO(t *testing.T) {
+	for _, mk := range []func() *Engine{
+		NewEngine,
+		func() *Engine { return NewParallelEngine(4, 5*time.Microsecond) },
+	} {
+		e := mk()
+		var order []int
+		id := 0
+		add := func(delay Time, fanout int) {
+			var fn func()
+			myID := id
+			id++
+			fn = func() {
+				order = append(order, myID)
+				for f := 0; f < fanout; f++ {
+					// Same-instant children: these must run after
+					// everything already scheduled for this instant.
+					child := id
+					id++
+					order := &order
+					e.Schedule(0, func() { *order = append(*order, child) })
+				}
+			}
+			e.Schedule(delay, fn)
+		}
+		// Three cohorts at 0µs, 1µs, 2µs; each root fans out two
+		// same-instant children.
+		for c := 0; c < 3; c++ {
+			add(Time(c)*time.Microsecond, 2)
+			add(Time(c)*time.Microsecond, 0)
+		}
+		e.Run()
+		if len(order) != 12 {
+			t.Fatalf("executed %d events, want 12", len(order))
+		}
+		// Roots get ids 0..5 at schedule time (two per cohort); children
+		// get ids at execution time (6,7 then 8,9 then 10,11). Per cohort
+		// the two roots run in schedule order, then the first root's
+		// same-instant children run after both — FIFO across the
+		// batch/heap boundary.
+		want := []int{0, 1, 6, 7, 2, 3, 8, 9, 4, 5, 10, 11}
+		for i := range order {
+			if order[i] != want[i] {
+				t.Fatalf("order %v, want %v", order, want)
+			}
+		}
+	}
+}
+
+// TestDrainAtCohortFIFO is the heap-level property test: drainAt pops a
+// whole timestamp cohort in (seq) FIFO order, and repeated drains walk
+// cohort boundaries without mixing timestamps.
+func TestDrainAtCohortFIFO(t *testing.T) {
+	var q eventQueue
+	rng := NewRNG(42)
+	type key struct {
+		at  Time
+		seq uint64
+	}
+	var keys []key
+	seq := uint64(0)
+	for i := 0; i < 2000; i++ {
+		at := Time(rng.Intn(20)) * time.Microsecond
+		seq++
+		keys = append(keys, key{at, seq})
+		q.push(event{at: at, seq: seq})
+	}
+	var buf []event
+	var prev key
+	first := true
+	for q.len() > 0 {
+		t0 := q.ev[0].at
+		buf = q.drainAt(t0, buf[:0])
+		for _, ev := range buf {
+			if ev.at != t0 {
+				t.Fatalf("drainAt(%v) yielded event at %v", t0, ev.at)
+			}
+			k := key{ev.at, ev.seq}
+			if !first && (k.at < prev.at || (k.at == prev.at && k.seq <= prev.seq)) {
+				t.Fatalf("drain order violated: %v after %v", k, prev)
+			}
+			prev, first = k, false
+		}
+		if q.len() > 0 && q.ev[0].at == t0 {
+			t.Fatalf("drainAt(%v) left cohort events behind", t0)
+		}
+	}
+}
+
+// TestDrainBeforeSortedRuns is drainBefore's property test: the parallel
+// lanes depend on ready runs coming out sorted by (time, seq) and strictly
+// below the bound, with everything at or beyond the bound left queued.
+func TestDrainBeforeSortedRuns(t *testing.T) {
+	var q eventQueue
+	rng := NewRNG(99)
+	for i := 0; i < 2000; i++ {
+		q.push(event{at: Time(rng.Intn(100)) * time.Microsecond, seq: uint64(i + 1)})
+	}
+	total := 0
+	for bound := Time(10 * time.Microsecond); q.len() > 0; bound += 25 * time.Microsecond {
+		run := q.drainBefore(bound, nil)
+		total += len(run)
+		for i, ev := range run {
+			if ev.at >= bound {
+				t.Fatalf("drainBefore(%v) yielded event at %v", bound, ev.at)
+			}
+			if i > 0 && ev.before(&run[i-1]) {
+				t.Fatalf("ready run not sorted at %d", i)
+			}
+		}
+		if q.len() > 0 && q.ev[0].at < bound {
+			t.Fatalf("drainBefore(%v) left early events queued", bound)
+		}
+	}
+	if total != 2000 {
+		t.Fatalf("drained %d events, want 2000", total)
+	}
+}
+
+// TestQueueShrinksAfterBurst pins the fix for the queue's backing array
+// never shrinking: after a 1M-event burst fully drains, Run releases the
+// backing memory, while steady-state queues below shrinkCap keep their
+// free-list array.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	const burst = 1 << 20
+	for i := 0; i < burst; i++ {
+		e.Schedule(Time(i%1000)*time.Microsecond, fn)
+	}
+	if got := cap(e.q.ev); got < burst {
+		t.Fatalf("burst capacity %d, want >= %d", got, burst)
+	}
+	e.Run()
+	if got := cap(e.q.ev); got > shrinkCap {
+		t.Fatalf("post-run capacity %d, want <= shrinkCap (%d)", got, shrinkCap)
+	}
+	// Steady state below the threshold: capacity must be retained (the
+	// free-list trick), not churned.
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Microsecond, fn)
+	}
+	e.Run()
+	c := cap(e.q.ev)
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Microsecond, fn)
+	}
+	e.Run()
+	if cap(e.q.ev) != c {
+		t.Fatalf("steady-state capacity churned: %d -> %d", c, cap(e.q.ev))
+	}
+}
+
+// TestParallelQueueShrinksAfterBurst is the lane-engine variant: lane
+// heaps and ready runs release their burst capacity too.
+func TestParallelQueueShrinksAfterBurst(t *testing.T) {
+	e := NewParallelEngine(4, 10*time.Microsecond)
+	fn := func() {}
+	const burst = 1 << 20
+	for i := 0; i < burst; i++ {
+		e.ScheduleLane(i%4, Time(i%1000)*time.Microsecond, fn)
+	}
+	e.Run()
+	for i := range e.par.lanes {
+		la := &e.par.lanes[i]
+		if cap(la.q.ev) > shrinkCap {
+			t.Fatalf("lane %d heap capacity %d, want <= %d", i, cap(la.q.ev), shrinkCap)
+		}
+		if cap(la.ready) > shrinkCap {
+			t.Fatalf("lane %d ready capacity %d, want <= %d", i, cap(la.ready), shrinkCap)
+		}
+	}
+}
+
+// TestScheduleRunZeroAllocs guards the serial hot path at 0 allocs/op with
+// no chooser installed (the CI benchmark-regression leg runs this).
+func TestScheduleRunZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	i := 0
+	allocs := testing.AllocsPerRun(20000, func() {
+		e.Schedule(Time(i%64)*time.Microsecond, fn)
+		i++
+		if e.Pending() >= 1024 {
+			e.RunUntil(e.Now() + time.Millisecond)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/run path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestParallelScheduleRunZeroAllocs is the same guard for the lane engine's
+// steady state (after warmup has sized lane heaps and ready runs).
+func TestParallelScheduleRunZeroAllocs(t *testing.T) {
+	e := NewParallelEngine(4, 10*time.Microsecond)
+	fn := func() {}
+	i := 0
+	warm := func() {
+		e.ScheduleLane(i%4, Time(i%64)*time.Microsecond, fn)
+		i++
+		if e.Pending() >= 1024 {
+			e.RunUntil(e.Now() + time.Millisecond)
+		}
+	}
+	for j := 0; j < 4096; j++ {
+		warm()
+	}
+	allocs := testing.AllocsPerRun(20000, warm)
+	if allocs != 0 {
+		t.Fatalf("parallel schedule/run path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -32,6 +32,41 @@ type Kernel struct {
 
 	evictWaiters  map[pageKey]*sim.Future
 	pageoutQueued bool
+
+	// reqFree recycles pendingReq records (with their embedded futures):
+	// one is consumed per data request/unlock, which makes them the fault
+	// path's last steady-state allocation. A record returns here when its
+	// request completed and the last waiter left (see waitPending).
+	reqFree []*pendingReq
+}
+
+// newPendingReq takes a recycled pendingReq or allocates one; its embedded
+// future comes back incomplete and bound to the kernel's engine.
+func (k *Kernel) newPendingReq(want Prot) *pendingReq {
+	var req *pendingReq
+	if n := len(k.reqFree); n > 0 {
+		req = k.reqFree[n-1]
+		k.reqFree = k.reqFree[:n-1]
+	} else {
+		req = &pendingReq{}
+	}
+	req.want = want
+	req.future.Reinit(k.Eng)
+	return req
+}
+
+// waitPending parks p on the request's future, and recycles the record
+// once it is complete and the last waiter has resumed. The refcount is
+// what makes recycling sound: completion wakes waiters asynchronously, so
+// the completer cannot know when the record is dead — the last waiter out
+// does.
+func (k *Kernel) waitPending(p *sim.Proc, req *pendingReq) {
+	req.refs++
+	req.future.Wait(p)
+	req.refs--
+	if req.refs == 0 && req.future.Done() {
+		k.reqFree = append(k.reqFree, req)
+	}
 }
 
 type pageKey struct {
@@ -361,7 +396,7 @@ func (k *Kernel) faultStep(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (*P
 		}
 		if req := cur.pending[idx]; req != nil {
 			// Coalesce with the in-flight request for this page.
-			req.future.Wait(p)
+			k.waitPending(p, req)
 			return nil, false, nil
 		}
 		if cur.Mgr != nil {
@@ -497,25 +532,25 @@ func (k *Kernel) sendDataRequest(p *sim.Proc, o *Object, idx PageIdx, want Prot)
 }
 
 func (k *Kernel) sendDataRequestTo(p *sim.Proc, mgr MemoryManager, o *Object, idx PageIdx, want Prot) {
-	req := &pendingReq{want: want, future: sim.NewFuture(k.Eng)}
+	req := k.newPendingReq(want)
 	o.pending[idx] = req
 	k.Ctr.V[sim.CtrDataRequests]++
 	p.Sleep(k.Costs.EMMILocal)
 	mgr.DataRequest(o, idx, want)
-	req.future.Wait(p)
+	k.waitPending(p, req)
 }
 
 func (k *Kernel) sendDataUnlock(p *sim.Proc, o *Object, idx PageIdx, want Prot) {
 	if req := o.pending[idx]; req != nil {
-		req.future.Wait(p)
+		k.waitPending(p, req)
 		return
 	}
-	req := &pendingReq{want: want, future: sim.NewFuture(k.Eng)}
+	req := k.newPendingReq(want)
 	o.pending[idx] = req
 	k.Ctr.V[sim.CtrDataUnlocks]++
 	p.Sleep(k.Costs.EMMILocal)
 	o.Mgr.DataUnlock(o, idx, want)
-	req.future.Wait(p)
+	k.waitPending(p, req)
 }
 
 // completePending wakes fault procs waiting on (o, idx).

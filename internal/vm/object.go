@@ -87,9 +87,15 @@ type Object struct {
 	Terminated bool
 }
 
+// pendingReq is one in-flight data request/unlock. Records are pooled on
+// the kernel (reqFree): the future is embedded by value so record and
+// future are a single reusable allocation, and refs counts the procs
+// currently inside future.Wait so the pool only takes the record back once
+// the last of them has resumed.
 type pendingReq struct {
 	want   Prot
-	future *sim.Future
+	refs   int
+	future sim.Future
 }
 
 // NewObject creates an empty object of the given size owned by kernel k.

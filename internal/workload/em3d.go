@@ -230,7 +230,7 @@ func runEM3DRegion(c *machine.Cluster, cfg EM3DConfig) (time.Duration, *machine.
 		n := n
 		plan := plans[n]
 		task := tasks[n]
-		c.Spawn(fmt.Sprintf("em3d%d", n), func(p *sim.Proc) {
+		c.SpawnOn(n, fmt.Sprintf("em3d%d", n), func(p *sim.Proc) {
 			touch := func(pages []vm.PageIdx, want vm.Prot) bool {
 				for _, pg := range pages {
 					if _, err := task.Touch(p, vm.Addr(pg)*vm.PageSize, want); err != nil {

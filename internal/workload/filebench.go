@@ -64,7 +64,7 @@ func fileWriteOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, erro
 		if err != nil {
 			return 0, nil, err
 		}
-		c.Spawn("writer", func(p *sim.Proc) {
+		c.SpawnOn(nIdx, "writer", func(p *sim.Proc) {
 			t0 := p.Now()
 			base := i * perNode
 			for pg := 0; pg < perNode; pg++ {
@@ -122,7 +122,7 @@ func fileReadOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, error
 		if err != nil {
 			return 0, nil, err
 		}
-		c.Spawn("reader", func(p *sim.Proc) {
+		c.SpawnOn(nIdx, "reader", func(p *sim.Proc) {
 			t0 := p.Now()
 			// Stagger starting offsets so nodes don't convoy on the same
 			// page, like independent readers would.

@@ -102,7 +102,7 @@ func RunSOROn(c *machine.Cluster, cfg SORConfig) (time.Duration, error) {
 		if err != nil {
 			return 0, err
 		}
-		c.Spawn(fmt.Sprintf("sor%d", n), func(p *sim.Proc) {
+		c.SpawnOn(n, fmt.Sprintf("sor%d", n), func(p *sim.Proc) {
 			touch := func(pages []vm.PageIdx, want vm.Prot) bool {
 				for _, pg := range pages {
 					if _, err := task.Touch(p, vm.Addr(pg)*vm.PageSize, want); err != nil {
