@@ -13,6 +13,7 @@
 //	asvmbench -exp all -quick        # everything, reduced sweeps
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
 //	asvmbench -chaos                 # degradation sweep under message faults
+//	asvmbench -crash                 # degradation sweep under node crashes
 //	asvmbench -explore               # schedule-exploration smoke (asvmcheck)
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
@@ -35,8 +36,9 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|all")
+		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|crash|all")
 		chaos   = flag.Bool("chaos", false, "run the chaos degradation sweep (same as -exp chaos)")
+		crash   = flag.Bool("crash", false, "run the crash-stop degradation sweep (same as -exp crash)")
 		explOpt = flag.Bool("explore", false, "run the schedule-exploration smoke pass and exit")
 		quick   = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
 		iters   = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
@@ -147,6 +149,9 @@ func main() {
 	if *chaos {
 		*which = "chaos"
 	}
+	if *crash {
+		*which = "crash"
+	}
 	all := *which == "all"
 	if _, err := exp.ParseExp(*which); err != nil {
 		fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
@@ -175,6 +180,11 @@ func main() {
 	// mixed into — the paper-reproduction tables in results_full.txt.
 	if *which == "chaos" {
 		run("chaos", func() error { return exp.Chaos(os.Stdout, exp.ChaosRates, *seed, *workers, *quick) })
+	}
+	// Likewise opt-in: the crash sweep measures crash-stop degradation, not
+	// the paper's fault-free numbers.
+	if *which == "crash" {
+		run("crash", func() error { return exp.Crash(os.Stdout, *seed, *workers, *quick) })
 	}
 	if all || *which == "ablations" {
 		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed, *workers) })

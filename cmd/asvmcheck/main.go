@@ -9,8 +9,10 @@
 //	asvmcheck                         # exhaustive DFS over all bounded scenarios
 //	asvmcheck -scenario rw2           # one scenario
 //	asvmcheck -walk 200 -quick        # 200 random schedules per scenario
+//	asvmcheck -live -walk 200         # liveness walk over crash/fault scenarios
 //	asvmcheck -replay bug.repro       # re-run a saved reproducer
 //	asvmcheck -selftest               # inject a known bug; exit 0 iff found
+//	asvmcheck -live -selftest         # inject a livelock; exit 0 iff found
 //
 // On a violation it prints the failing choice string, the shrunk
 // reproducer, and each node's protocol trace, then exits 1 (except under
@@ -41,6 +43,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced budgets (CI smoke)")
 		out      = flag.String("o", "", "write a reproducer file here on failure")
 		selftest = flag.Bool("selftest", false, "plant a known protocol bug and verify the explorer finds it")
+		live     = flag.Bool("live", false, "liveness mode: walk the crash/fault scenarios; with -selftest, plant a livelock instead")
 		mincover = flag.Float64("mincover", 0, "fail unless at least this fraction of legal protocol transitions was exercised")
 	)
 	flag.Parse()
@@ -49,7 +52,18 @@ func main() {
 		os.Exit(doReplay(*replay))
 	}
 	if *selftest {
+		if *live {
+			os.Exit(doLiveSelftest(*quick, *seed))
+		}
 		os.Exit(doSelftest(*quick))
+	}
+	if *live && *walk == 0 {
+		// Liveness hunting needs deep interleavings (crash fates fire only
+		// on perturbed schedules), so -live defaults to a random walk.
+		*walk = 300
+		if *quick {
+			*walk = 100
+		}
 	}
 
 	opt := explore.DFSOptions{MaxChoices: *depth, MaxBranch: *branch, MaxRuns: *runs}
@@ -62,7 +76,7 @@ func main() {
 		}
 	}
 
-	scs := pick(*scenario, *walk > 0)
+	scs := pick(*scenario, *walk > 0, *live)
 	var cover asvm.Coverage
 	for _, sc := range scs {
 		t0 := time.Now()
@@ -112,9 +126,10 @@ func main() {
 	}
 }
 
-// pick resolves the scenario set: one by name, or every scenario eligible
-// for the mode (walks may use the unbounded ones too).
-func pick(name string, walking bool) []*explore.Scenario {
+// pick resolves the scenario set: one by name, the liveness-focused set
+// under -live, or every scenario eligible for the mode (walks may use the
+// unbounded ones too).
+func pick(name string, walking, live bool) []*explore.Scenario {
 	if name != "" {
 		sc := explore.Lookup(name)
 		if sc == nil {
@@ -123,6 +138,9 @@ func pick(name string, walking bool) []*explore.Scenario {
 			os.Exit(2)
 		}
 		return []*explore.Scenario{sc}
+	}
+	if live {
+		return explore.LiveScenarios()
 	}
 	if walking {
 		return explore.Scenarios()
@@ -177,6 +195,44 @@ func doSelftest(quick bool) int {
 		return 1
 	}
 	fmt.Printf("selftest ok: planted reader-list bug found in %d schedules, reproducer %q (%d choices)\n",
+		r.Runs, explore.EncodeChoices(r.Reproducer), len(r.Reproducer))
+	return 0
+}
+
+// doLiveSelftest proves the liveness checker end to end: it re-enables the
+// classic crash-handling bug pair — bounced requests are silently discarded
+// and faults are not re-driven when a peer dies — so a survivor's fault
+// whose request died inside the crashed node never resolves. It requires a
+// walk over the crash scenario to find, shrink and replay that hang as a
+// liveness violation.
+func doLiveSelftest(quick bool, seed uint64) int {
+	sc := explore.Lookup("crash3")
+	mutate := func(c *machine.Cluster) {
+		for _, nd := range c.ASVMs {
+			nd.Hooks.DropNackResume = true
+			nd.Hooks.DropFaultRedrive = true
+		}
+	}
+	runs := 400
+	if quick {
+		runs = 150
+	}
+	r := explore.Walk(sc, runs, seed, mutate)
+	if r.V == nil {
+		fmt.Fprintf(os.Stderr, "asvmcheck: live selftest FAILED — planted livelock not found in %d schedules\n", r.Runs)
+		return 1
+	}
+	if r.V.Kind != "liveness" {
+		fmt.Fprintf(os.Stderr, "asvmcheck: live selftest FAILED — planted livelock surfaced as %q, want liveness\n  %v\n",
+			r.V.Kind, r.V.Err)
+		return 1
+	}
+	rep := explore.Replay(sc, r.Reproducer, mutate)
+	if rep.V == nil {
+		fmt.Fprintf(os.Stderr, "asvmcheck: live selftest FAILED — shrunk reproducer does not replay\n")
+		return 1
+	}
+	fmt.Printf("live selftest ok: planted livelock found in %d schedules, reproducer %q (%d choices)\n",
 		r.Runs, explore.EncodeChoices(r.Reproducer), len(r.Reproducer))
 	return 0
 }

@@ -87,7 +87,29 @@ type Node struct {
 		// an ownership transfer — the classic DSM bug where the new owner
 		// forgets who holds read copies and never invalidates them.
 		DropXferReaders bool
+
+		// DropNackResume silently discards bounced requests instead of
+		// re-entering the redirector — the classic crash-handling bug
+		// where a fault whose hop died is never re-driven and waits
+		// forever. The liveness checker's selftest plants this one.
+		DropNackResume bool
+
+		// DropFaultRedrive skips the conservative fault re-drive when a
+		// peer is declared dead (actPeerDown) — the complementary
+		// crash-handling bug: a request that died inside the crashed node
+		// (queued at it, or its grant evaporating in flight) is never
+		// re-sent. Planted together with DropNackResume this closes both
+		// recovery paths, so a fault that depended on the dead node hangs
+		// forever — the livelock the -live selftest must find.
+		DropFaultRedrive bool
 	}
+
+	// crashEra is set once any crash or peer-down event has touched this
+	// node's cluster. It relaxes the stray-completion panics — after a
+	// crash, an ack from a dead node can legitimately arrive after the
+	// failure machinery already completed its slot. Never set in a
+	// crash-free run, so the strict panics keep their full force there.
+	crashEra bool
 
 	// poolMsgs enables message-box recycling (see msgPool). On by default;
 	// machine.New turns it off when the transport stack can duplicate or
@@ -227,15 +249,22 @@ func (n *Node) handle(src mesh.NodeID, m interface{}) {
 	}
 }
 
-// handleNack routes a transport bounce (the destination node has no ASVM
-// runtime) back into the protocol. Requests fall back down the redirector
-// chain; owner hints are best-effort and simply dropped; anything else is
-// only ever addressed to nodes known to be alive, so a bounce there is a
-// protocol bug.
+// handleNack routes a transport bounce — the destination node has no ASVM
+// runtime, or the reliability layer declared it dead — back into the
+// protocol. Every protocol message has a typed degradation here: requests
+// fall back down the redirector chain, owner hints are best-effort and
+// simply dropped, a grant's bounced authority is reclaimed or declared
+// lost, a bounced invalidation or transfer completes as if the dead node
+// had answered, and a bounced pageout counts its page lost. Only an
+// unknown message type still panics.
 func (n *Node) handleNack(nk xport.Nack) {
 	n.Ctr.V[sim.CtrNacks]++
 	switch msg := nk.Msg.(type) {
 	case *accessReq:
+		if n.Hooks.DropNackResume {
+			n.putReq(msg)
+			return
+		}
 		n.inst(msg.Obj).dispatch(EvReqNack, msg.Idx, nk)
 		n.putReq(msg)
 	case *ownerUpdate:
@@ -243,6 +272,41 @@ func (n *Node) handleNack(nk xport.Nack) {
 		// requests will fall through to the home instead.
 		n.Ctr.V[sim.CtrHintNacks]++
 		n.putOwnerUpdate(msg)
+	case *grantMsg:
+		n.nackGrant(nk.Dst, *msg)
+		n.putGrant(msg)
+	case *invalMsg:
+		// The reader we were invalidating is dead: it holds no copy any
+		// more, which is exactly what the invalidation wanted.
+		if in := n.instances[msg.Obj]; in != nil {
+			in.completeInvalTarget(msg.Seq, nk.Dst)
+		}
+		n.putInval(msg)
+	case *invalAck:
+		// Our ack to a dead invalidator: nothing left to confirm.
+		n.putInvalAck(msg)
+	case ownerXfer:
+		// The reader we offered ownership to is dead: treat as declined.
+		if in := n.instances[msg.Obj]; in != nil {
+			in.completeXfer(msg.Seq, false)
+		}
+	case pageOffer:
+		// The node we offered the page to is dead: treat as declined.
+		if in := n.instances[msg.Obj]; in != nil {
+			in.completeXfer(msg.Seq, false)
+		}
+	case toPager:
+		// The home is down: the evicted contents have nowhere to go. The
+		// data is gone (crash-stop) — count the loss and finish the
+		// eviction. A bounced Lost report loses nothing new.
+		if in := n.instances[msg.Obj]; in != nil {
+			if msg.Dirty && !msg.Lost {
+				n.Ctr.V[sim.CtrPagesLost]++
+			}
+			in.completePgr(msg.Seq)
+		}
+	case ownerXferAck, pageOfferAck, toPagerAck, pushScanAck:
+		// An ack addressed to a dead requester: drop.
 	default:
 		panic(fmt.Sprintf("asvm: %T bounced off node %d", nk.Msg, nk.Dst))
 	}
@@ -273,6 +337,13 @@ type DomainInfo struct {
 
 	// Cfg is the per-object forwarding configuration.
 	Cfg Config
+
+	// Down marks mapping nodes currently crashed (crash-stop model). They
+	// keep their ring position — scans skip them via the transport's Nack
+	// path — and the invariant checker skips their (torn down) instances.
+	// A restarting node is removed again by the rejoin path. Nil until the
+	// first crash.
+	Down map[mesh.NodeID]bool
 
 	// mapIdx caches each node's position in Mapping so ring lookups on the
 	// forwarding path are O(1) instead of a linear scan. Fork and some

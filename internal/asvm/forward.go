@@ -95,6 +95,25 @@ func (h *hintCache) compact() {
 	h.dead = 0
 }
 
+// DeleteOwner removes every hint pointing at the given node — fired the
+// moment the reliability layer declares it down, so no later request
+// chases a ghost owner. Returns how many hints were evicted; their FIFO
+// slots become tombstones exactly as in Delete.
+func (h *hintCache) DeleteOwner(n mesh.NodeID) int {
+	evicted := 0
+	for idx, e := range h.m {
+		if e.n == n {
+			delete(h.m, idx)
+			h.dead++
+			evicted++
+		}
+	}
+	if h.dead > h.max {
+		h.compact()
+	}
+	return evicted
+}
+
 // Len reports the live entry count.
 func (h *hintCache) Len() int { return len(h.m) }
 
@@ -117,6 +136,17 @@ func newStaticLRU(max int) *staticLRU {
 func (s *staticLRU) Get(idx vm.PageIdx) (staticEntry, bool) {
 	e, ok := s.m[idx]
 	return e, ok
+}
+
+// DeleteOwner drops cached owner entries pointing at a dead node; "paged"
+// markers are kept (the pager's copy does not die with an owner). Stale
+// order entries are harmless — Put treats an absent key as new.
+func (s *staticLRU) DeleteOwner(n mesh.NodeID) {
+	for idx, e := range s.m {
+		if !e.paged && e.owner == n {
+			delete(s.m, idx)
+		}
+	}
 }
 
 // Put inserts or refreshes an entry.
@@ -273,14 +303,16 @@ func actReqNack(in *Instance, idx vm.PageIdx, m interface{}) {
 	in.handleReqNack(nk.Dst, *nk.Msg.(*accessReq))
 }
 
-// handleReqNack resumes a request whose forwarding hop bounced off a node
-// with no ASVM runtime: drop the stale hint and fall back down the
-// dynamic → static → global chain (the paper's own degradation path). The
-// home node has no fallback — it is the domain's serialization point.
+// handleReqNack resumes a request whose forwarding hop bounced off a dead
+// node: drop the stale hint and fall back down the dynamic → static →
+// global chain (the paper's own degradation path). The home node has no
+// fallback — it is the domain's serialization point — so a home bounce
+// degrades to a typed failure at the origin instead of a panic.
 func (in *Instance) handleReqNack(dead mesh.NodeID, req accessReq) {
 	in.nd.Ctr.V[sim.CtrReqNacks]++
 	if req.ForHome {
-		panic(fmt.Sprintf("asvm: home node %d of %v unreachable", dead, req.Obj))
+		in.homeUnreachable(dead, req)
+		return
 	}
 	if h, ok := in.dyn.Get(req.Idx); ok && h == dead {
 		in.dyn.Delete(req.Idx)
@@ -298,9 +330,30 @@ func (in *Instance) handleReqNack(dead mesh.NodeID, req accessReq) {
 	in.forward(req)
 }
 
+// homeUnreachable resolves a request whose home — the domain's
+// serialization point — is down (crash-stop degradation). A push scan is
+// answered "no owner" so the pusher installs locally; an access or pull
+// fails typed: locally when this node is the origin, else with an
+// Unavailable grant carrying the dead home's ID.
+func (in *Instance) homeUnreachable(dead mesh.NodeID, req accessReq) {
+	if req.ReqKind == kindPushScan {
+		in.send(req.Origin, pushScanAck{SrcObj: req.Target, Idx: req.Idx, Found: false})
+		return
+	}
+	if req.Origin == in.self() {
+		if tin := in.nd.instances[req.Target]; tin != nil {
+			tin.failFault(req.Idx, &vm.ErrObjectUnavailable{Node: dead, Obj: req.Target, Page: req.Idx})
+		}
+		return
+	}
+	in.sendGrant(req.Origin, grantMsg{Obj: req.Target, Idx: req.Idx, Unavailable: true, From: dead})
+}
+
 func (in *Instance) sendReq(to mesh.NodeID, req accessReq) {
 	req.Hops++
 	req.LastFrom = in.self()
+	in.trace("t fwd: node %d sends %v p%d req (origin=%d want=%v forHome=%v scan=%v hops=%d) to %d",
+		in.self(), req.Target, req.Idx, req.Origin, req.Want, req.ForHome, req.Scanning, req.Hops, to)
 	if req.Hops > 10000 {
 		panic(fmt.Sprintf("asvm: forwarding livelock for %v page %d", req.Obj, req.Idx))
 	}

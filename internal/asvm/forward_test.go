@@ -167,3 +167,88 @@ func TestSortNodeIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestHintCacheDeleteOwnerChurn drives the cache through a long random mix
+// of Put / Delete / DeleteOwner (the peer-down eviction path) against a
+// reference model, checking after every operation that lookups, the live
+// count, the capacity bound, and DeleteOwner's eviction count all agree —
+// and that no hint pointing at a downed node ever survives the eviction.
+// This is the workload shape a crash sweep produces: hints churn steadily
+// while whole owners vanish at once, exercising the tombstone bookkeeping
+// far harder than single deletes.
+func TestHintCacheDeleteOwnerChurn(t *testing.T) {
+	const (
+		capacity = 16
+		pages    = 48
+		nodes    = 5
+		rounds   = 4000
+	)
+	h := newHintCache(capacity)
+	model := make(map[vm.PageIdx]mesh.NodeID)
+	var fifo []vm.PageIdx // insertion order of live model entries
+	modelDelete := func(idx vm.PageIdx) {
+		delete(model, idx)
+		for i, p := range fifo {
+			if p == idx {
+				fifo = append(fifo[:i], fifo[i+1:]...)
+				break
+			}
+		}
+	}
+	rng := sim.NewRNG(42)
+	for round := 0; round < rounds; round++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // Put dominates, as in real forwarding traffic
+			idx := vm.PageIdx(rng.Intn(pages))
+			n := mesh.NodeID(rng.Intn(nodes))
+			h.Put(idx, n)
+			if _, exists := model[idx]; exists {
+				model[idx] = n // update in place keeps its slot
+				break
+			}
+			if len(model) >= capacity {
+				modelDelete(fifo[0]) // evict oldest live
+			}
+			model[idx] = n
+			fifo = append(fifo, idx)
+		case op < 8: // single delete (lazy Nack-driven eviction)
+			idx := vm.PageIdx(rng.Intn(pages))
+			h.Delete(idx)
+			modelDelete(idx)
+		default: // a node goes down: every hint at it must die at once
+			n := mesh.NodeID(rng.Intn(nodes))
+			want := 0
+			for idx, owner := range model {
+				if owner == n {
+					want++
+					modelDelete(idx)
+				}
+			}
+			if got := h.DeleteOwner(n); got != want {
+				t.Fatalf("round %d: DeleteOwner(%d) evicted %d, want %d", round, n, got, want)
+			}
+			for idx := vm.PageIdx(0); idx < pages; idx++ {
+				if owner, ok := h.Get(idx); ok && owner == n {
+					t.Fatalf("round %d: hint p%d -> downed node %d survived", round, idx, n)
+				}
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("round %d: Len=%d model=%d", round, h.Len(), len(model))
+		}
+		if h.Len() > capacity {
+			t.Fatalf("round %d: capacity exceeded: %d", round, h.Len())
+		}
+		for idx, wantN := range model {
+			if n, ok := h.Get(idx); !ok || n != wantN {
+				t.Fatalf("round %d: Get(%d) = %v/%v, model %v", round, idx, n, ok, wantN)
+			}
+		}
+		// The slot list must stay O(live + capacity) under churn — the
+		// compaction invariant that keeps a long-lived node's cache from
+		// growing without bound.
+		if len(h.order) > 2*capacity+1 {
+			t.Fatalf("round %d: order grew to %d slots", round, len(h.order))
+		}
+	}
+}

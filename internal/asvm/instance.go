@@ -85,9 +85,13 @@ type Instance struct {
 
 	seq       uint64
 	pendInval map[uint64]invalBatch
-	pendXfer  map[uint64]func(accepted bool)
+	pendXfer  map[uint64]xferWait
 	pendPush  map[vm.PageIdx]func(found bool)
-	pendPgr   map[uint64]func()
+	pendPgr   map[uint64]pgrWait
+
+	// awaitFree recycles invalidation await lists so steady-state rounds
+	// allocate nothing.
+	awaitFree [][]mesh.NodeID
 
 	// transferring suppresses DataReturn while the kernel drops a page
 	// whose contents just left with an ownership grant.
@@ -112,9 +116,9 @@ func newInstance(nd *Node, info *DomainInfo) *Instance {
 		home:      make(map[vm.PageIdx]*homeState),
 		store:     make(map[vm.PageIdx][]byte),
 		pendInval: make(map[uint64]invalBatch),
-		pendXfer:  make(map[uint64]func(bool)),
+		pendXfer:  make(map[uint64]xferWait),
 		pendPush:  make(map[vm.PageIdx]func(bool)),
-		pendPgr:   make(map[uint64]func()),
+		pendPgr:   make(map[uint64]pgrWait),
 
 		lastAccepted: -1,
 	}
@@ -305,6 +309,15 @@ func actGrant(in *Instance, idx vm.PageIdx, m interface{}) {
 	g := *m.(*grantMsg)
 	sl := &in.slots[idx]
 	faulting := sl.state.FaultOut()
+	if g.Unavailable {
+		// The home is down: nothing can ever satisfy this fault. Degrade
+		// to a typed failure instead of waiting forever (From names the
+		// dead home).
+		if faulting {
+			in.failFault(idx, &vm.ErrObjectUnavailable{Node: g.From, Obj: in.info.ID, Page: idx})
+		}
+		return
+	}
 	if g.Retry {
 		if !faulting {
 			return // request already satisfied through another path
@@ -388,12 +401,42 @@ func (in *Instance) handleOwnerUpdate(u ownerUpdate) {
 
 // invalBatch tracks one round of reader invalidations. Batches are stored
 // by value in pendInval and the completion steps (back to Serving, reader
-// list cleared) run in actInvalAck, so a round costs no batch box and no
-// wrapper closure — only cont, the caller's own continuation.
+// list cleared) run in completeInvalTarget, so a round costs no batch box
+// and no wrapper closure — only cont, the caller's own continuation; the
+// await list itself comes from a per-instance free list. await names the
+// readers whose acks are still due, so a crashed reader's slot can be
+// completed for it by the failure machinery.
 type invalBatch struct {
-	remaining int
-	idx       vm.PageIdx
-	cont      func()
+	idx   vm.PageIdx
+	await []mesh.NodeID
+	cont  func()
+}
+
+// xferWait is one outstanding ownership-transfer/page-offer completion:
+// the continuation plus the node it waits on, so the failure machinery can
+// decline entries addressed to a node that died.
+type xferWait struct {
+	to mesh.NodeID
+	cb func(accepted bool)
+}
+
+// pgrWait is one outstanding pageout completion, likewise tagged with the
+// home node it waits on; dirty marks contents that exist nowhere else, so
+// the failure machinery can count them lost if the home dies first.
+type pgrWait struct {
+	to    mesh.NodeID
+	dirty bool
+	cb    func()
+}
+
+// takeAwait copies targets into a recycled await list.
+func (in *Instance) takeAwait(targets []mesh.NodeID) []mesh.NodeID {
+	var a []mesh.NodeID
+	if n := len(in.awaitFree); n > 0 {
+		a = in.awaitFree[n-1][:0]
+		in.awaitFree = in.awaitFree[:n-1]
+	}
+	return append(a, targets...)
 }
 
 // clearReaders empties the reader list, reusing its map.
@@ -427,7 +470,7 @@ func (in *Instance) invalidateReaders(idx vm.PageIdx, newOwner mesh.NodeID, cont
 	in.seq++
 	seq := in.seq
 	in.setState(idx, StInvalWait)
-	in.pendInval[seq] = invalBatch{remaining: len(targets), idx: idx, cont: cont}
+	in.pendInval[seq] = invalBatch{idx: idx, await: in.takeAwait(targets), cont: cont}
 	for _, r := range targets {
 		in.nd.Ctr.V[sim.CtrInvalidations]++
 		in.sendInval(r, invalMsg{Obj: in.info.ID, Idx: idx, NewOwner: newOwner, Seq: seq, From: in.self()})
@@ -452,7 +495,7 @@ func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
 	if in.info.Cfg.DynamicForwarding {
 		in.dyn.Put(idx, iv.NewOwner)
 	}
-	in.sendInvalAck(iv.From, invalAck{Obj: in.info.ID, Idx: idx, Seq: iv.Seq})
+	in.sendInvalAck(iv.From, invalAck{Obj: in.info.ID, Idx: idx, Seq: iv.Seq, From: in.self()})
 	if sl.state == StReadShared {
 		// A clean copy's removal fires no DataReturn: normalize here.
 		in.setState(idx, StInvalid)
@@ -460,22 +503,74 @@ func actInval(in *Instance, idx vm.PageIdx, m interface{}) {
 }
 
 // actInvalAck completes one invalidation in the owner's InvalWait round.
-// (invalAck)
+// An ack whose round (or await slot) is gone is a protocol bug — except
+// after a crash, where the failure machinery may have completed the round
+// for a dead reader whose ack was still in flight. (invalAck)
 func actInvalAck(in *Instance, idx vm.PageIdx, m interface{}) {
 	ack := *m.(*invalAck)
-	b, ok := in.pendInval[ack.Seq]
-	if !ok {
-		panic(fmt.Sprintf("asvm: stray invalidation ack seq %d", ack.Seq))
-	}
-	b.remaining--
-	if b.remaining > 0 {
-		in.pendInval[ack.Seq] = b
+	if in.completeInvalTarget(ack.Seq, ack.From) {
 		return
 	}
-	delete(in.pendInval, ack.Seq)
+	if !in.nd.crashEra {
+		panic(fmt.Sprintf("asvm: stray invalidation ack seq %d", ack.Seq))
+	}
+	in.nd.Ctr.V[sim.CtrLateAcks]++
+}
+
+// completeInvalTarget strikes one reader from an invalidation round,
+// running the round's completion when it was the last ack due. It reports
+// whether the (seq, reader) pair was actually outstanding — a duplicate or
+// post-crash completion returns false and changes nothing.
+func (in *Instance) completeInvalTarget(seq uint64, from mesh.NodeID) bool {
+	b, ok := in.pendInval[seq]
+	if !ok {
+		return false
+	}
+	i := -1
+	for j, t := range b.await {
+		if t == from {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return false
+	}
+	b.await = append(b.await[:i], b.await[i+1:]...)
+	if len(b.await) > 0 {
+		in.pendInval[seq] = b
+		return true
+	}
+	delete(in.pendInval, seq)
+	in.awaitFree = append(in.awaitFree, b.await)
 	in.setState(b.idx, StServing)
 	in.clearReaders(b.idx)
 	b.cont()
+	return true
+}
+
+// completeXfer resumes one transfer/offer completion. It reports whether
+// the seq was still outstanding.
+func (in *Instance) completeXfer(seq uint64, accepted bool) bool {
+	w, ok := in.pendXfer[seq]
+	if !ok {
+		return false
+	}
+	delete(in.pendXfer, seq)
+	w.cb(accepted)
+	return true
+}
+
+// completePgr resumes one pageout completion. It reports whether the seq
+// was still outstanding.
+func (in *Instance) completePgr(seq uint64) bool {
+	w, ok := in.pendPgr[seq]
+	if !ok {
+		return false
+	}
+	delete(in.pendPgr, seq)
+	w.cb()
+	return true
 }
 
 func sortNodeIDs(ns []mesh.NodeID) {

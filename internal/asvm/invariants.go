@@ -37,6 +37,9 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 	readShared := make(map[vm.PageIdx][]mesh.NodeID)
 
 	for _, nid := range info.Mapping {
+		if info.Down[nid] {
+			continue // crashed: its state died with it (crash-stop)
+		}
 		nd := nodeByID(cluster, nid)
 		in := nd.instances[info.ID]
 		if in == nil {
@@ -136,7 +139,12 @@ func CheckInvariants(cluster []*Node, info *DomainInfo) error {
 		}
 	}
 
-	// Home bookkeeping.
+	// Home bookkeeping. With the home itself crashed there is nothing to
+	// compare against: its grant ledger died with it, and the survivors'
+	// safety properties above are all that crash-stop still promises.
+	if info.Down[info.Home] {
+		return nil
+	}
 	home := nodeByID(cluster, info.Home).instances[info.ID]
 	for idx, hs := range home.home {
 		hasOwner := len(owners[idx]) > 0
@@ -187,6 +195,9 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 	var readShared []mesh.NodeID
 
 	for _, nid := range info.Mapping {
+		if info.Down[nid] {
+			continue // crashed: its state died with it (crash-stop)
+		}
 		nd := nodeByID(cluster, nid)
 		in := nd.instances[info.ID]
 		if in == nil {
@@ -256,6 +267,30 @@ func CheckPageInvariants(cluster []*Node, info *DomainInfo, idx vm.PageIdx) erro
 		}
 	}
 	return nil
+}
+
+// OutstandingFaults counts surviving nodes' pages still in a FaultOut
+// state. At drain this is the liveness contract: every fault a live node
+// started must have resolved — granted, or failed with a typed error —
+// because a task is parked on each one. (CheckInvariants reports these too;
+// this helper lets a liveness checker name the violation precisely and list
+// the stuck pages.)
+func OutstandingFaults(cluster []*Node, info *DomainInfo) (stuck []vm.PageIdx) {
+	for _, nid := range info.Mapping {
+		if info.Down[nid] {
+			continue
+		}
+		in := nodeByID(cluster, nid).instances[info.ID]
+		if in == nil {
+			continue
+		}
+		for i := range in.slots {
+			if in.slots[i].state.FaultOut() {
+				stuck = append(stuck, vm.PageIdx(i))
+			}
+		}
+	}
+	return stuck
 }
 
 // DumpPage renders one page's cross-node protocol state — each node's

@@ -68,6 +68,11 @@ type (
 		// AtPagerCopy marks contents the pager also holds (a clean page-in
 		// grant): the new owner's copy may stay clean.
 		AtPagerCopy bool
+		// Unavailable is the typed failure grant: the request chased the
+		// page to its home and the home is down, so nothing can ever be
+		// granted. The origin aborts its fault with vm.ErrObjectUnavailable
+		// instead of waiting forever. From carries the dead home's ID.
+		Unavailable bool
 		From        mesh.NodeID
 	}
 
@@ -81,11 +86,14 @@ type (
 		From     mesh.NodeID
 	}
 
-	// invalAck confirms an invalidation.
+	// invalAck confirms an invalidation. From identifies the acking reader
+	// so the owner can strike it from the batch's await list (a crashed
+	// reader's slot is completed for it by the failure machinery).
 	invalAck struct {
-		Obj vm.ObjID
-		Idx vm.PageIdx
-		Seq uint64
+		Obj  vm.ObjID
+		Idx  vm.PageIdx
+		Seq  uint64
+		From mesh.NodeID
 	}
 
 	// ownerUpdate refreshes the static ownership manager's cache (and
@@ -138,12 +146,16 @@ type (
 	}
 
 	// toPager returns a page to the memory object's pager (internode
-	// paging step 4), via the domain's home instance.
+	// paging step 4), via the domain's home instance. With Lost set it
+	// carries no contents at all: it tells the home that the page's
+	// ownership died with a crashed node, so the home must forget any
+	// outstanding grant and let future faults re-resolve from the pager.
 	toPager struct {
 		Obj   vm.ObjID
 		Idx   vm.PageIdx
 		Data  []byte
 		Dirty bool
+		Lost  bool
 		Seq   uint64
 		From  mesh.NodeID
 	}

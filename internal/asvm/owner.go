@@ -97,6 +97,14 @@ func (in *Instance) serveRead(req accessReq) {
 		in.opDone(req.Idx)
 		return
 	}
+	if req.Origin == in.self() && in.nd.crashEra {
+		// A crash-era re-driven fault chased back to ourselves after the
+		// original resolution made us owner: the kernel already holds the
+		// page, and a node must never appear on its own reader list.
+		in.nd.K.LockGrant(in.o, req.Idx, vm.ProtRead)
+		in.opDone(req.Idx)
+		return
+	}
 	in.nd.Ctr.V[sim.CtrReadGrants]++
 	in.slots[req.Idx].readers[req.Origin] = true
 	in.sendGrant(req.Origin, grantMsg{

@@ -95,7 +95,7 @@ func (in *Instance) evictTryReaders(idx vm.PageIdx, data []byte, dirty bool) {
 	sortNodeIDs(others)
 	in.seq++
 	seq := in.seq
-	in.pendXfer[seq] = func(accepted bool) {
+	in.pendXfer[seq] = xferWait{to: reader, cb: func(accepted bool) {
 		if accepted {
 			in.nd.Ctr.V[sim.CtrEvictOwnerXfer]++
 			in.evictFinish(idx, reader)
@@ -103,7 +103,7 @@ func (in *Instance) evictTryReaders(idx vm.PageIdx, data []byte, dirty bool) {
 		}
 		delete(sl.readers, reader)
 		in.evictTryReaders(idx, data, dirty)
-	}
+	}}
 	in.send(reader, ownerXfer{
 		Obj: in.info.ID, Idx: idx, Readers: others,
 		Version: sl.version, Seq: seq, From: in.self(),
@@ -164,7 +164,7 @@ func (in *Instance) nextPageoutTarget() mesh.NodeID {
 func (in *Instance) offerPage(idx vm.PageIdx, data []byte, dirty bool, to mesh.NodeID, cb func(bool)) {
 	in.seq++
 	seq := in.seq
-	in.pendXfer[seq] = cb
+	in.pendXfer[seq] = xferWait{to: to, cb: cb}
 	in.send(to, pageOffer{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
 		Version: in.slots[idx].version, Seq: seq, From: in.self(),
@@ -192,9 +192,9 @@ func (in *Instance) evictToPager(idx vm.PageIdx, data []byte, dirty bool) {
 	}
 	in.seq++
 	seq := in.seq
-	in.pendPgr[seq] = func() {
+	in.pendPgr[seq] = pgrWait{to: in.info.Home, dirty: dirty, cb: func() {
 		in.evictFinish(idx, -1)
-	}
+	}}
 	in.send(in.info.Home, toPager{
 		Obj: in.info.ID, Idx: idx, Data: copyData(data),
 		Dirty: dirty, Seq: seq, From: in.self(),
@@ -259,15 +259,19 @@ func actOwnerXferDecline(in *Instance, idx vm.PageIdx, m interface{}) {
 	in.send(x.From, ownerXferAck{Obj: in.info.ID, Idx: idx, Seq: x.Seq, Accepted: false})
 }
 
-// actOwnerXferAck resumes the evicting owner's transfer chain. (xferAck)
+// actOwnerXferAck resumes the evicting owner's transfer chain. A stray ack
+// is a protocol bug — except after a crash, where the failure machinery
+// may have declined the transfer for a dead peer whose ack was still in
+// flight. (xferAck)
 func actOwnerXferAck(in *Instance, idx vm.PageIdx, m interface{}) {
 	a := m.(ownerXferAck)
-	cb := in.pendXfer[a.Seq]
-	if cb == nil {
+	if in.completeXfer(a.Seq, a.Accepted) {
+		return
+	}
+	if !in.nd.crashEra {
 		panic(fmt.Sprintf("asvm: stray owner transfer ack seq %d", a.Seq))
 	}
-	delete(in.pendXfer, a.Seq)
-	cb(a.Accepted)
+	in.nd.Ctr.V[sim.CtrLateAcks]++
 }
 
 // actPageOffer is eviction step 3 at a candidate: adopt the page if free
@@ -296,21 +300,36 @@ func actPageOfferDecline(in *Instance, idx vm.PageIdx, m interface{}) {
 	in.send(po.From, pageOfferAck{Obj: in.info.ID, Idx: idx, Seq: po.Seq, Accepted: false})
 }
 
-// actPageOfferAck resumes the evicting owner's offer chain. (offerAck)
+// actPageOfferAck resumes the evicting owner's offer chain; stray acks are
+// tolerated only in the crash era, as with actOwnerXferAck. (offerAck)
 func actPageOfferAck(in *Instance, idx vm.PageIdx, m interface{}) {
 	a := m.(pageOfferAck)
-	cb := in.pendXfer[a.Seq]
-	if cb == nil {
+	if in.completeXfer(a.Seq, a.Accepted) {
+		return
+	}
+	if !in.nd.crashEra {
 		panic(fmt.Sprintf("asvm: stray page offer ack seq %d", a.Seq))
 	}
-	delete(in.pendXfer, a.Seq)
-	cb(a.Accepted)
+	in.nd.Ctr.V[sim.CtrLateAcks]++
 }
 
 // actToPager parks an evicted page's contents at the home's backing store
-// (eviction step 4 at the home node). (pagerPark)
+// (eviction step 4 at the home node). A Lost report carries no contents:
+// a surviving node is telling the home that the page's ownership died with
+// a crashed node, so the home forgets the grant and lets the next fault
+// re-resolve from the backing store. (pagerPark)
 func actToPager(in *Instance, idx vm.PageIdx, m interface{}) {
 	tp := m.(toPager)
+	if tp.Lost {
+		hs := in.home[idx]
+		if hs == nil {
+			hs = &homeState{}
+			in.home[idx] = hs
+		}
+		hs.granted = false
+		in.send(tp.From, toPagerAck{Obj: in.info.ID, Idx: idx, Seq: tp.Seq})
+		return
+	}
 	in.homePagerOut(idx, tp.Data, tp.Dirty, func() {
 		hs := in.home[idx]
 		if hs == nil {
@@ -324,13 +343,33 @@ func actToPager(in *Instance, idx vm.PageIdx, m interface{}) {
 	})
 }
 
-// actToPagerAck completes the evicting owner's pageout. (pagerAck)
+// actToPagerAck completes the evicting owner's pageout; stray acks are
+// tolerated only in the crash era. (pagerAck)
 func actToPagerAck(in *Instance, idx vm.PageIdx, m interface{}) {
 	a := m.(toPagerAck)
-	cb := in.pendPgr[a.Seq]
-	if cb == nil {
+	if in.completePgr(a.Seq) {
+		return
+	}
+	if !in.nd.crashEra {
 		panic(fmt.Sprintf("asvm: stray pager ack seq %d", a.Seq))
 	}
-	delete(in.pendPgr, a.Seq)
-	cb()
+	in.nd.Ctr.V[sim.CtrLateAcks]++
+}
+
+// actToPagerAckLoose absorbs a pager ack landing outside the eviction
+// chain. Without crashes that is a protocol bug (only an XferOut slot has a
+// pageout in flight); in the crash era it is the normal tail of a Lost
+// report — declareLost posts to the home from whatever state the bounced
+// grant left the slot in (usually Invalid, possibly re-faulting already),
+// and the ack is matched by sequence number, not by page state.
+// (pagerAckLoose)
+func actToPagerAckLoose(in *Instance, idx vm.PageIdx, m interface{}) {
+	a := m.(toPagerAck)
+	if !in.nd.crashEra {
+		panic(fmt.Sprintf("asvm: pager ack seq %d for %v p%d in %v at node %d",
+			a.Seq, in.info.ID, idx, in.slots[idx].state, in.self()))
+	}
+	if !in.completePgr(a.Seq) {
+		in.nd.Ctr.V[sim.CtrLateAcks]++
+	}
 }

@@ -115,8 +115,10 @@ const (
 	EvPushStart  // a write grant needs the pre-copy contents pushed first
 	EvTeardown   // domain teardown drops the page's protocol state
 	EvReqNack    // a forwarded request bounced off a dead node
+	EvCrash      // this node crashed: the page's state dies with it
+	EvPeerDown   // a peer was declared dead: scrub it / re-drive the fault
 
-	NumProtoEvents = int(EvReqNack) + 1
+	NumProtoEvents = int(EvPeerDown) + 1
 )
 
 var protoEventNames = [NumProtoEvents]string{
@@ -138,6 +140,8 @@ var protoEventNames = [NumProtoEvents]string{
 	EvPushStart:    "PushStart",
 	EvTeardown:     "Teardown",
 	EvReqNack:      "ReqNack",
+	EvCrash:        "Crash",
+	EvPeerDown:     "PeerDown",
 }
 
 func (e ProtoEvent) String() string {
@@ -233,10 +237,12 @@ func init() {
 	// variants keep today's behaviour for grants that arrive after the
 	// fault was satisfied through another path (retries and races make
 	// this reachable). A grant into a busy owner would corrupt the
-	// operation in flight — loud.
+	// operation in flight — loud, unless a crash-era re-driven fault
+	// resolved twice, in which case the duplicate is dead on arrival.
 	entry(EvGrant, "grant", actGrant, faultStates...)
 	entry(EvGrant, "grantLate", actGrant,
 		StInvalid, StReadShared, StOwner, StOwnerSole)
+	entry(EvGrant, "grantBusy", actGrantBusy, busyStates...)
 
 	// Invalidation: drop a read copy, mark a stale in-flight grant while
 	// faulting (the explorer-found stale-grant transition, PR 4), or just
@@ -271,6 +277,12 @@ func init() {
 	entry(EvToPager, "pagerPark", actToPager,
 		StInvalid, StFaultOutRead, StFaultOutWrite, StReadShared)
 	entry(EvToPagerAck, "pagerAck", actToPagerAck, StXferOut)
+	// A Lost report's ack is sequence-matched, not state-matched: it may
+	// return to a slot the bounced grant left in any state (crash era
+	// only; the action panics otherwise).
+	entry(EvToPagerAck, "pagerAckLoose", actToPagerAckLoose,
+		StInvalid, StFaultOutRead, StFaultOutWrite, StReadShared,
+		StOwner, StOwnerSole, StServing, StPushWait, StInvalWait)
 
 	entry(EvPushScanAck, "pushAck", actPushScanAck, StPushWait)
 
@@ -300,6 +312,14 @@ func init() {
 	// A bounced request re-enters the redirector whatever our own page
 	// state is — we may even own the page by now and serve it.
 	entry(EvReqNack, "nackResume", actReqNack, allStates...)
+
+	// Crash-stop fates. EvCrash runs on the dying node's own instance and
+	// is legal everywhere: whatever the page was doing, the state dies with
+	// the node. EvPeerDown runs on survivors: a faulting page re-drives its
+	// request past the dead node, an owner scrubs the dead node from its
+	// reader list. Both are dispatched only by the failure machinery.
+	entry(EvCrash, "crash", actCrash, allStates...)
+	entry(EvPeerDown, "peerDead", actPeerDown, allStates...)
 }
 
 // dispatch funnels one event into the page's state machine: legality

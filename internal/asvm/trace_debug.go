@@ -77,7 +77,11 @@ func (t *TraceBuf) Lines() []string {
 	return out
 }
 
-// trace records one line into the owning node's buffer.
+// trace records one line, stamped with virtual time, into the owning
+// node's buffer.
 func (in *Instance) trace(format string, args ...interface{}) {
-	in.nd.Trace.Addf(format, args...)
+	if !in.nd.Trace.on {
+		return
+	}
+	in.nd.Trace.Addf("@%d "+format, append([]interface{}{int64(in.nd.Eng.Now())}, args...)...)
 }

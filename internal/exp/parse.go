@@ -7,9 +7,9 @@ import (
 
 // expNames is the closed set of -exp selectors asvmbench accepts, in the
 // order the experiments run. "all" runs the paper-reproduction set (chaos
-// stays opt-in; see cmd/asvmbench).
+// and crash stay opt-in; see cmd/asvmbench).
 var expNames = []string{
-	"table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos", "all",
+	"table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos", "crash", "all",
 }
 
 // ExpNames returns the valid -exp selectors in run order.

@@ -45,6 +45,17 @@ type Snapshot struct {
 	Table2MBs   map[string][]float64 `json:"table2_mbps"`  // series -> MB/s per node count
 	Fig11FitMS  map[string][]float64 `json:"fig11_fit_ms"` // system -> [lb, la] of latency = lb + n*la
 
+	// Crash-stop degradation (simulated, deterministic): the quick crash
+	// sweep's 1-crashed-node / 1%-drop cell, the sweep's stress point. Ops
+	// are completed operations (crash-free cell vs degraded cell); the rest
+	// count what the crash cost.
+	CrashOpsBaseline float64 `json:"crash_ops_baseline"`
+	CrashOpsDegraded float64 `json:"crash_ops_degraded"`
+	CrashAborted     int64   `json:"crash_faults_aborted"`
+	CrashRedrives    int64   `json:"crash_fault_redrives"`
+	CrashOwnLost     int64   `json:"crash_ownership_lost"`
+	CrashPagesLost   int64   `json:"crash_pages_lost"`
+
 	// WallSeconds is the wall-clock time each artifact sweep took with the
 	// configured worker count.
 	WallSeconds map[string]float64 `json:"wall_seconds"`
@@ -180,6 +191,26 @@ func CollectSnapshot(seed uint64, workers int, quick bool) (*Snapshot, error) {
 			lb, la := fitLine(chains, ys)
 			snap.Fig11FitMS[sys.String()] = []float64{lb, la}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("crash", func() error {
+		cells := []CrashCell{
+			{Crashed: 0, Rate: 0.01},
+			{Crashed: 1, Rate: 0.01},
+		}
+		results, err := RunCrashCells(cells, seed, workers, true)
+		if err != nil {
+			return err
+		}
+		snap.CrashOpsBaseline = results[0].Metric
+		snap.CrashOpsDegraded = results[1].Metric
+		snap.CrashAborted = results[1].FaultsAborted
+		snap.CrashRedrives = results[1].FaultRedrives
+		snap.CrashOwnLost = results[1].OwnershipLost
+		snap.CrashPagesLost = results[1].PagesLost
 		return nil
 	}); err != nil {
 		return nil, err

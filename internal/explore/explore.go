@@ -34,6 +34,13 @@ import (
 // forwarding loop that a perturbed schedule failed to break).
 const StepBound = 2_000_000
 
+// RetransmitBound caps the reliability layer's total retransmissions per
+// run. A bounded scenario retransmits at most a few hundred times even
+// under hostile fault fates; blowing through this bound means a retransmit
+// storm — a frame that can never be acknowledged yet is never declared
+// dead, the transport-level flavor of livelock.
+const RetransmitBound = 10_000
+
 // Choice is one resolved choice point: its kind, how many alternatives the
 // engine offered, and which was taken.
 type Choice struct {
@@ -50,7 +57,8 @@ type NodeTrace struct {
 
 // Violation describes a failing run.
 type Violation struct {
-	// Kind is "invariant", "deadlock", "step-bound", "workload" or "panic".
+	// Kind is "invariant", "deadlock", "step-bound", "liveness", "workload"
+	// or "panic".
 	Kind string
 	Err  error
 	// Choices is the full recorded choice trace of the failing run (its
@@ -142,6 +150,25 @@ func runOne(sc *Scenario, prefix []int, rng *sim.RNG, mutate Mutate) Outcome {
 
 	if vioErr == nil && !drained {
 		report("step-bound", fmt.Errorf("run exceeded %d events (livelock?)", StepBound))
+	}
+	// Liveness: the run drained, so every fault a surviving node started
+	// must have resolved — granted, or failed with a typed error — and the
+	// reliability layer must not have ground through a retransmit storm.
+	// Checked before the generic deadlock verdict: a proc parked on a
+	// never-resolving fault is a liveness bug first, and the fault dump
+	// says which page and why.
+	if vioErr == nil && c.RelTR != nil && c.RelTR.Retransmits > RetransmitBound {
+		report("liveness", fmt.Errorf("%d retransmissions (bound %d): retransmit storm",
+			c.RelTR.Retransmits, RetransmitBound))
+	}
+	if vioErr == nil {
+		for _, r := range regions {
+			if stuck := asvm.OutstandingFaults(c.ASVMs, r.ASVMInfo()); len(stuck) > 0 {
+				report("liveness", fmt.Errorf("%d faults never granted nor typed-failed (pages %v)\n%s",
+					len(stuck), stuck, asvm.DumpPage(c.ASVMs, r.ASVMInfo(), stuck[0])))
+				break
+			}
+		}
 	}
 	if vioErr == nil && c.Eng.LiveProcs() > 0 {
 		report("deadlock", fmt.Errorf("%d procs blocked with no events pending", c.Eng.LiveProcs()))

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -21,6 +22,10 @@ type Scenario struct {
 	// Bounded marks scenarios small enough for exhaustive DFS (2–4 nodes,
 	// a handful of faults). Walk accepts any scenario.
 	Bounded bool
+	// Live marks the liveness-focused set (crash plans, lossy links): the
+	// scenarios asvmcheck -live walks. Every run already enforces the
+	// liveness contract — these are the ones built to stress it.
+	Live bool
 	// Params returns the cluster configuration.
 	Params func() machine.Params
 	// Run builds regions and spawns the workload procs; errors a proc hits
@@ -48,6 +53,18 @@ func smallParams(nodes int) machine.Params {
 	p := machine.DefaultParams(nodes)
 	p.TrackData = true
 	return p
+}
+
+// tolerate maps crash-stop degradation errors to nil: a worker whose node
+// died or whose page became unreachable has been degraded, not failed. Any
+// other error is a real workload failure.
+func tolerate(err error) error {
+	var nc *vm.ErrNodeCrashed
+	var ou *vm.ErrObjectUnavailable
+	if errors.As(err, &nc) || errors.As(err, &ou) {
+		return nil
+	}
+	return err
 }
 
 // addr returns the byte address of word w inside page pg.
@@ -185,6 +202,7 @@ var scenarios = []*Scenario{
 		Name:    "fault2",
 		About:   "2 nodes, 1 page, lossy link under the reliability layer: drops and dups become explorable choices",
 		Bounded: true,
+		Live:    true,
 		Params: func() machine.Params {
 			p := smallParams(2)
 			// Nonzero rates arm the fault classes; under exploration the
@@ -211,6 +229,94 @@ var scenarios = []*Scenario{
 					return nil
 				})
 			}
+			return []*machine.Region{r}
+		},
+	},
+	{
+		Name:  "crash3",
+		About: "3 nodes, 2 pages: node 2 dies mid-run (fate is a choice point); survivors must resolve every fault — granted or typed-failed — never hang",
+		Live:  true,
+		Params: func() machine.Params {
+			p := smallParams(3)
+			// The plan implies the reliability layer. Under the explorer the
+			// crash is a ChoiceCrash point: alternative 0 keeps the default
+			// schedule crash-free, so only perturbed runs kill the node.
+			// The crash lands after the ~2.4 ms initial-fault window, when
+			// node 2 plausibly owns a contended page and survivors are
+			// mid-fault on it — the state the recovery paths exist for.
+			p.Crash = machine.CrashPlan{Crashes: []machine.NodeCrash{
+				{Node: 2, At: 8 * time.Millisecond},
+			}}
+			return p
+		},
+		Run: func(c *machine.Cluster, fail func(error)) []*machine.Region {
+			r := c.NewSharedRegion("c3", 2, []int{0, 1, 2})
+			for n := 0; n < 3; n++ {
+				n := n
+				worker(c, fail, n, r, func(p *sim.Proc, t *vm.Task) error {
+					for i := 0; i < 3; i++ {
+						pg := (n + i) % 2
+						if err := tolerate(t.WriteU64(p, addr(pg, n), uint64(n*10+i))); err != nil {
+							return err
+						}
+						if c.NodeIsCrashed(n) {
+							return nil // our node died; the task died with it
+						}
+						if _, err := t.ReadU64(p, addr(1-pg, 3)); tolerate(err) != nil {
+							return err
+						}
+						p.Sleep(300 * time.Microsecond)
+					}
+					return nil
+				})
+			}
+			return []*machine.Region{r}
+		},
+	},
+	{
+		Name:  "crash-restart3",
+		About: "3 nodes, 2 pages: node 2 dies and rejoins cold; post-restart traffic routes through its ring position and the home's grant ledger must stay coherent",
+		Live:  true,
+		Params: func() machine.Params {
+			p := smallParams(3)
+			p.Crash = machine.CrashPlan{Crashes: []machine.NodeCrash{
+				{Node: 2, At: 800 * time.Microsecond, Restart: 3 * time.Millisecond},
+			}}
+			return p
+		},
+		Run: func(c *machine.Cluster, fail func(error)) []*machine.Region {
+			r := c.NewSharedRegion("cr3", 2, []int{0, 1, 2})
+			for n := 0; n < 2; n++ {
+				n := n
+				worker(c, fail, n, r, func(p *sim.Proc, t *vm.Task) error {
+					if err := tolerate(t.WriteU64(p, addr(n, n), uint64(n+1))); err != nil {
+						return err
+					}
+					// Sleep past the restart, then touch both pages again so
+					// requests forward through the reborn node's (unchanged)
+					// static-hash position.
+					p.Sleep(6 * time.Millisecond)
+					if err := tolerate(t.WriteU64(p, addr(1-n, n), uint64(n+7))); err != nil {
+						return err
+					}
+					_, err := t.ReadU64(p, addr(n, 4))
+					return tolerate(err)
+				})
+			}
+			worker(c, fail, 2, r, func(p *sim.Proc, t *vm.Task) error {
+				// Rides into the crash window; every outcome is legal except
+				// an untyped error or a hang.
+				for i := 0; i < 2; i++ {
+					if err := tolerate(t.WriteU64(p, addr(i, 2), uint64(i+3))); err != nil {
+						return err
+					}
+					if c.NodeIsCrashed(2) {
+						return nil
+					}
+					p.Sleep(200 * time.Microsecond)
+				}
+				return nil
+			})
 			return []*machine.Region{r}
 		},
 	},
@@ -252,6 +358,17 @@ func BoundedScenarios() []*Scenario {
 	var out []*Scenario
 	for _, sc := range scenarios {
 		if sc.Bounded {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// LiveScenarios returns the liveness-focused set (asvmcheck -live).
+func LiveScenarios() []*Scenario {
+	var out []*Scenario
+	for _, sc := range scenarios {
+		if sc.Live {
 			out = append(out, sc)
 		}
 	}

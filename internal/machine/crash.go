@@ -1,0 +1,195 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/asvm"
+	"asvm/internal/mesh"
+	"asvm/internal/pager"
+	"asvm/internal/sim"
+	"asvm/internal/xport"
+)
+
+// This file is the machine layer of the crash-stop failure model: a seeded
+// per-node crash plan executed at virtual times, node teardown across every
+// layer (kernel, transport, protocol), and cold rejoin on restart. The
+// empty plan is provably inert — nothing here schedules an event, installs
+// a handler, or touches a map unless Crashes is non-empty — so the seed-1
+// no-crash contract is untouched.
+
+// NodeCrash schedules one node's fate: crash at At and, when Restart is
+// later than At, rejoin cold at Restart. Under the schedule explorer each
+// due crash is a ChoiceCrash point (survive / crash / crash permanently)
+// instead of a certainty.
+type NodeCrash struct {
+	Node    int
+	At      time.Duration
+	Restart time.Duration // <= At means the crash is permanent
+}
+
+// CrashPlan is a deterministic crash schedule.
+type CrashPlan struct {
+	Crashes []NodeCrash
+}
+
+// Active reports whether the plan schedules anything.
+func (p CrashPlan) Active() bool { return len(p.Crashes) > 0 }
+
+// CrashStats accumulates what the failure model did and what it cost.
+type CrashStats struct {
+	// Crashes/Restarts count executed fates (under the explorer a planned
+	// crash may be skipped, so these can undershoot the plan).
+	Crashes  int
+	Restarts int
+	// FaultsAborted counts kernel faults failed with ErrNodeCrashed at
+	// the crashing nodes themselves.
+	FaultsAborted int
+	// Ledger aggregates the protocol-level degradation across all regions.
+	Ledger asvm.CrashLedger
+}
+
+// armCrashPlan schedules the plan's fates. Called from New only when the
+// plan is active.
+func (c *Cluster) armCrashPlan() {
+	for _, nc := range c.P.Crash.Crashes {
+		if nc.Node < 0 || nc.Node >= c.P.Nodes {
+			panic(fmt.Sprintf("machine: crash plan names node %d of %d", nc.Node, c.P.Nodes))
+		}
+		nc := nc
+		c.Eng.Schedule(nc.At, func() {
+			alts := 2
+			if nc.Restart > nc.At {
+				alts = 3
+			}
+			fate := 1 // production: the plan is a certainty
+			if c.Eng.Exploring() {
+				// Choice point: 0 survives (the default schedule stays
+				// crash-free), 1 crashes per plan, 2 suppresses the restart.
+				fate = c.Eng.Choose(sim.ChoiceCrash, alts)
+			}
+			if fate == 0 || c.crashed[nc.Node] {
+				return
+			}
+			c.CrashNode(nc.Node)
+			if nc.Restart > nc.At && fate != 2 {
+				c.Eng.Schedule(nc.Restart-nc.At, func() {
+					c.RestartNode(nc.Node)
+				})
+			}
+		})
+	}
+}
+
+// NodeIsCrashed reports whether a node is currently down.
+func (c *Cluster) NodeIsCrashed(idx int) bool { return c.crashed[idx] }
+
+// CrashNode executes a crash-stop failure of one node, now, across every
+// layer:
+//
+//  1. the kernel fails its in-flight faults with ErrNodeCrashed and drops
+//     task state;
+//  2. the reliability layer advances the node's incarnation, gates inbound
+//     delivery, and abandons its unacked sends (a dead node's timers fire
+//     as no-ops);
+//  3. every survivor's transport marks the node down immediately — the
+//     failure model is fail-stop with a perfect detector, so survivors
+//     fast-fail instead of grinding through retransmit schedules — and
+//     in-flight frames toward it bounce back as Nacks;
+//  4. the protocol scrubs the dead node from each region it mapped
+//     (asvm.CrashRecover): survivors re-drive faults, drop its read
+//     copies, and the ledger counts the ownership and contents that died
+//     with it.
+func (c *Cluster) CrashNode(idx int) {
+	if c.crashed[idx] {
+		return
+	}
+	if c.P.System != SysASVM {
+		panic("machine: crash-stop model is wired for ASVM only")
+	}
+	if c.crashed == nil {
+		c.crashed = make(map[int]bool)
+	}
+	c.crashed[idx] = true
+	c.CrashStats.Crashes++
+	n := mesh.NodeID(idx)
+
+	c.CrashStats.FaultsAborted += c.Kerns[idx].Crash()
+	var abandoned []xport.AbandonedSend
+	if c.RelTR != nil {
+		abandoned = c.RelTR.AbandonedSends(n)
+		c.RelTR.NodeCrashed(n)
+		for j := 0; j < c.P.Nodes; j++ {
+			if j != idx && !c.crashed[j] {
+				c.RelTR.MarkPeerDown(mesh.NodeID(j), n)
+			}
+		}
+	}
+	for _, r := range c.regions {
+		if r.info == nil || r.info.Down[n] || !r.hasNode(idx) {
+			continue
+		}
+		asvm.CrashRecover(c.ASVMs, r.info, n, &c.CrashStats.Ledger)
+		// Authority the dead node had in flight (undelivered ownership
+		// grants) is lost with certainty; declare it now, after the scrub.
+		asvm.DeadLetters(c.ASVMs, r.info, n, abandoned, &c.CrashStats.Ledger)
+	}
+}
+
+// RestartNode rejoins a crashed node cold: a fresh kernel incarnation, a
+// reopened transport, and a cold protocol instance per region in its old
+// ring position (static hashing is undisturbed). A restarted home rebuilds
+// its grant ledger from the surviving owners; its backing-store knowledge
+// lives at the pager and needs no rebuild, while an anonymous region's
+// parked pages died with it (they re-resolve as fresh).
+func (c *Cluster) RestartNode(idx int) {
+	if !c.crashed[idx] {
+		return
+	}
+	delete(c.crashed, idx)
+	c.CrashStats.Restarts++
+	n := mesh.NodeID(idx)
+
+	c.Kerns[idx].Restart()
+	if c.RelTR != nil {
+		c.RelTR.PeerRestarted(n)
+	}
+	for _, r := range c.regions {
+		if r.info == nil || !r.hasNode(idx) {
+			continue
+		}
+		delete(r.info.Down, n)
+		in := asvm.AddNode(r.info, c.ASVMs[idx])
+		r.objs[idx] = in.Obj()
+		if r.Home == idx {
+			if r.pagerSrv != nil {
+				in.SetPager(pager.NewClient(c.Eng, c.TR, n, r.pagerSrv))
+			}
+			asvm.RebuildHome(c.ASVMs, r.info)
+		}
+	}
+}
+
+// hasNode reports whether the region maps cluster node idx.
+func (r *Region) hasNode(idx int) bool {
+	for _, n := range r.Nodes {
+		if n == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// wireDownHandlers registers each node's peer-down handler with the
+// reliability layer: when retransmit exhaustion declares a peer dead (the
+// organic detection path, as opposed to CrashNode's immediate one), the
+// observing node's protocol layer scrubs the peer before the bounced
+// frames arrive.
+func (c *Cluster) wireDownHandlers() {
+	for i, nd := range c.ASVMs {
+		nd := nd
+		c.RelTR.OnPeerDown(mesh.NodeID(i), func(e xport.ErrPeerDown) {
+			nd.PeerDown(e.Node)
+		})
+	}
+}

@@ -105,6 +105,12 @@ type Params struct {
 	Reliable    bool
 	ReliableCfg xport.ReliableConfig
 
+	// Crash schedules crash-stop node failures (and optional restarts) at
+	// virtual times. An active plan implies Reliable: peer-down detection
+	// and the Nack re-route path live in the reliability layer. The zero
+	// plan arms nothing — the no-crash schedule is untouched.
+	Crash CrashPlan
+
 	// Seed drives all randomness in workloads.
 	Seed uint64
 
@@ -184,6 +190,14 @@ type Cluster struct {
 	ASVMs []*asvm.Node
 	XMMs  []*xmm.Node
 
+	// Crash-stop failure model state: which nodes are currently down, what
+	// failing them cost, and the regions CrashNode must recover. The
+	// registry is only consulted on crash/restart; with an inactive plan
+	// and no direct CrashNode calls it is dead weight only.
+	crashed    map[int]bool
+	regions    []*Region
+	CrashStats CrashStats
+
 	// PagingSpace maps each I/O node to its default pager (paging space).
 	PagingSpace map[mesh.NodeID]*pager.Server
 
@@ -197,6 +211,9 @@ type Cluster struct {
 func New(p Params) *Cluster {
 	if p.Nodes < 1 {
 		panic("machine: need at least one node")
+	}
+	if p.Crash.Active() {
+		p.Reliable = true // crash detection lives in the reliability layer
 	}
 	e := sim.NewParallelEngine(p.EngineLanes, p.Mesh.LookaheadFloor())
 	c := &Cluster{
@@ -267,6 +284,12 @@ func New(p Params) *Cluster {
 			c.XMMs = append(c.XMMs, xmm.NewNode(e, c.Kerns[i], c.TR, p.XMMCopyThreads))
 		}
 	}
+	if p.System == SysASVM && c.RelTR != nil {
+		c.wireDownHandlers()
+	}
+	if p.Crash.Active() {
+		c.armCrashPlan()
+	}
 	c.barriers = newBarrierSvc(c)
 	return c
 }
@@ -303,8 +326,9 @@ type Region struct {
 	Home      int
 	Nodes     []int // cluster node indices sharing the region
 
-	objs map[int]*vm.Object // node index -> local vm object
-	info *asvm.DomainInfo   // ASVM only
+	objs     map[int]*vm.Object // node index -> local vm object
+	info     *asvm.DomainInfo   // ASVM only
+	pagerSrv *pager.Server      // backing store, for restart re-wiring
 }
 
 // Obj returns the region's vm object on a node.
@@ -329,8 +353,9 @@ func (c *Cluster) NewSharedRegion(name string, sizePages vm.PageIdx, nodeIdxs []
 	backing := c.PagingSpace[io]
 	r := &Region{
 		Name: name, SizePages: sizePages, ID: id, Home: home,
-		Nodes: append([]int(nil), nodeIdxs...),
-		objs:  make(map[int]*vm.Object),
+		Nodes:    append([]int(nil), nodeIdxs...),
+		objs:     make(map[int]*vm.Object),
+		pagerSrv: backing,
 	}
 	switch c.P.System {
 	case SysASVM:
@@ -353,6 +378,7 @@ func (c *Cluster) NewSharedRegion(name string, sizePages vm.PageIdx, nodeIdxs []
 			r.objs[n] = objs[i]
 		}
 	}
+	c.regions = append(c.regions, r)
 	return r
 }
 
@@ -372,8 +398,9 @@ func (c *Cluster) NewMappedFile(name string, sizePages vm.PageIdx, nodeIdxs []in
 	}
 	r := &Region{
 		Name: name, SizePages: sizePages, ID: id, Home: home,
-		Nodes: append([]int(nil), nodeIdxs...),
-		objs:  make(map[int]*vm.Object),
+		Nodes:    append([]int(nil), nodeIdxs...),
+		objs:     make(map[int]*vm.Object),
+		pagerSrv: srv,
 	}
 	switch c.P.System {
 	case SysASVM:
@@ -396,6 +423,7 @@ func (c *Cluster) NewMappedFile(name string, sizePages vm.PageIdx, nodeIdxs []in
 			r.objs[n] = objs[i]
 		}
 	}
+	c.regions = append(c.regions, r)
 	return r, srv
 }
 

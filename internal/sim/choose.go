@@ -25,6 +25,11 @@ const (
 	// ChoiceFault picks the fate of a message on a fault-injected link.
 	// Alternative 0 is always "deliver normally".
 	ChoiceFault
+	// ChoiceCrash picks the fate of a planned node crash when it comes due.
+	// Alternative 0 is always "the node survives"; 1 is crash (with the
+	// plan's restart, if any); 2, where offered, is crash with the restart
+	// suppressed (a permanent fate for a plan that scheduled a comeback).
+	ChoiceCrash
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +41,8 @@ func (k ChoiceKind) String() string {
 		return "latency"
 	case ChoiceFault:
 		return "fault"
+	case ChoiceCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("ChoiceKind(%d)", uint8(k))
 }

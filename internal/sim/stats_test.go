@@ -150,71 +150,81 @@ func TestCountersTypedStringInterop(t *testing.T) {
 // may be reordered freely; these strings may not change.
 func TestCounterNameTableGolden(t *testing.T) {
 	golden := map[Ctr]string{
-		CtrAsymCopies:        "asym_copies",
-		CtrCopyPagerFaults:   "copy_pager_faults",
-		CtrCopyRequests:      "copy_requests",
-		CtrCowCopies:         "cow_copies",
-		CtrDataRequests:      "data_requests",
-		CtrDataSupplies:      "data_supplies",
-		CtrDataUnavailable:   "data_unavailable",
-		CtrDataUnlocks:       "data_unlocks",
-		CtrEvictCancelled:    "evict_cancelled",
-		CtrEvictDiscard:      "evict_discard",
-		CtrEvictDrop:         "evict_drop",
-		CtrEvictOwner:        "evict_owner",
-		CtrEvictOwnerXfer:    "evict_owner_xfer",
-		CtrEvictPageXfer:     "evict_page_xfer",
-		CtrEvictStuck:        "evict_stuck",
-		CtrEvictToPager:      "evict_to_pager",
-		CtrEvictions:         "evictions",
-		CtrFaults:            "faults",
-		CtrFreshGrants:       "fresh_grants",
-		CtrFwdDynamic:        "fwd_dynamic",
-		CtrFwdGlobal:         "fwd_global",
-		CtrFwdStatic:         "fwd_static",
-		CtrGrantRetries:      "grant_retries",
-		CtrHintNacks:         "hint_nacks",
-		CtrHomeFreshGrants:   "home_fresh_grants",
-		CtrHomePagerSupplies: "home_pager_supplies",
-		CtrHomeRetries:       "home_retries",
-		CtrHopEscalations:    "hop_escalations",
-		CtrInvalidations:     "invalidations",
-		CtrLocalPushes:       "local_pushes",
-		CtrMgrDirtyToPager:   "mgr_dirty_to_pager",
-		CtrMgrFlushes:        "mgr_flushes",
-		CtrMgrPageouts:       "mgr_pageouts",
-		CtrMgrRequests:       "mgr_requests",
-		CtrMgrUpgrades:       "mgr_upgrades",
-		CtrMsgs:              "msgs",
-		CtrNacks:             "nacks",
-		CtrOwnerXferAccepted: "ownerxfer_accepted",
-		CtrPageOfferAccepted: "pageoffer_accepted",
-		CtrPageOfferDeclined: "pageoffer_declined",
-		CtrProtoTransitions:  "proto_transitions",
-		CtrProxyEvicts:       "proxy_evicts",
-		CtrProxyRequests:     "proxy_requests",
-		CtrPullGrants:        "pull_grants",
-		CtrPullRequests:      "pull_requests",
-		CtrPullRetries:       "pull_retries",
-		CtrPulls:             "pulls",
-		CtrPushLocks:         "push_locks",
-		CtrPushSupplies:      "push_supplies",
-		CtrPushesCancelled:   "pushes_cancelled",
-		CtrPushesInstalled:   "pushes_installed",
-		CtrPushesStarted:     "pushes_started",
-		CtrPushScanInflight:  "pushscan_inflight",
-		CtrRangeLocks:        "range_locks",
-		CtrRangeUnlocks:      "range_unlocks",
-		CtrReadGrants:        "read_grants",
-		CtrReqNacks:          "req_nacks",
-		CtrSelfUpgrades:      "self_upgrades",
-		CtrShadowInterpose:   "shadow_interpose",
-		CtrStaleGrants:       "stale_grants",
-		CtrStaticMisses:      "static_misses",
-		CtrStaticOwnerHits:   "static_owner_hits",
-		CtrStaticPagedHits:   "static_paged_hits",
-		CtrWriteGrants:       "write_grants",
-		CtrZeroFills:         "zero_fills",
+		CtrAsymCopies:         "asym_copies",
+		CtrCopiesDropped:      "copies_dropped",
+		CtrCopyPagerFaults:    "copy_pager_faults",
+		CtrCopyRequests:       "copy_requests",
+		CtrCowCopies:          "cow_copies",
+		CtrDataRequests:       "data_requests",
+		CtrDataSupplies:       "data_supplies",
+		CtrDataUnavailable:    "data_unavailable",
+		CtrDataUnlocks:        "data_unlocks",
+		CtrEvictCancelled:     "evict_cancelled",
+		CtrEvictDiscard:       "evict_discard",
+		CtrEvictDrop:          "evict_drop",
+		CtrEvictOwner:         "evict_owner",
+		CtrEvictOwnerXfer:     "evict_owner_xfer",
+		CtrEvictPageXfer:      "evict_page_xfer",
+		CtrEvictStuck:         "evict_stuck",
+		CtrEvictToPager:       "evict_to_pager",
+		CtrEvictions:          "evictions",
+		CtrFaultRedrives:      "fault_redrives",
+		CtrFaults:             "faults",
+		CtrFaultsAborted:      "faults_aborted",
+		CtrFreshGrants:        "fresh_grants",
+		CtrFwdDynamic:         "fwd_dynamic",
+		CtrFwdGlobal:          "fwd_global",
+		CtrFwdStatic:          "fwd_static",
+		CtrGrantRetries:       "grant_retries",
+		CtrHintEvictions:      "hint_evictions",
+		CtrHintNacks:          "hint_nacks",
+		CtrHomeFreshGrants:    "home_fresh_grants",
+		CtrHomePagerSupplies:  "home_pager_supplies",
+		CtrHomeRetries:        "home_retries",
+		CtrHopEscalations:     "hop_escalations",
+		CtrInvalidations:      "invalidations",
+		CtrLateAcks:           "late_acks",
+		CtrLateGrants:         "late_grants",
+		CtrLocalPushes:        "local_pushes",
+		CtrMgrDirtyToPager:    "mgr_dirty_to_pager",
+		CtrMgrFlushes:         "mgr_flushes",
+		CtrMgrPageouts:        "mgr_pageouts",
+		CtrMgrRequests:        "mgr_requests",
+		CtrMgrUpgrades:        "mgr_upgrades",
+		CtrMsgs:               "msgs",
+		CtrNacks:              "nacks",
+		CtrOwnershipLost:      "ownership_lost",
+		CtrOwnershipReclaimed: "ownership_reclaimed",
+		CtrOwnerXferAccepted:  "ownerxfer_accepted",
+		CtrPageOfferAccepted:  "pageoffer_accepted",
+		CtrPageOfferDeclined:  "pageoffer_declined",
+		CtrPagesLost:          "pages_lost",
+		CtrPeerDowns:          "peer_downs",
+		CtrProtoTransitions:   "proto_transitions",
+		CtrProxyEvicts:        "proxy_evicts",
+		CtrProxyRequests:      "proxy_requests",
+		CtrPullGrants:         "pull_grants",
+		CtrPullRequests:       "pull_requests",
+		CtrPullRetries:        "pull_retries",
+		CtrPulls:              "pulls",
+		CtrPushLocks:          "push_locks",
+		CtrPushSupplies:       "push_supplies",
+		CtrPushesCancelled:    "pushes_cancelled",
+		CtrPushesInstalled:    "pushes_installed",
+		CtrPushesStarted:      "pushes_started",
+		CtrPushScanInflight:   "pushscan_inflight",
+		CtrRangeLocks:         "range_locks",
+		CtrRangeUnlocks:       "range_unlocks",
+		CtrReadGrants:         "read_grants",
+		CtrReqNacks:           "req_nacks",
+		CtrSelfUpgrades:       "self_upgrades",
+		CtrShadowInterpose:    "shadow_interpose",
+		CtrStaleGrants:        "stale_grants",
+		CtrStaticMisses:       "static_misses",
+		CtrStaticOwnerHits:    "static_owner_hits",
+		CtrStaticPagedHits:    "static_paged_hits",
+		CtrWriteGrants:        "write_grants",
+		CtrZeroFills:          "zero_fills",
 	}
 	if len(golden) != int(NumCtrs) {
 		t.Fatalf("golden table has %d entries, enum has %d", len(golden), NumCtrs)

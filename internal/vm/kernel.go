@@ -38,6 +38,10 @@ type Kernel struct {
 	// path's last steady-state allocation. A record returns here when its
 	// request completed and the last waiter left (see waitPending).
 	reqFree []*pendingReq
+
+	// crashed marks a dead node (crash-stop model): every fault fails
+	// immediately with ErrNodeCrashed until Restart.
+	crashed bool
 }
 
 // newPendingReq takes a recycled pendingReq or allocates one; its embedded
@@ -51,6 +55,7 @@ func (k *Kernel) newPendingReq(want Prot) *pendingReq {
 		req = &pendingReq{}
 	}
 	req.want = want
+	req.err = nil
 	req.future.Reinit(k.Eng)
 	return req
 }
@@ -59,14 +64,17 @@ func (k *Kernel) newPendingReq(want Prot) *pendingReq {
 // once it is complete and the last waiter has resumed. The refcount is
 // what makes recycling sound: completion wakes waiters asynchronously, so
 // the completer cannot know when the record is dead — the last waiter out
-// does.
-func (k *Kernel) waitPending(p *sim.Proc, req *pendingReq) {
+// does. It returns the request's verdict: nil when granted, or the typed
+// error a failPending carried (node crash, object unavailable).
+func (k *Kernel) waitPending(p *sim.Proc, req *pendingReq) error {
 	req.refs++
 	req.future.Wait(p)
 	req.refs--
+	err := req.err
 	if req.refs == 0 && req.future.Done() {
 		k.reqFree = append(k.reqFree, req)
 	}
+	return err
 }
 
 type pageKey struct {
@@ -316,6 +324,70 @@ func (e *ErrFaultRetryExhausted) Error() string {
 		e.Node, e.Obj, e.Page, e.Retries)
 }
 
+// ErrNodeCrashed is the typed verdict every in-flight and future fault on a
+// crashed node receives: the node is dead, nothing will be granted until a
+// restart rebuilds it cold.
+type ErrNodeCrashed struct {
+	Node mesh.NodeID
+}
+
+func (e *ErrNodeCrashed) Error() string {
+	return fmt.Sprintf("vm: node %d crashed", e.Node)
+}
+
+// ErrObjectUnavailable is the typed replacement for the old home-bounce
+// panic: the fault chased the object all the way to its home node and the
+// home is down, so no grant can ever arrive. The fault aborts cleanly
+// instead of hanging or crashing the run.
+type ErrObjectUnavailable struct {
+	Node mesh.NodeID // the unreachable node (the object's home)
+	Obj  ObjID
+	Page PageIdx
+}
+
+func (e *ErrObjectUnavailable) Error() string {
+	return fmt.Sprintf("vm: %v page %d unavailable: home node %d is down", e.Obj, e.Page, e.Node)
+}
+
+// FailPending delivers a typed failure to every proc waiting on (o, idx):
+// the request is complete, but with an error instead of a grant. Managers
+// call it when a peer crash makes the grant impossible.
+func (k *Kernel) FailPending(o *Object, idx PageIdx, err error) {
+	if req := o.pending[idx]; req != nil {
+		delete(o.pending, idx)
+		req.err = err
+		req.future.Set(nil)
+	}
+}
+
+// Crash kills this node (crash-stop): every outstanding fault and eviction
+// wait resolves with ErrNodeCrashed, and new faults fail immediately. The
+// node's objects stay in place so a restart (or post-mortem inspection) can
+// walk them; the cluster layer tears down distributed state separately.
+func (k *Kernel) Crash() int {
+	k.crashed = true
+	err := &ErrNodeCrashed{Node: k.Node}
+	failed := 0
+	for _, o := range k.objects {
+		for idx := range o.pending {
+			k.FailPending(o, idx, err)
+			failed++
+		}
+	}
+	for key, f := range k.evictWaiters {
+		delete(k.evictWaiters, key)
+		f.Set(nil)
+	}
+	return failed
+}
+
+// Restart clears the crash flag; the cluster layer rebuilds the node's
+// distributed state (cold caches) around it.
+func (k *Kernel) Restart() { k.crashed = false }
+
+// Crashed reports whether the node is currently dead.
+func (k *Kernel) Crashed() bool { return k.crashed }
+
 // Fault resolves a page fault for the calling proc: addr in map m with the
 // desired access. It blocks the proc in simulated time until the fault is
 // resolved and returns the page that satisfied it (which may belong to a
@@ -330,6 +402,9 @@ func (k *Kernel) Fault(p *sim.Proc, m *Map, addr Addr, want Prot) (*Page, error)
 	var lastObj ObjID
 	var lastIdx PageIdx
 	for retry := 0; retry < maxFaultRetries; retry++ {
+		if k.crashed {
+			return nil, &ErrNodeCrashed{Node: k.Node}
+		}
 		entry := m.Lookup(addr)
 		if entry == nil {
 			return nil, fmt.Errorf("vm: no mapping for %#x on node %d", addr, k.Node)
@@ -367,6 +442,9 @@ func (k *Kernel) FaultObject(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (
 	k.Ctr.V[sim.CtrFaults]++
 	p.Sleep(k.Costs.FaultBase)
 	for retry := 0; retry < maxFaultRetries; retry++ {
+		if k.crashed {
+			return nil, &ErrNodeCrashed{Node: k.Node}
+		}
 		pg, done, err := k.faultStep(p, obj, idx, want)
 		if err != nil {
 			return nil, err
@@ -396,8 +474,7 @@ func (k *Kernel) faultStep(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (*P
 		}
 		if req := cur.pending[idx]; req != nil {
 			// Coalesce with the in-flight request for this page.
-			k.waitPending(p, req)
-			return nil, false, nil
+			return nil, false, k.waitPending(p, req)
 		}
 		if cur.Mgr != nil {
 			// First managed object in the chain: stop the local walk and
@@ -406,16 +483,14 @@ func (k *Kernel) faultStep(p *sim.Proc, obj *Object, idx PageIdx, want Prot) (*P
 			if cur != obj {
 				desired = ProtRead // below the top we only ever read
 			}
-			k.sendDataRequest(p, cur, idx, desired)
-			return nil, false, nil
+			return nil, false, k.sendDataRequest(p, cur, idx, desired)
 		}
 		if cur.PagedOut[idx] {
 			// Anonymous page that went to the default pager.
 			if k.DefaultMgr == nil {
 				return nil, false, fmt.Errorf("vm: %v page %d paged out with no default pager", cur.ID, idx)
 			}
-			k.sendDataRequestTo(p, k.DefaultMgr, cur, idx, ProtRead)
-			return nil, false, nil
+			return nil, false, k.sendDataRequestTo(p, k.DefaultMgr, cur, idx, ProtRead)
 		}
 	}
 	// Chain exhausted: zero fill in the faulted object.
@@ -454,8 +529,7 @@ func (k *Kernel) faultTopHit(p *sim.Proc, obj *Object, idx PageIdx, pg *Page, wa
 		pg.Lock = want
 		return nil, false, nil
 	}
-	k.sendDataUnlock(p, obj, idx, want)
-	return nil, false, nil
+	return nil, false, k.sendDataUnlock(p, obj, idx, want)
 }
 
 // faultShadowHit handles a page found in a shadow object below the faulted
@@ -469,8 +543,7 @@ func (k *Kernel) faultShadowHit(p *sim.Proc, obj, src *Object, idx PageIdx, pg *
 				pg.Lock = ProtRead
 				return nil, false, nil
 			}
-			k.sendDataUnlock(p, src, idx, ProtRead)
-			return nil, false, nil
+			return nil, false, k.sendDataUnlock(p, src, idx, ProtRead)
 		}
 		// Map the source page directly — no copy (paper §2.2: pages
 		// retrieved through a shadow link on a read fault are not copied).
@@ -527,30 +600,29 @@ func (k *Kernel) localPush(p *sim.Proc, obj *Object, idx PageIdx, pg *Page) {
 // ---------------------------------------------------------------------------
 // Outbound EMMI (kernel -> manager)
 
-func (k *Kernel) sendDataRequest(p *sim.Proc, o *Object, idx PageIdx, want Prot) {
-	k.sendDataRequestTo(p, o.Mgr, o, idx, want)
+func (k *Kernel) sendDataRequest(p *sim.Proc, o *Object, idx PageIdx, want Prot) error {
+	return k.sendDataRequestTo(p, o.Mgr, o, idx, want)
 }
 
-func (k *Kernel) sendDataRequestTo(p *sim.Proc, mgr MemoryManager, o *Object, idx PageIdx, want Prot) {
+func (k *Kernel) sendDataRequestTo(p *sim.Proc, mgr MemoryManager, o *Object, idx PageIdx, want Prot) error {
 	req := k.newPendingReq(want)
 	o.pending[idx] = req
 	k.Ctr.V[sim.CtrDataRequests]++
 	p.Sleep(k.Costs.EMMILocal)
 	mgr.DataRequest(o, idx, want)
-	k.waitPending(p, req)
+	return k.waitPending(p, req)
 }
 
-func (k *Kernel) sendDataUnlock(p *sim.Proc, o *Object, idx PageIdx, want Prot) {
+func (k *Kernel) sendDataUnlock(p *sim.Proc, o *Object, idx PageIdx, want Prot) error {
 	if req := o.pending[idx]; req != nil {
-		k.waitPending(p, req)
-		return
+		return k.waitPending(p, req)
 	}
 	req := k.newPendingReq(want)
 	o.pending[idx] = req
 	k.Ctr.V[sim.CtrDataUnlocks]++
 	p.Sleep(k.Costs.EMMILocal)
 	o.Mgr.DataUnlock(o, idx, want)
-	k.waitPending(p, req)
+	return k.waitPending(p, req)
 }
 
 // completePending wakes fault procs waiting on (o, idx).

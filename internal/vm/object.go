@@ -95,6 +95,7 @@ type Object struct {
 type pendingReq struct {
 	want   Prot
 	refs   int
+	err    error // non-nil when the request was typed-failed, not granted
 	future sim.Future
 }
 

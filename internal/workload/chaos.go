@@ -2,6 +2,7 @@ package workload
 
 import (
 	"asvm/internal/machine"
+	"asvm/internal/sim"
 	"asvm/internal/xport"
 )
 
@@ -25,6 +26,21 @@ type ChaosResult struct {
 	Dropped, Duplicated, Delayed uint64
 	// Recovery work done by the reliability layer.
 	Retransmits, DupsSuppressed, AcksSent, Nacks uint64
+
+	// Crash-stop degradation (crash-sweep cells; all zero on crash-free
+	// runs). Crashes/Restarts are executed plan fates; the rest aggregate
+	// the protocol counters across nodes: faults aborted with typed
+	// errors, faults re-driven past a dead peer, ownership and dirty
+	// contents that died with a node, surviving read copies dropped, and
+	// forwarding hints evicted.
+	Crashes, Restarts int
+	FaultsAborted     int64
+	FaultRedrives     int64
+	OwnershipLost     int64
+	PagesLost         int64
+	CopiesDropped     int64
+	HintEvictions     int64
+	PeersDowned       uint64
 }
 
 // chaosParams builds cluster parameters with the chaos stack enabled:
@@ -55,6 +71,20 @@ func collectChaos(c *machine.Cluster, r *machine.Region, metric float64) (ChaosR
 	if rel := c.RelTR; rel != nil {
 		res.Retransmits, res.DupsSuppressed = rel.Retransmits, rel.DupsSuppressed
 		res.AcksSent, res.Nacks = rel.AcksSent, rel.Nacks
+		res.PeersDowned = rel.PeersDowned
+	}
+	res.Crashes, res.Restarts = c.CrashStats.Crashes, c.CrashStats.Restarts
+	// The dying nodes' own in-flight faults, failed by the kernel at the
+	// crash instant, count as aborted alongside the survivors' typed
+	// failures below.
+	res.FaultsAborted += int64(c.CrashStats.FaultsAborted)
+	for _, nd := range c.ASVMs {
+		res.FaultsAborted += nd.Ctr.V[sim.CtrFaultsAborted]
+		res.FaultRedrives += nd.Ctr.V[sim.CtrFaultRedrives]
+		res.OwnershipLost += nd.Ctr.V[sim.CtrOwnershipLost]
+		res.PagesLost += nd.Ctr.V[sim.CtrPagesLost]
+		res.CopiesDropped += nd.Ctr.V[sim.CtrCopiesDropped]
+		res.HintEvictions += nd.Ctr.V[sim.CtrHintEvictions]
 	}
 	return res, nil
 }

@@ -185,3 +185,112 @@ func TestReliableSeparateLinkSequences(t *testing.T) {
 		t.Fatalf("cross-link interference: got=%v dups=%d", got, r.DupsSuppressed)
 	}
 }
+
+// TestRetryWaitGoldenSchedule pins the production backoff schedule as a
+// golden sequence: 4 ms doubling to a 64 ms cap, 30 retransmissions, and
+// the exhaustion horizon they add up to. Retuning any of the three knobs
+// is a deliberate act, reviewed as a diff of this list — the crash
+// scenarios' virtual-time budgets (how long a survivor grinds before the
+// organic peer-down verdict) are derived from it.
+func TestRetryWaitGoldenSchedule(t *testing.T) {
+	cfg := DefaultReliableConfig()
+	if cfg.RTO != 4*time.Millisecond || cfg.MaxRTO != 64*time.Millisecond || cfg.MaxRetries != 30 {
+		t.Fatalf("default config changed: %+v", cfg)
+	}
+	var golden []time.Duration
+	for _, ms := range []int{4, 8, 16, 32} {
+		golden = append(golden, time.Duration(ms)*time.Millisecond)
+	}
+	for k := 4; k <= cfg.MaxRetries; k++ {
+		golden = append(golden, 64*time.Millisecond)
+	}
+	var total time.Duration
+	for k := 0; k <= cfg.MaxRetries; k++ {
+		w := cfg.RetryWait(k)
+		if w != golden[k] {
+			t.Errorf("RetryWait(%d) = %v, want %v", k, w, golden[k])
+		}
+		total += w
+	}
+	// The horizon an unreachable peer costs before the organic verdict:
+	// 4+8+16+32 + 27×64 = 1788 ms. Also pin that the left shift saturates
+	// safely far past any real attempt count.
+	if want := 1788 * time.Millisecond; total != want {
+		t.Errorf("exhaustion horizon = %v, want %v", total, want)
+	}
+	if w := cfg.RetryWait(200); w != cfg.MaxRTO {
+		t.Errorf("RetryWait(200) = %v, want cap %v", w, cfg.MaxRTO)
+	}
+}
+
+// TestReliableGhostFrameFromDeadIncarnation: a frame a node left in flight
+// when it crashed must not be delivered, acked, or — the regression this
+// pins — allowed to re-seed the receiver's per-link dedup state, where it
+// would mark the restarted sender's fresh sequence numbers as duplicates.
+func TestReliableGhostFrameFromDeadIncarnation(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	r := NewReliable(e, fk, relTestCfg())
+	var got []string
+	r.Register(1, protoP, func(_ mesh.NodeID, m interface{}) { got = append(got, m.(string)) })
+	r.Send(0, 1, protoP, 0, "ghost") // in flight when the sender dies
+	r.NodeCrashed(0)
+	e.Run() // the ghost arrives stamped with incarnation 0 of a node now at 1
+	if len(got) != 0 {
+		t.Fatalf("ghost delivered: %v", got)
+	}
+	if r.StaleDrops != 1 || r.AcksSent != 0 {
+		t.Fatalf("stale=%d acks=%d, want 1/0 (drop without ack)", r.StaleDrops, r.AcksSent)
+	}
+	r.PeerRestarted(0)
+	r.Send(0, 1, protoP, 0, "fresh") // seq 1 of the new incarnation
+	e.Run()
+	if len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("restarted sender suppressed: got=%v dups=%d", got, r.DupsSuppressed)
+	}
+}
+
+// TestReliableCrashBounceSkipsDeliveredFrames: when the failure detector
+// bounces a dead peer's inbound queue, a frame the peer demonstrably
+// delivered (only its ack died) must complete silently, not return as a
+// Nack — replaying a delivered ownership grant at its sender would mint a
+// second owner. The undelivered frame on the same link must still bounce.
+func TestReliableCrashBounceSkipsDeliveredFrames(t *testing.T) {
+	e := sim.NewEngine()
+	fk := newFake(e)
+	dropAcks := false
+	fk.drop = func(src, dst mesh.NodeID, proto ProtoID, m interface{}) bool {
+		_, isAck := m.(relAck)
+		return dropAcks && isAck
+	}
+	r := NewReliable(e, fk, relTestCfg())
+	delivered := 0
+	r.Register(1, protoP, func(mesh.NodeID, interface{}) { delivered++ })
+	var nacked []interface{}
+	r.Register(0, protoP, func(_ mesh.NodeID, m interface{}) {
+		if nk, ok := m.(Nack); ok {
+			nacked = append(nacked, nk.Msg)
+		}
+	})
+	dropAcks = true
+	r.Send(0, 1, protoP, 0, "delivered-unacked")
+	e.RunUntil(sim.Time(time.Millisecond / 2)) // first transmission lands; ack is dropped
+	if delivered != 1 {
+		t.Fatalf("delivered=%d, want 1", delivered)
+	}
+	fk.drop = func(mesh.NodeID, mesh.NodeID, ProtoID, interface{}) bool { return true }
+	r.Send(0, 1, protoP, 0, "never-arrived") // eaten by the wire
+	fk.drop = nil
+	r.NodeCrashed(1)
+	r.MarkPeerDown(0, 1)
+	e.Run()
+	if len(nacked) != 1 || nacked[0] != "never-arrived" {
+		t.Fatalf("bounced %v, want exactly the undelivered frame", nacked)
+	}
+	if r.DeliveredFlushed != 1 {
+		t.Fatalf("DeliveredFlushed=%d, want 1", r.DeliveredFlushed)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after crash, want still 1", delivered)
+	}
+}
