@@ -14,6 +14,7 @@
 //	asvmbench -exp table3 -iters 10  # EM3D with 10 iterations (scaled)
 //	asvmbench -chaos                 # degradation sweep under message faults
 //	asvmbench -crash                 # degradation sweep under node crashes
+//	asvmbench -scale                 # 64-1024 node zipf scale-out sweep
 //	asvmbench -explore               # schedule-exploration smoke (asvmcheck)
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
@@ -36,9 +37,10 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|crash|all")
+		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|crash|scale|all")
 		chaos   = flag.Bool("chaos", false, "run the chaos degradation sweep (same as -exp chaos)")
 		crash   = flag.Bool("crash", false, "run the crash-stop degradation sweep (same as -exp crash)")
+		scale   = flag.Bool("scale", false, "run the 64-1024 node scale-out sweep (same as -exp scale)")
 		explOpt = flag.Bool("explore", false, "run the schedule-exploration smoke pass and exit")
 		quick   = flag.Bool("quick", false, "reduced sweeps (small node counts, few iterations)")
 		iters   = flag.Int("iters", 10, "EM3D iterations (results are scaled to the paper's 100)")
@@ -152,6 +154,9 @@ func main() {
 	if *crash {
 		*which = "crash"
 	}
+	if *scale {
+		*which = "scale"
+	}
 	all := *which == "all"
 	if _, err := exp.ParseExp(*which); err != nil {
 		fmt.Fprintf(os.Stderr, "asvmbench: %v\n", err)
@@ -185,6 +190,11 @@ func main() {
 	// the paper's fault-free numbers.
 	if *which == "crash" {
 		run("crash", func() error { return exp.Crash(os.Stdout, *seed, *workers, *quick) })
+	}
+	// Opt-in as well: the scale sweep runs 64-1024-node machines, beyond the
+	// paper's evaluation envelope, so it never lands in results_full.txt.
+	if *which == "scale" {
+		run("scale", func() error { return exp.Scale(os.Stdout, *seed, *workers, *quick) })
 	}
 	if all || *which == "ablations" {
 		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed, *workers) })

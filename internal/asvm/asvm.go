@@ -35,6 +35,13 @@ type Config struct {
 	// accept an internode page transfer.
 	PageOfferReserve int
 
+	// HopBound caps how many forwarding hops a request may take before it
+	// escalates to the deterministic ring scan. 0 means the legacy
+	// adaptive bound 2*len(Mapping)+8 — fine at paper scale, but at 1024
+	// nodes that lets a hint storm burn ~2k hops before tripping, so
+	// scale runs set an absolute bound instead.
+	HopBound int
+
 	// DisableInternodePaging skips eviction steps 2 and 3 (ownership
 	// transfer to readers, page transfer to free nodes): evicted owner
 	// pages go straight to the pager. Ablation A3.
@@ -345,10 +352,12 @@ type DomainInfo struct {
 	// first crash.
 	Down map[mesh.NodeID]bool
 
-	// mapIdx caches each node's position in Mapping so ring lookups on the
-	// forwarding path are O(1) instead of a linear scan. Fork and some
-	// tests build or trim Mapping directly, so lookups rebuild the cache
-	// whenever it has fallen out of sync.
+	// mapIdx is the authoritative membership index: each node's position
+	// in Mapping, maintained eagerly by every path that changes Mapping
+	// (Setup, AddNode, Promote, CopyDomain). Membership tests, ring
+	// successors and crash scrubs are all one map probe — never a list
+	// scan, never a rebuild on the forwarding path. Code that edits
+	// Mapping directly (tests poisoning the ring) must call Reindex.
 	mapIdx map[mesh.NodeID]int
 }
 
@@ -359,21 +368,17 @@ func (d *DomainInfo) staticNode(idx vm.PageIdx) mesh.NodeID {
 
 // mappingIndex returns a node's position in the mapping ring, or -1.
 func (d *DomainInfo) mappingIndex(n mesh.NodeID) int {
-	if len(d.mapIdx) != len(d.Mapping) {
-		d.rebuildMapIdx()
-	}
-	i, ok := d.mapIdx[n]
-	if ok && d.Mapping[i] == n {
+	if i, ok := d.mapIdx[n]; ok {
 		return i
-	}
-	if ok { // same length but edited in place: cache is stale
-		d.rebuildMapIdx()
-		if i, ok = d.mapIdx[n]; ok {
-			return i
-		}
 	}
 	return -1
 }
+
+// Reindex rebuilds the membership index after a direct edit of Mapping.
+// Only code that mutates Mapping outside the API (tests poisoning the
+// ring with dead members) needs it; every API path keeps mapIdx
+// authoritative on its own.
+func (d *DomainInfo) Reindex() { d.rebuildMapIdx() }
 
 // rebuildMapIdx reindexes Mapping into mapIdx.
 func (d *DomainInfo) rebuildMapIdx() {
@@ -441,9 +446,9 @@ func actTeardown(in *Instance, idx vm.PageIdx, m interface{}) {
 // destroyed (frames freed) and instances dropped. The caller must have
 // quiesced the domain (no faults in flight), as with Mach's
 // memory_object_terminate.
-func Teardown(cluster []*Node, info *DomainInfo) {
+func Teardown(cluster Cluster, info *DomainInfo) {
 	for _, nid := range info.Mapping {
-		nd := nodeByID(cluster, nid)
+		nd := cluster.node(nid)
 		in := nd.instances[info.ID]
 		if in == nil {
 			continue

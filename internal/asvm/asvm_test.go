@@ -56,6 +56,10 @@ func (c *cluster) shared(t *testing.T, sizePages vm.PageIdx, cfg Config) []*vm.T
 	return tasks
 }
 
+// cl wraps the test cluster's nodes in the O(1) membership handle the
+// protocol entry points take.
+func (c *cluster) cl() Cluster { return NewCluster(c.asvms) }
+
 func (c *cluster) run(t *testing.T, fn func(p *sim.Proc) error) {
 	t.Helper()
 	var err error
@@ -87,7 +91,7 @@ func TestASVMWriteThenRemoteRead(t *testing.T) {
 	if !in1.Owns(0) {
 		t.Error("writer lost ownership after read grant")
 	}
-	if !in1.slots[0].readers[2] {
+	if !in1.slots[0].readers.Contains(2) {
 		t.Error("reader not recorded")
 	}
 }
@@ -517,7 +521,7 @@ func TestASVMRemoteForkReadsParentData(t *testing.T) {
 				return err
 			}
 		}
-		child, err := RemoteFork(c.asvms, parent, c.asvms[1], "child", DefaultConfig())
+		child, err := RemoteFork(c.cl(), parent, c.asvms[1], "child", DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -543,7 +547,7 @@ func TestASVMRemoteForkCopyIsolation(t *testing.T) {
 		if err := parent.WriteU64(p, 0, 100); err != nil {
 			return err
 		}
-		child, err := RemoteFork(c.asvms, parent, c.asvms[1], "child", DefaultConfig())
+		child, err := RemoteFork(c.cl(), parent, c.asvms[1], "child", DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -590,7 +594,7 @@ func TestASVMRemoteForkChainPull(t *testing.T) {
 		}
 		cur := parent
 		for i := 1; i < 4; i++ {
-			child, err := RemoteFork(c.asvms, cur, c.asvms[i], "child", DefaultConfig())
+			child, err := RemoteFork(c.cl(), cur, c.asvms[i], "child", DefaultConfig())
 			if err != nil {
 				return err
 			}
@@ -627,7 +631,7 @@ func TestASVMChainLatencyLinear(t *testing.T) {
 			}
 			cur := parent
 			for i := 1; i <= hops; i++ {
-				child, err := RemoteFork(c.asvms, cur, c.asvms[i], "child", DefaultConfig())
+				child, err := RemoteFork(c.cl(), cur, c.asvms[i], "child", DefaultConfig())
 				if err != nil {
 					return err
 				}
@@ -662,11 +666,11 @@ func TestASVMZeroFillThroughCopyChain(t *testing.T) {
 	region := c.kerns[0].NewAnonymous(4)
 	parent.Map.MapObject(0, region, 0, 4, vm.ProtWrite, vm.InheritCopy)
 	c.run(t, func(p *sim.Proc) error {
-		child, err := RemoteFork(c.asvms, parent, c.asvms[1], "child", DefaultConfig())
+		child, err := RemoteFork(c.cl(), parent, c.asvms[1], "child", DefaultConfig())
 		if err != nil {
 			return err
 		}
-		grandchild, err := RemoteFork(c.asvms, child, c.asvms[2], "grandchild", DefaultConfig())
+		grandchild, err := RemoteFork(c.cl(), child, c.asvms[2], "grandchild", DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -904,7 +908,7 @@ func TestASVMZigzagChainConcurrentFaultsNeverBlock(t *testing.T) {
 		}
 		cur := parent
 		for _, dst := range []int{1, 0, 1} {
-			child, err := RemoteFork(c.asvms, cur, c.asvms[dst], "gen", DefaultConfig())
+			child, err := RemoteFork(c.cl(), cur, c.asvms[dst], "gen", DefaultConfig())
 			if err != nil {
 				return err
 			}
@@ -977,7 +981,7 @@ func TestAddNodeAfterTeardownNoDuplicate(t *testing.T) {
 	if len(info.Mapping) != 3 {
 		t.Fatalf("mapping has %d entries after setup, want 3", len(info.Mapping))
 	}
-	Teardown(c.asvms, info)
+	Teardown(c.cl(), info)
 	for _, a := range c.asvms {
 		if a.Instance(sharedID) != nil {
 			t.Fatalf("node %d still has an instance after teardown", a.Self)

@@ -23,7 +23,7 @@ func forkFixture(t *testing.T, c *cluster, pages vm.PageIdx, init []uint64) (par
 			}
 		}
 		var err error
-		child, err = RemoteFork(c.asvms, parent, c.asvms[1], "child", DefaultConfig())
+		child, err = RemoteFork(c.cl(), parent, c.asvms[1], "child", DefaultConfig())
 		return err
 	})
 	return parent, child
@@ -84,14 +84,14 @@ func TestTwoRemoteCopiesSnapshotCorrectly(t *testing.T) {
 			return err
 		}
 		var err error
-		child1, err = RemoteFork(c.asvms, parent, c.asvms[1], "c1", DefaultConfig())
+		child1, err = RemoteFork(c.cl(), parent, c.asvms[1], "c1", DefaultConfig())
 		if err != nil {
 			return err
 		}
 		if err := parent.WriteU64(p, 0, 2); err != nil {
 			return err
 		}
-		child2, err = RemoteFork(c.asvms, parent, c.asvms[2], "c2", DefaultConfig())
+		child2, err = RemoteFork(c.cl(), parent, c.asvms[2], "c2", DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -143,7 +143,7 @@ func TestForkOfChildSharesGrandparentData(t *testing.T) {
 	c := newCluster(t, 4, 0, DefaultConfig())
 	_, child := forkFixture(t, c, 4, []uint64{11, 22, 33})
 	c.run(t, func(p *sim.Proc) error {
-		grandchild, err := RemoteFork(c.asvms, child, c.asvms[2], "gc", DefaultConfig())
+		grandchild, err := RemoteFork(c.cl(), child, c.asvms[2], "gc", DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -172,7 +172,7 @@ func TestRemoteForkSharedEntries(t *testing.T) {
 		if err := parent.WriteU64(p, 0, 1); err != nil {
 			return err
 		}
-		child, err := RemoteFork(c.asvms, parent, c.asvms[1], "child", DefaultConfig())
+		child, err := RemoteFork(c.cl(), parent, c.asvms[1], "child", DefaultConfig())
 		if err != nil {
 			return err
 		}

@@ -72,11 +72,11 @@ func actPeerDown(in *Instance, idx vm.PageIdx, m interface{}) {
 		})
 		return
 	}
-	if sl.state.Owner() && sl.readers[dead] {
-		delete(sl.readers, dead)
+	if sl.state.Owner() && sl.readers.Contains(dead) {
+		sl.readers.Remove(dead)
 		in.nd.Ctr.V[sim.CtrCopiesDropped]++
 		if sl.state.AtRest() {
-			in.setState(idx, restOwnerState(len(sl.readers)))
+			in.setState(idx, restOwnerState(sl.readers.Len()))
 		}
 	}
 }
@@ -132,10 +132,10 @@ func (n *Node) nackGrant(dead mesh.NodeID, g grantMsg) {
 	}
 	sl := &in.slots[g.Idx]
 	if !g.Ownership {
-		if sl.state.Owner() && sl.readers[dead] {
-			delete(sl.readers, dead)
+		if sl.state.Owner() && sl.readers.Contains(dead) {
+			sl.readers.Remove(dead)
 			if sl.state.AtRest() {
-				in.setState(g.Idx, restOwnerState(len(sl.readers)))
+				in.setState(g.Idx, restOwnerState(sl.readers.Len()))
 			}
 		}
 		return
@@ -219,7 +219,7 @@ func (n *Node) PeerDown(dead mesh.NodeID) {
 		in.completePendingFor(dead)
 		for i := range in.slots {
 			sl := &in.slots[i]
-			if sl.state.FaultOut() || (sl.state.Owner() && sl.readers[dead]) {
+			if sl.state.FaultOut() || (sl.state.Owner() && sl.readers.Contains(dead)) {
 				in.dispatch(EvPeerDown, vm.PageIdx(i), dead)
 			}
 		}
@@ -310,17 +310,17 @@ func sortSeqsAsc(ss []uint64) {
 // dead node's instance retires through EvCrash. The dead node keeps its
 // mapping-ring position (marked Down) so static hashing is undisturbed and
 // a restart can rejoin in place via AddNode.
-func CrashRecover(cluster []*Node, info *DomainInfo, dead mesh.NodeID, led *CrashLedger) {
+func CrashRecover(cluster Cluster, info *DomainInfo, dead mesh.NodeID, led *CrashLedger) {
 	if info.Down == nil {
 		info.Down = make(map[mesh.NodeID]bool)
 	}
 	info.Down[dead] = true
 
-	deadNd := nodeByID(cluster, dead)
+	deadNd := cluster.node(dead)
 	deadIn := deadNd.instances[info.ID]
 	var homeIn *Instance
 	if !info.Down[info.Home] {
-		homeIn = nodeByID(cluster, info.Home).instances[info.ID]
+		homeIn = cluster.node(info.Home).instances[info.ID]
 	}
 
 	// 1. What did the cluster just lose? Ownership held by the dead node
@@ -349,16 +349,12 @@ func CrashRecover(cluster []*Node, info *DomainInfo, dead mesh.NodeID, led *Cras
 				}
 				hs.granted = false
 			}
-			readers := make([]mesh.NodeID, 0, len(sl.readers))
-			for r := range sl.readers {
-				readers = append(readers, r)
-			}
-			sortNodeIDs(readers)
+			readers := sl.readers.AppendTo(make([]mesh.NodeID, 0, sl.readers.Len()))
 			for _, r := range readers {
 				if r == dead || info.Down[r] {
 					continue
 				}
-				rin := nodeByID(cluster, r).instances[info.ID]
+				rin := cluster.node(r).instances[info.ID]
 				if rin == nil {
 					continue
 				}
@@ -379,7 +375,7 @@ func CrashRecover(cluster []*Node, info *DomainInfo, dead mesh.NodeID, led *Cras
 		if nid == dead || info.Down[nid] {
 			continue
 		}
-		nd := nodeByID(cluster, nid)
+		nd := cluster.node(nid)
 		if in := nd.instances[info.ID]; in != nil {
 			nd.crashEra = true
 			n := in.dyn.DeleteOwner(dead)
@@ -389,7 +385,7 @@ func CrashRecover(cluster []*Node, info *DomainInfo, dead mesh.NodeID, led *Cras
 			in.dropQueuedFrom(dead)
 			for i := range in.slots {
 				sl := &in.slots[i]
-				if sl.state.FaultOut() || (sl.state.Owner() && sl.readers[dead]) {
+				if sl.state.FaultOut() || (sl.state.Owner() && sl.readers.Contains(dead)) {
 					in.dispatch(EvPeerDown, vm.PageIdx(i), dead)
 				}
 			}
@@ -421,8 +417,8 @@ func CrashRecover(cluster []*Node, info *DomainInfo, dead mesh.NodeID, led *Cras
 // the grant, its hint is dropped, and the ledger counts the ownership (and
 // dirty contents travelling with it) as dead. Run after CrashRecover so the
 // scrub cannot resurrect the hint.
-func DeadLetters(cluster []*Node, info *DomainInfo, dead mesh.NodeID, msgs []xport.AbandonedSend, led *CrashLedger) {
-	deadNd := nodeByID(cluster, dead)
+func DeadLetters(cluster Cluster, info *DomainInfo, dead mesh.NodeID, msgs []xport.AbandonedSend, led *CrashLedger) {
+	deadNd := cluster.node(dead)
 	for _, as := range msgs {
 		g, ok := as.Msg.(*grantMsg)
 		if !ok || g.Obj != info.ID || !g.Ownership || g.Retry || g.Unavailable {
@@ -437,7 +433,7 @@ func DeadLetters(cluster []*Node, info *DomainInfo, dead mesh.NodeID, msgs []xpo
 		if info.Down[info.Home] {
 			continue // the home's own restart rebuild re-derives the ledger
 		}
-		hin := nodeByID(cluster, info.Home).instances[info.ID]
+		hin := cluster.node(info.Home).instances[info.ID]
 		if hin == nil {
 			continue
 		}
@@ -479,8 +475,8 @@ func (in *Instance) dropQueuedFrom(dead mesh.NodeID) {
 // pager-backed domains; an anonymous domain's in-memory parking store is
 // volatile and lost with the home — those pages re-resolve as fresh, the
 // crash-stop degradation the ledger counts.
-func RebuildHome(cluster []*Node, info *DomainInfo) {
-	hin := nodeByID(cluster, info.Home).instances[info.ID]
+func RebuildHome(cluster Cluster, info *DomainInfo) {
+	hin := cluster.node(info.Home).instances[info.ID]
 	if hin == nil {
 		return
 	}
@@ -488,7 +484,7 @@ func RebuildHome(cluster []*Node, info *DomainInfo) {
 		if nid == info.Home || info.Down[nid] {
 			continue
 		}
-		in := nodeByID(cluster, nid).instances[info.ID]
+		in := cluster.node(nid).instances[info.ID]
 		if in == nil {
 			continue
 		}

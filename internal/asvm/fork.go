@@ -37,6 +37,7 @@ func Promote(nd *Node, o *vm.Object, pagerSrv *pager.Server, cfg Config) (*Domai
 		Mapping: []mesh.NodeID{nd.Self},
 		Cfg:     cfg,
 	}
+	info.rebuildMapIdx()
 	in := newInstance(nd, info)
 	if pagerSrv != nil {
 		in.pagerCli = pager.NewClient(nd.Eng, nd.TR, nd.Self, pagerSrv)
@@ -53,7 +54,7 @@ func domainOf(o *vm.Object) *DomainInfo {
 }
 
 // ensureSharing extends a domain (and its whole copy chain) to a node.
-func ensureSharing(cluster []*Node, info *DomainInfo, nd *Node) *Instance {
+func ensureSharing(cluster Cluster, info *DomainInfo, nd *Node) *Instance {
 	in := AddNode(info, nd)
 	// The node needs local representations of every copy domain so that
 	// pushes it may later perform as an owner have somewhere to land.
@@ -72,7 +73,7 @@ func ensureSharing(cluster []*Node, info *DomainInfo, nd *Node) *Instance {
 // CopyDomain creates a copy domain of src on peer (the node performing the
 // copy) and splices local copy objects into every sharing node's chain.
 // Returns the new domain.
-func CopyDomain(cluster []*Node, src *DomainInfo, peer *Node) *DomainInfo {
+func CopyDomain(cluster Cluster, src *DomainInfo, peer *Node) *DomainInfo {
 	c := &DomainInfo{
 		ID:        peer.K.NextID(),
 		SizePages: src.SizePages,
@@ -81,8 +82,9 @@ func CopyDomain(cluster []*Node, src *DomainInfo, peer *Node) *DomainInfo {
 		Source:    src,
 		Cfg:       src.Cfg,
 	}
+	c.rebuildMapIdx()
 	for _, nid := range src.Mapping {
-		nd := nodeByID(cluster, nid)
+		nd := cluster.node(nid)
 		cIn := newInstance(nd, c)
 		sObj := nd.K.Object(src.ID)
 		nd.K.LinkCopy(sObj, cIn.o)
@@ -92,7 +94,7 @@ func CopyDomain(cluster []*Node, src *DomainInfo, peer *Node) *DomainInfo {
 	// Mark all resident source pages read-only everywhere: the next write
 	// anywhere must fault and push (Figure 8).
 	for _, nid := range src.Mapping {
-		nd := nodeByID(cluster, nid)
+		nd := cluster.node(nid)
 		sObj := nd.K.Object(src.ID)
 		for idx := range sObj.Pages {
 			nd.K.LockRequest(sObj, idx, vm.ProtRead, false, nil)
@@ -101,20 +103,11 @@ func CopyDomain(cluster []*Node, src *DomainInfo, peer *Node) *DomainInfo {
 	return c
 }
 
-func nodeByID(cluster []*Node, id mesh.NodeID) *Node {
-	for _, n := range cluster {
-		if n.Self == id {
-			return n
-		}
-	}
-	panic(fmt.Sprintf("asvm: node %d not in cluster", id))
-}
-
 // RemoteFork creates a child task on dst whose address space inherits
 // parent's (on its own node) with ASVM delayed-copy semantics: shared
 // entries map the same domain; copy entries map a fresh copy domain whose
 // peer is dst. Plain anonymous entries are promoted to domains first.
-func RemoteFork(cluster []*Node, parent *vm.Task, dst *Node, childName string, cfg Config) (*vm.Task, error) {
+func RemoteFork(cluster Cluster, parent *vm.Task, dst *Node, childName string, cfg Config) (*vm.Task, error) {
 	child := dst.K.NewTask(childName)
 	for _, e := range parent.Map.Entries() {
 		switch e.Inherit {
@@ -123,7 +116,7 @@ func RemoteFork(cluster []*Node, parent *vm.Task, dst *Node, childName string, c
 		case vm.InheritShare:
 			info := domainOf(e.Object)
 			if info == nil {
-				src := nodeByID(cluster, parent.Kernel.Node)
+				src := cluster.node(parent.Kernel.Node)
 				var err error
 				info, err = Promote(src, e.Object, nil, cfg)
 				if err != nil {
@@ -137,7 +130,7 @@ func RemoteFork(cluster []*Node, parent *vm.Task, dst *Node, childName string, c
 		case vm.InheritCopy:
 			info := domainOf(e.Object)
 			if info == nil {
-				src := nodeByID(cluster, parent.Kernel.Node)
+				src := cluster.node(parent.Kernel.Node)
 				var err error
 				info, err = Promote(src, e.Object, nil, cfg)
 				if err != nil {

@@ -200,7 +200,11 @@ func (in *Instance) forward(req accessReq) {
 		return
 	}
 	cfg := in.info.Cfg
-	if req.Hops > 2*len(in.info.Mapping)+8 {
+	bound := cfg.HopBound
+	if bound <= 0 {
+		bound = 2*len(in.info.Mapping) + 8
+	}
+	if req.Hops > bound {
 		// Hint chasing has gone on too long: escalate to the ring scan,
 		// which terminates deterministically.
 		in.nd.Ctr.V[sim.CtrHopEscalations]++
@@ -292,6 +296,7 @@ func (in *Instance) continueScanFrom(at mesh.NodeID, req accessReq) {
 		in.toHome(req)
 		return
 	}
+	in.nd.Ctr.V[sim.CtrRingScanHops]++
 	in.sendReq(next, req)
 }
 

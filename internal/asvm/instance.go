@@ -39,8 +39,9 @@ type pageSlot struct {
 	// invalidation may still be in flight and must not install.
 	staleFrom []mesh.NodeID
 
-	// Owner-side state (owner and busy states).
-	readers map[mesh.NodeID]bool
+	// Owner-side state (owner and busy states). readers iterates in
+	// ascending NodeID order by construction (see readerSet).
+	readers readerSet
 	version uint64 // push version (paper §3.7.2)
 	queue   []accessReq
 }
@@ -164,26 +165,27 @@ func (in *Instance) self() mesh.NodeID { return in.nd.Self }
 // whatever state the slot was in. Fault bookkeeping (want/retries/
 // staleFrom) is deliberately left in place: ownership can land while a
 // local fault is still formally outstanding (push installs), and the
-// eventual grant settles it. The slot's reader map is reused across
-// ownership episodes, so steady-state transfers allocate nothing.
+// eventual grant settles it. The slot's reader set keeps its storage
+// across ownership episodes, so steady-state transfers allocate nothing.
 func (in *Instance) installOwner(idx vm.PageIdx, readerList []mesh.NodeID, version uint64) {
 	sl := &in.slots[idx]
-	in.clearReaders(idx)
+	sl.readers.Clear()
 	for _, r := range readerList {
 		if r != in.self() {
-			sl.readers[r] = true
+			sl.readers.Add(r)
 		}
 	}
 	sl.version = version
-	in.setState(idx, restOwnerState(len(sl.readers)))
+	in.setState(idx, restOwnerState(sl.readers.Len()))
 }
 
 // leaveOwner drops ownership: the slot returns to Invalid, keeping any
 // queued requests (the drain re-forwards them to the new owner). The
-// reader map is emptied but kept for the slot's next ownership episode.
+// reader set is emptied but keeps its storage for the slot's next
+// ownership episode.
 func (in *Instance) leaveOwner(idx vm.PageIdx) {
 	sl := &in.slots[idx]
-	clear(sl.readers)
+	sl.readers.Clear()
 	sl.version = 0
 	sl.held = false
 	in.setState(idx, StInvalid)
@@ -198,7 +200,7 @@ func (in *Instance) leaveOwner(idx vm.PageIdx) {
 func (in *Instance) quiesce(idx vm.PageIdx) {
 	sl := &in.slots[idx]
 	if sl.state.Busy() {
-		in.setState(idx, restOwnerState(len(sl.readers)))
+		in.setState(idx, restOwnerState(sl.readers.Len()))
 	}
 	if in.nd.MidCheck != nil {
 		in.nd.MidCheck(in.info, idx)
@@ -439,29 +441,26 @@ func (in *Instance) takeAwait(targets []mesh.NodeID) []mesh.NodeID {
 	return append(a, targets...)
 }
 
-// clearReaders empties the reader list, reusing its map.
+// clearReaders empties the reader list, keeping its storage.
 func (in *Instance) clearReaders(idx vm.PageIdx) {
-	sl := &in.slots[idx]
-	if sl.readers == nil {
-		sl.readers = make(map[mesh.NodeID]bool)
-		return
-	}
-	clear(sl.readers)
+	in.slots[idx].readers.Clear()
 }
 
 // invalidateReaders sends invalidations to every reader except keep, waits
 // for all acks in the InvalWait state, clears the reader list and resumes
-// the Serving window (transitions 6/7).
+// the Serving window (transitions 6/7). The reader set iterates in
+// ascending NodeID order, so the invalidation fan-out order is
+// deterministic with no sort.
 func (in *Instance) invalidateReaders(idx vm.PageIdx, newOwner mesh.NodeID, cont func()) {
 	sl := &in.slots[idx]
-	targets := in.invalScratch[:0]
-	for r := range sl.readers {
+	all := sl.readers.AppendTo(in.invalScratch[:0])
+	targets := all[:0]
+	for _, r := range all {
 		if r != newOwner && r != in.self() {
 			targets = append(targets, r)
 		}
 	}
-	in.invalScratch = targets // keep the grown capacity for the next round
-	sortNodeIDs(targets)
+	in.invalScratch = all // keep the grown capacity for the next round
 	if len(targets) == 0 {
 		in.clearReaders(idx)
 		cont()
@@ -571,14 +570,6 @@ func (in *Instance) completePgr(seq uint64) bool {
 	delete(in.pendPgr, seq)
 	w.cb()
 	return true
-}
-
-func sortNodeIDs(ns []mesh.NodeID) {
-	for i := 1; i < len(ns); i++ {
-		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
-			ns[j], ns[j-1] = ns[j-1], ns[j]
-		}
-	}
 }
 
 var _ vm.MemoryManager = (*Instance)(nil)

@@ -4,7 +4,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"asvm/internal/mesh"
 	"asvm/internal/sim"
 	"asvm/internal/vm"
 )
@@ -24,7 +23,7 @@ func TestInvariantsHoldAfterSimpleRun(t *testing.T) {
 		}
 		return nil
 	})
-	if err := CheckInvariants(c.asvms, info); err != nil {
+	if err := CheckInvariants(c.cl(), info); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -40,7 +39,7 @@ func TestInvariantsDetectDoubleOwner(t *testing.T) {
 	in1 := c.asvms[1].Instance(sharedID)
 	c.kerns[1].InstallPage(in1.o, 0, nil, vm.ProtWrite)
 	in1.installOwner(0, nil, 0)
-	if err := CheckInvariants(c.asvms, info); err == nil {
+	if err := CheckInvariants(c.cl(), info); err == nil {
 		t.Fatal("double owner not detected")
 	}
 }
@@ -59,11 +58,11 @@ func corruptibleCluster(t *testing.T, corrupt func(c *cluster)) error {
 		_, err := tasks[1].ReadU64(p, 0)
 		return err
 	})
-	if err := CheckInvariants(c.asvms, info); err != nil {
+	if err := CheckInvariants(c.cl(), info); err != nil {
 		t.Fatalf("healthy cluster failed invariants: %v", err)
 	}
 	corrupt(c)
-	return CheckInvariants(c.asvms, info)
+	return CheckInvariants(c.cl(), info)
 }
 
 func TestInvariantsDetectOwnerWithoutPage(t *testing.T) {
@@ -79,7 +78,7 @@ func TestInvariantsDetectOwnerWithoutPage(t *testing.T) {
 func TestInvariantsDetectUnknownReader(t *testing.T) {
 	err := corruptibleCluster(t, func(c *cluster) {
 		in0 := c.asvms[0].Instance(sharedID)
-		delete(in0.slots[0].readers, 1)
+		in0.slots[0].readers.Remove(1)
 	})
 	if err == nil {
 		t.Fatal("reader unknown to the owner not detected")
@@ -118,7 +117,7 @@ func TestInvariantsDetectOwnerStateWithoutReaders(t *testing.T) {
 	err := corruptibleCluster(t, func(c *cluster) {
 		in0 := c.asvms[0].Instance(sharedID)
 		in0.slots[0].state = StOwner
-		in0.slots[0].readers = map[mesh.NodeID]bool{}
+		in0.slots[0].readers.Clear()
 		// Silence the holder-based check so the state-coherence check is
 		// what must catch this: drop node 1's copy and its ReadShared state.
 		in1 := c.asvms[1].Instance(sharedID)
@@ -157,7 +156,7 @@ func TestInvariantsDetectReadSharedOffOwnerList(t *testing.T) {
 	// holder-based checks) must flag it.
 	err := corruptibleCluster(t, func(c *cluster) {
 		in0 := c.asvms[0].Instance(sharedID)
-		delete(in0.slots[0].readers, 1)
+		in0.slots[0].readers.Remove(1)
 		in0.slots[0].state = StOwnerSole
 	})
 	if err == nil {
@@ -206,7 +205,7 @@ func TestInvariantsUnderRandomConcurrentLoad(t *testing.T) {
 			t.Logf("seed %d: %d procs leaked", seed, c.eng.LiveProcs())
 			return false
 		}
-		if err := CheckInvariants(c.asvms, info); err != nil {
+		if err := CheckInvariants(c.cl(), info); err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}

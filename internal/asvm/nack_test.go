@@ -52,6 +52,7 @@ func TestNackFallbackChain(t *testing.T) {
 	// becomes page 2's static manager and a ring-scan hop) without ever
 	// getting a runtime.
 	info.Mapping = append(info.Mapping, 2)
+	info.Reindex()
 
 	in1 := c.asvms[1].Instance(sharedID)
 	c.run(t, func(p *sim.Proc) error {
@@ -107,10 +108,11 @@ func TestNackFallbackChain(t *testing.T) {
 	// With the dead node out of the mapping again, the surviving state must
 	// satisfy every global invariant.
 	info.Mapping = info.Mapping[:2]
+	info.Reindex()
 	if c.eng.Pending() != 0 {
 		t.Fatalf("%d events still pending", c.eng.Pending())
 	}
-	if err := CheckInvariants(c.asvms, info); err != nil {
+	if err := CheckInvariants(c.cl(), info); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -148,6 +150,7 @@ func TestNackFallbackOrderGolden(t *testing.T) {
 		// Two consecutive ring members with no runtime join the mapping;
 		// page 3's static manager now hashes to dead node 3.
 		info.Mapping = append(info.Mapping, 3, 4)
+		info.Reindex()
 		c.asvms[2].Trace.Enable()
 
 		// Phase A — static manager dead, scan crosses both dead nodes.
@@ -206,10 +209,11 @@ func TestNackFallbackOrderGolden(t *testing.T) {
 	}
 
 	info.Mapping = info.Mapping[:3]
+	info.Reindex()
 	if c.eng.Pending() != 0 {
 		t.Fatalf("%d events still pending", c.eng.Pending())
 	}
-	if err := CheckInvariants(c.asvms, info); err != nil {
+	if err := CheckInvariants(c.cl(), info); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -106,7 +106,7 @@ func (in *Instance) serveRead(req accessReq) {
 		return
 	}
 	in.nd.Ctr.V[sim.CtrReadGrants]++
-	in.slots[req.Idx].readers[req.Origin] = true
+	in.slots[req.Idx].readers.Add(req.Origin)
 	in.sendGrant(req.Origin, grantMsg{
 		Obj: req.Target, Idx: req.Idx, Lock: vm.ProtRead,
 		Data: copyData(pg.Data), HasData: true, From: in.self(),
@@ -127,7 +127,7 @@ func (in *Instance) serveWrite(req accessReq) {
 	idx := req.Idx
 	in.pushIfNeeded(idx, func() {
 		sl := &in.slots[idx]
-		upgrade := sl.readers[req.Origin]
+		upgrade := sl.readers.Contains(req.Origin)
 		in.invalidateReaders(idx, req.Origin, func() {
 			if req.Origin == in.self() {
 				// Transition 7: our own upgrade; we stay owner.

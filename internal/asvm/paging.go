@@ -73,26 +73,18 @@ func actEvictOwner(in *Instance, idx vm.PageIdx, m interface{}) {
 }
 
 // evictTryReaders is step 2: ask readers one after another; the first that
-// still holds the page takes ownership (no page contents needed).
+// still holds the page takes ownership (no page contents needed). The
+// reader probed is always the smallest NodeID still on the list — a
+// property the reader set now gives structurally, where the old map scan
+// had to re-derive it to stay deterministic.
 func (in *Instance) evictTryReaders(idx vm.PageIdx, data []byte, dirty bool) {
 	sl := &in.slots[idx]
-	var reader mesh.NodeID = -1
-	for r := range sl.readers {
-		if reader == -1 || r < reader {
-			reader = r
-		}
-	}
-	if reader == -1 {
+	reader, ok := sl.readers.Min()
+	if !ok {
 		in.evictTryTransfer(idx, data, dirty)
 		return
 	}
-	others := make([]mesh.NodeID, 0, len(sl.readers)-1)
-	for r := range sl.readers {
-		if r != reader {
-			others = append(others, r)
-		}
-	}
-	sortNodeIDs(others)
+	others := sl.readers.AppendTo(make([]mesh.NodeID, 0, sl.readers.Len()))[1:]
 	in.seq++
 	seq := in.seq
 	in.pendXfer[seq] = xferWait{to: reader, cb: func(accepted bool) {
@@ -101,7 +93,7 @@ func (in *Instance) evictTryReaders(idx vm.PageIdx, data []byte, dirty bool) {
 			in.evictFinish(idx, reader)
 			return
 		}
-		delete(sl.readers, reader)
+		sl.readers.Remove(reader)
 		in.evictTryReaders(idx, data, dirty)
 	}}
 	in.send(reader, ownerXfer{

@@ -1,0 +1,155 @@
+package asvm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asvm/internal/mesh"
+)
+
+// readerInlineMax is the reader count up to which a readerSet stays in its
+// inline array. Paper-scale sharing rarely exceeds a handful of readers per
+// page, so the common case allocates nothing.
+const readerInlineMax = 4
+
+// readerSet is the owner-side reader list: the set of nodes holding a read
+// copy of a page. It replaces the old map[mesh.NodeID]bool with a
+// representation whose iteration order is ascending NodeID *by
+// construction* — no sort calls, and no map-order hazard on any path that
+// walks the readers (invalidation rounds, eviction's reader probe, crash
+// scrubs all act in ascending order, as the determinism contract requires).
+//
+// Up to readerInlineMax readers live in a sorted inline array; the fifth
+// Add promotes the set to a bitset indexed by NodeID. A promoted set never
+// demotes: Clear zeroes the words in place, so a slot that once saw wide
+// sharing keeps its bitset across ownership episodes and steady-state
+// rounds allocate nothing. The zero value is an empty inline set, which is
+// what slot resets (`pageSlot{}`) rely on.
+type readerSet struct {
+	n      int
+	inline [readerInlineMax]mesh.NodeID
+	bits   []uint64 // nil while inline; non-nil once promoted
+}
+
+// Len returns the reader count.
+func (s *readerSet) Len() int { return s.n }
+
+// Contains reports membership.
+func (s *readerSet) Contains(id mesh.NodeID) bool {
+	if s.bits != nil {
+		w := int(id) >> 6
+		return w >= 0 && w < len(s.bits) && s.bits[w]&(1<<(uint(id)&63)) != 0
+	}
+	for i := 0; i < s.n; i++ {
+		if s.inline[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts a reader (idempotent).
+func (s *readerSet) Add(id mesh.NodeID) {
+	if id < 0 {
+		panic(fmt.Sprintf("asvm: reader set cannot hold node %d", id))
+	}
+	if s.bits == nil {
+		i := 0
+		for i < s.n && s.inline[i] < id {
+			i++
+		}
+		if i < s.n && s.inline[i] == id {
+			return
+		}
+		if s.n < readerInlineMax {
+			copy(s.inline[i+1:s.n+1], s.inline[i:s.n])
+			s.inline[i] = id
+			s.n++
+			return
+		}
+		s.promote(id)
+		return
+	}
+	w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	if s.bits[w]&b == 0 {
+		s.bits[w] |= b
+		s.n++
+	}
+}
+
+// promote moves the full inline array into a fresh bitset and adds id.
+func (s *readerSet) promote(id mesh.NodeID) {
+	maxID := id
+	for i := 0; i < s.n; i++ {
+		if s.inline[i] > maxID {
+			maxID = s.inline[i]
+		}
+	}
+	s.bits = make([]uint64, int(maxID)>>6+1)
+	for i := 0; i < s.n; i++ {
+		s.bits[int(s.inline[i])>>6] |= 1 << (uint(s.inline[i]) & 63)
+	}
+	s.bits[int(id)>>6] |= 1 << (uint(id) & 63)
+	s.n++
+}
+
+// Remove deletes a reader if present.
+func (s *readerSet) Remove(id mesh.NodeID) {
+	if s.bits != nil {
+		w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
+		if w >= 0 && w < len(s.bits) && s.bits[w]&b != 0 {
+			s.bits[w] &^= b
+			s.n--
+		}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.inline[i] == id {
+			copy(s.inline[i:], s.inline[i+1:s.n])
+			s.n--
+			return
+		}
+	}
+}
+
+// Clear empties the set, keeping a promoted set's bitset storage.
+func (s *readerSet) Clear() {
+	s.n = 0
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// Min returns the smallest reader, or (-1, false) when empty.
+func (s *readerSet) Min() (mesh.NodeID, bool) {
+	if s.n == 0 {
+		return -1, false
+	}
+	if s.bits == nil {
+		return s.inline[0], true
+	}
+	for w, word := range s.bits {
+		if word != 0 {
+			return mesh.NodeID(w<<6 + bits.TrailingZeros64(word)), true
+		}
+	}
+	return -1, false
+}
+
+// AppendTo appends the readers to dst in ascending NodeID order.
+func (s *readerSet) AppendTo(dst []mesh.NodeID) []mesh.NodeID {
+	if s.bits == nil {
+		return append(dst, s.inline[:s.n]...)
+	}
+	for w, word := range s.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, mesh.NodeID(w<<6+b))
+			word &^= 1 << uint(b)
+		}
+	}
+	return dst
+}

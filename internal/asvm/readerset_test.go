@@ -1,0 +1,144 @@
+package asvm
+
+import (
+	"testing"
+
+	"asvm/internal/mesh"
+	"asvm/internal/sim"
+)
+
+// TestReaderSetAgainstMapReference drives a readerSet and a
+// map[mesh.NodeID]bool reference with the same random Add/Remove/Clear
+// stream and checks they agree after every step — Len, Contains, Min, and
+// the full ascending iteration. The ID range straddles the inline→bitset
+// promotion point so both representations (and the transition) are covered.
+func TestReaderSetAgainstMapReference(t *testing.T) {
+	check := func(t *testing.T, step int, s *readerSet, ref map[mesh.NodeID]bool, maxID int) {
+		t.Helper()
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(ref))
+		}
+		for id := mesh.NodeID(0); id <= mesh.NodeID(maxID); id++ {
+			if s.Contains(id) != ref[id] {
+				t.Fatalf("step %d: Contains(%d) = %v, want %v", step, id, s.Contains(id), ref[id])
+			}
+		}
+		want := make([]mesh.NodeID, 0, len(ref))
+		for id := mesh.NodeID(0); id <= mesh.NodeID(maxID); id++ {
+			if ref[id] {
+				want = append(want, id)
+			}
+		}
+		got := s.AppendTo(nil)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: AppendTo = %v, want %v", step, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: AppendTo = %v, want %v (ascending)", step, got, want)
+			}
+		}
+		min, ok := s.Min()
+		if len(want) == 0 {
+			if ok {
+				t.Fatalf("step %d: Min = %d on empty set", step, min)
+			}
+		} else if !ok || min != want[0] {
+			t.Fatalf("step %d: Min = %d,%v, want %d", step, min, ok, want[0])
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		maxID int
+		seed  uint64
+	}{
+		{"inline-only", 3, 11}, // ≤4 distinct IDs: never promotes
+		{"promoting", 9, 12},   // crosses readerInlineMax
+		{"wide", 200, 13},      // multiple bitset words, sparse population
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sim.NewRNG(tc.seed)
+			var s readerSet
+			ref := map[mesh.NodeID]bool{}
+			for step := 0; step < 3000; step++ {
+				id := mesh.NodeID(r.Intn(tc.maxID + 1))
+				switch op := r.Intn(10); {
+				case op < 5:
+					s.Add(id)
+					ref[id] = true
+				case op < 9:
+					s.Remove(id)
+					delete(ref, id)
+				default:
+					s.Clear()
+					ref = map[mesh.NodeID]bool{}
+				}
+				check(t, step, &s, ref, tc.maxID)
+			}
+		})
+	}
+}
+
+// TestReaderSetPromotionKeepsOrder pins the inline→bitset transition
+// directly: adds in descending order still iterate ascending before,
+// across, and after the promotion on the fifth Add, and Clear keeps the
+// promoted storage (no demotion, no allocation on refill).
+func TestReaderSetPromotionKeepsOrder(t *testing.T) {
+	var s readerSet
+	for _, id := range []mesh.NodeID{80, 60, 40, 20} {
+		s.Add(id)
+	}
+	if s.bits != nil {
+		t.Fatal("set promoted before the fifth reader")
+	}
+	got := s.AppendTo(nil)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("inline iteration not ascending: %v", got)
+		}
+	}
+	s.Add(70) // fifth distinct reader: promotes
+	if s.bits == nil {
+		t.Fatal("fifth reader did not promote to bitset")
+	}
+	want := []mesh.NodeID{20, 40, 60, 70, 80}
+	got = s.AppendTo(nil)
+	if len(got) != len(want) {
+		t.Fatalf("after promotion: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after promotion: %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.bits == nil {
+		t.Fatalf("Clear must empty the set but keep the bitset: n=%d bits=%v", s.n, s.bits)
+	}
+	s.Add(3)
+	if min, ok := s.Min(); !ok || min != 3 {
+		t.Fatalf("refill after Clear: Min = %d,%v", min, ok)
+	}
+}
+
+// TestReaderSetIdempotentAdd: duplicate Adds never inflate Len, inline or
+// promoted.
+func TestReaderSetIdempotentAdd(t *testing.T) {
+	var s readerSet
+	for i := 0; i < 3; i++ {
+		s.Add(2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("inline duplicate Adds: Len = %d", s.Len())
+	}
+	for _, id := range []mesh.NodeID{5, 9, 1, 7} {
+		s.Add(id)
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(9)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("promoted duplicate Adds: Len = %d", s.Len())
+	}
+}

@@ -132,8 +132,8 @@ func Chaos(w io.Writer, rates []float64, seed uint64, workers int, quick bool) e
 
 	fmt.Fprintln(w, "Chaos sweep: degradation under deterministic message drop/dup/delay")
 	fmt.Fprintln(w, "(every cell drained and invariant-checked; drop rate shown, dup = drop/2, delay = 2*drop)")
-	fmt.Fprintf(w, "%-42s %8s %12s %8s %8s %6s %6s %6s %7s %7s\n",
-		"workload", "drop", "metric", "vs 0", "msgs", "drop", "dup", "delay", "rexmit", "supprs")
+	fmt.Fprintf(w, "%-42s %8s %12s %8s %8s %6s %6s %6s %7s %7s %7s\n",
+		"workload", "drop", "metric", "vs 0", "msgs", "drop", "dup", "delay", "rexmit", "supprs", "ringsc")
 	nRates := len(rates)
 	for i, c := range cells {
 		r := results[i]
@@ -142,9 +142,10 @@ func Chaos(w io.Writer, rates []float64, seed uint64, workers int, quick bool) e
 		if i%nRates == 0 {
 			delta = "-"
 		}
-		fmt.Fprintf(w, "%-42s %7.2f%% %12s %8s %8d %6d %6d %6d %7d %7d\n",
+		fmt.Fprintf(w, "%-42s %7.2f%% %12s %8s %8d %6d %6d %6d %7d %7d %7d\n",
 			c.workload, c.rate*100, chaosMetric(r, c.unit), delta,
-			r.Msgs, r.Dropped, r.Duplicated, r.Delayed, r.Retransmits, r.DupsSuppressed)
+			r.Msgs, r.Dropped, r.Duplicated, r.Delayed, r.Retransmits, r.DupsSuppressed,
+			r.RingScanHops)
 	}
 	return nil
 }

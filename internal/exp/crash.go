@@ -85,8 +85,8 @@ func Crash(w io.Writer, seed uint64, workers int, quick bool) error {
 
 	fmt.Fprintln(w, "Crash sweep: crash-stop degradation of the crash-churn workload")
 	fmt.Fprintln(w, "(every cell drained and invariant-checked on the survivors; ops = completed operations)")
-	fmt.Fprintf(w, "%8s %8s %7s %8s %8s %8s %8s %8s %8s %8s %8s\n",
-		"crashed", "restart", "drop", "ops", "vs 0", "aborted", "redrive", "ownlost", "pglost", "cpdrop", "hintevt")
+	fmt.Fprintf(w, "%8s %8s %7s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"crashed", "restart", "drop", "ops", "vs 0", "aborted", "redrive", "ownlost", "pglost", "cpdrop", "hintevt", "ringsc")
 	var base float64
 	for i, cell := range cells {
 		r := results[i]
@@ -97,10 +97,10 @@ func Crash(w io.Writer, seed uint64, workers int, quick bool) error {
 		if base > 0 && !(cell.Crashed == 0 && cell.Rate == 0) {
 			delta = fmt.Sprintf("%+.1f%%", (r.Metric-base)/base*100)
 		}
-		fmt.Fprintf(w, "%8d %8v %6.2f%% %8.0f %8s %8d %8d %8d %8d %8d %8d\n",
+		fmt.Fprintf(w, "%8d %8v %6.2f%% %8.0f %8s %8d %8d %8d %8d %8d %8d %8d\n",
 			cell.Crashed, cell.Restart, cell.Rate*100, r.Metric, delta,
 			r.FaultsAborted, r.FaultRedrives, r.OwnershipLost, r.PagesLost,
-			r.CopiesDropped, r.HintEvictions)
+			r.CopiesDropped, r.HintEvictions, r.RingScanHops)
 	}
 	return nil
 }

@@ -85,6 +85,7 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 		{"table2", func(w *bytes.Buffer, k int) error { return Table2(w, []int{1, 2}, 1, k) }},
 		{"table3", func(w *bytes.Buffer, k int) error { return Table3(w, []int{64000}, []int{1, 2}, 2, 1, k) }},
 		{"dist", func(w *bytes.Buffer, k int) error { return Distribution(w, 4, 8, 2, 1, k) }},
+		{"scale", func(w *bytes.Buffer, k int) error { return Scale(w, 1, k, true) }},
 		{"ablation-forwarding", func(w *bytes.Buffer, k int) error { return AblationForwarding(w, 4, 2, 1, k) }},
 		{"ablation-transport", func(w *bytes.Buffer, k int) error { return AblationTransport(w, 1, k) }},
 		{"ablation-internode-paging", func(w *bytes.Buffer, k int) error { return AblationInternodePaging(w, 1, k) }},
@@ -130,6 +131,7 @@ func TestEngineParallelByteIdentical(t *testing.T) {
 		{"table2", func(w *bytes.Buffer) error { return Table2(w, []int{1, 2, 4}, 1, 1) }},
 		{"fig11", func(w *bytes.Buffer) error { return Figure11(w, []int{1, 2}, 1, 1) }},
 		{"dist", func(w *bytes.Buffer) error { return Distribution(w, 4, 8, 2, 1, 1) }},
+		{"scale", func(w *bytes.Buffer) error { return Scale(w, 1, 1, true) }},
 		{"ablation-transport", func(w *bytes.Buffer) error { return AblationTransport(w, 1, 1) }},
 	}
 	old := machine.DefaultEngineLanes
@@ -175,13 +177,20 @@ func TestSnapshotQuick(t *testing.T) {
 	if len(a.Fig11FitMS["ASVM"]) != 2 || len(a.Fig11FitMS["XMM"]) != 2 {
 		t.Fatalf("fig11 fit missing: %v", a.Fig11FitMS)
 	}
+	if len(a.ScaleNodes) == 0 || a.ScaleNodes[0] != 64 || a.ScaleFaultP50MS[0] <= 0 ||
+		a.ScaleRingScanHops[0] == 0 {
+		t.Fatalf("scale section incomplete: nodes=%v p50=%v hops=%v",
+			a.ScaleNodes, a.ScaleFaultP50MS, a.ScaleRingScanHops)
+	}
 	b, err := CollectSnapshot(1, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(a.Table1MS) != fmt.Sprint(b.Table1MS) ||
 		fmt.Sprint(a.Table2MBs) != fmt.Sprint(b.Table2MBs) ||
-		fmt.Sprint(a.Fig11FitMS) != fmt.Sprint(b.Fig11FitMS) {
+		fmt.Sprint(a.Fig11FitMS) != fmt.Sprint(b.Fig11FitMS) ||
+		fmt.Sprint(a.ScaleFaultP99MS) != fmt.Sprint(b.ScaleFaultP99MS) ||
+		fmt.Sprint(a.ScaleRingScanHops) != fmt.Sprint(b.ScaleRingScanHops) {
 		t.Fatal("simulated snapshot metrics changed with worker count")
 	}
 }

@@ -56,6 +56,16 @@ type Snapshot struct {
 	CrashOwnLost     int64   `json:"crash_ownership_lost"`
 	CrashPagesLost   int64   `json:"crash_pages_lost"`
 
+	// Scale-out sweep (simulated, deterministic): the machine-size ladder's
+	// fault latency and ring-fallback profile. One entry per node count; the
+	// fallback rate is the fraction of data requests resolved by the global
+	// ring scan (the O(n) path the hint caches keep rare).
+	ScaleNodes        []int     `json:"scale_nodes"`
+	ScaleFaultP50MS   []float64 `json:"scale_fault_p50_ms"`
+	ScaleFaultP99MS   []float64 `json:"scale_fault_p99_ms"`
+	ScaleFallbackRate []float64 `json:"scale_fallback_rate"`
+	ScaleRingScanHops []int64   `json:"scale_ring_scan_hops"`
+
 	// WallSeconds is the wall-clock time each artifact sweep took with the
 	// configured worker count.
 	WallSeconds map[string]float64 `json:"wall_seconds"`
@@ -190,6 +200,33 @@ func CollectSnapshot(seed uint64, workers int, quick bool) (*Snapshot, error) {
 			}
 			lb, la := fitLine(chains, ys)
 			snap.Fig11FitMS[sys.String()] = []float64{lb, la}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("scale", func() error {
+		// The machine-size ladder only (the cache-sizing rows are a report
+		// detail, not a trajectory worth tracking per PR).
+		var ladder []ScaleCell
+		for _, cell := range ScaleCells(seed, quick) {
+			if cell.DynCacheSize == 0 {
+				ladder = append(ladder, cell)
+			}
+		}
+		results, err := RunCells(workers, len(ladder), func(i int) (ScaleResult, error) {
+			return RunScaleCell(ladder[i])
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			snap.ScaleNodes = append(snap.ScaleNodes, r.Cell.Nodes)
+			snap.ScaleFaultP50MS = append(snap.ScaleFaultP50MS, float64(r.P50)/float64(time.Millisecond))
+			snap.ScaleFaultP99MS = append(snap.ScaleFaultP99MS, float64(r.P99)/float64(time.Millisecond))
+			snap.ScaleFallbackRate = append(snap.ScaleFallbackRate, r.FallbackRate())
+			snap.ScaleRingScanHops = append(snap.ScaleRingScanHops, r.RingScanHops)
 		}
 		return nil
 	}); err != nil {

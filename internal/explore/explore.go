@@ -140,8 +140,8 @@ func runOne(sc *Scenario, prefix []int, rng *sim.RNG, mutate Mutate) Outcome {
 				if vioErr != nil {
 					return
 				}
-				if err := asvm.CheckPageInvariants(c.ASVMs, info, idx); err != nil {
-					report("invariant", fmt.Errorf("%v\n%s", err, asvm.DumpPage(c.ASVMs, info, idx)))
+				if err := asvm.CheckPageInvariants(c.ASVMCluster(), info, idx); err != nil {
+					report("invariant", fmt.Errorf("%v\n%s", err, asvm.DumpPage(c.ASVMCluster(), info, idx)))
 				}
 			}
 		}
@@ -163,9 +163,9 @@ func runOne(sc *Scenario, prefix []int, rng *sim.RNG, mutate Mutate) Outcome {
 	}
 	if vioErr == nil {
 		for _, r := range regions {
-			if stuck := asvm.OutstandingFaults(c.ASVMs, r.ASVMInfo()); len(stuck) > 0 {
+			if stuck := asvm.OutstandingFaults(c.ASVMCluster(), r.ASVMInfo()); len(stuck) > 0 {
 				report("liveness", fmt.Errorf("%d faults never granted nor typed-failed (pages %v)\n%s",
-					len(stuck), stuck, asvm.DumpPage(c.ASVMs, r.ASVMInfo(), stuck[0])))
+					len(stuck), stuck, asvm.DumpPage(c.ASVMCluster(), r.ASVMInfo(), stuck[0])))
 				break
 			}
 		}

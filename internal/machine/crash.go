@@ -129,10 +129,10 @@ func (c *Cluster) CrashNode(idx int) {
 		if r.info == nil || r.info.Down[n] || !r.hasNode(idx) {
 			continue
 		}
-		asvm.CrashRecover(c.ASVMs, r.info, n, &c.CrashStats.Ledger)
+		asvm.CrashRecover(c.proto, r.info, n, &c.CrashStats.Ledger)
 		// Authority the dead node had in flight (undelivered ownership
 		// grants) is lost with certainty; declare it now, after the scrub.
-		asvm.DeadLetters(c.ASVMs, r.info, n, abandoned, &c.CrashStats.Ledger)
+		asvm.DeadLetters(c.proto, r.info, n, abandoned, &c.CrashStats.Ledger)
 	}
 }
 
@@ -165,20 +165,14 @@ func (c *Cluster) RestartNode(idx int) {
 			if r.pagerSrv != nil {
 				in.SetPager(pager.NewClient(c.Eng, c.TR, n, r.pagerSrv))
 			}
-			asvm.RebuildHome(c.ASVMs, r.info)
+			asvm.RebuildHome(c.proto, r.info)
 		}
 	}
 }
 
-// hasNode reports whether the region maps cluster node idx.
-func (r *Region) hasNode(idx int) bool {
-	for _, n := range r.Nodes {
-		if n == idx {
-			return true
-		}
-	}
-	return false
-}
+// hasNode reports whether the region maps cluster node idx — an O(1) set
+// probe, so the crash paths stay flat as regions span hundreds of nodes.
+func (r *Region) hasNode(idx int) bool { return r.nodeSet[idx] }
 
 // wireDownHandlers registers each node's peer-down handler with the
 // reliability layer: when retransmit exhaustion declares a peer dead (the

@@ -190,6 +190,10 @@ type Cluster struct {
 	ASVMs []*asvm.Node
 	XMMs  []*xmm.Node
 
+	// proto is the O(1) node-lookup handle over ASVMs that the asvm
+	// protocol entry points take; built once in New (zero value under XMM).
+	proto asvm.Cluster
+
 	// Crash-stop failure model state: which nodes are currently down, what
 	// failing them cost, and the regions CrashNode must recover. The
 	// registry is only consulted on crash/restart; with an inactive plan
@@ -279,6 +283,7 @@ func New(p Params) *Cluster {
 			nd.SetMsgPooling(!p.Fault.Active() && !p.Reliable)
 			c.ASVMs = append(c.ASVMs, nd)
 		}
+		c.proto = asvm.NewCluster(c.ASVMs)
 	case SysXMM:
 		for i := 0; i < p.Nodes; i++ {
 			c.XMMs = append(c.XMMs, xmm.NewNode(e, c.Kerns[i], c.TR, p.XMMCopyThreads))
@@ -306,10 +311,15 @@ func (c *Cluster) CheckInvariants(r *Region) error {
 		return fmt.Errorf("machine: %d events still pending; drain before checking invariants", n)
 	}
 	if c.P.System == SysASVM && r.info != nil {
-		return asvm.CheckInvariants(c.ASVMs, r.info)
+		return asvm.CheckInvariants(c.proto, r.info)
 	}
 	return nil
 }
+
+// ASVMCluster returns the O(1) membership handle over the machine's ASVM
+// nodes (zero value under XMM). Diagnostics like the schedule explorer use
+// it to call the asvm invariant checkers directly.
+func (c *Cluster) ASVMCluster() asvm.Cluster { return c.proto }
 
 // nextID allocates a cluster-level object ID (home node 0 namespace,
 // sequence above any kernel-local IDs).
@@ -329,6 +339,16 @@ type Region struct {
 	objs     map[int]*vm.Object // node index -> local vm object
 	info     *asvm.DomainInfo   // ASVM only
 	pagerSrv *pager.Server      // backing store, for restart re-wiring
+	nodeSet  map[int]bool       // Nodes as a set, for O(1) membership
+}
+
+// newNodeSet builds the O(1) membership view of a region's node list.
+func newNodeSet(nodeIdxs []int) map[int]bool {
+	s := make(map[int]bool, len(nodeIdxs))
+	for _, n := range nodeIdxs {
+		s[n] = true
+	}
+	return s
 }
 
 // Obj returns the region's vm object on a node.
@@ -356,6 +376,7 @@ func (c *Cluster) NewSharedRegion(name string, sizePages vm.PageIdx, nodeIdxs []
 		Nodes:    append([]int(nil), nodeIdxs...),
 		objs:     make(map[int]*vm.Object),
 		pagerSrv: backing,
+		nodeSet:  newNodeSet(nodeIdxs),
 	}
 	switch c.P.System {
 	case SysASVM:
@@ -401,6 +422,7 @@ func (c *Cluster) NewMappedFile(name string, sizePages vm.PageIdx, nodeIdxs []in
 		Nodes:    append([]int(nil), nodeIdxs...),
 		objs:     make(map[int]*vm.Object),
 		pagerSrv: srv,
+		nodeSet:  newNodeSet(nodeIdxs),
 	}
 	switch c.P.System {
 	case SysASVM:
@@ -445,7 +467,7 @@ func (c *Cluster) RemoteFork(parent *vm.Task, dstIdx int, name string) (*vm.Task
 	srcIdx := int(parent.Kernel.Node)
 	switch c.P.System {
 	case SysASVM:
-		return asvm.RemoteFork(c.ASVMs, parent, c.ASVMs[dstIdx], name, c.P.ASVM)
+		return asvm.RemoteFork(c.proto, parent, c.ASVMs[dstIdx], name, c.P.ASVM)
 	case SysXMM:
 		return xmm.RemoteFork(parent, c.XMMs[srcIdx], c.XMMs[dstIdx], name)
 	}
@@ -482,7 +504,7 @@ func (c *Cluster) DestroyRegion(r *Region) {
 	switch c.P.System {
 	case SysASVM:
 		if r.info != nil {
-			asvm.Teardown(c.ASVMs, r.info)
+			asvm.Teardown(c.proto, r.info)
 		}
 	case SysXMM:
 		nodes := make([]*xmm.Node, 0, len(r.Nodes))

@@ -188,6 +188,7 @@ const (
 	CtrRangeUnlocks
 	CtrReadGrants
 	CtrReqNacks
+	CtrRingScanHops
 	CtrSelfUpgrades
 	CtrShadowInterpose
 	CtrStaleGrants
@@ -272,6 +273,7 @@ var ctrNames = [NumCtrs]string{
 	CtrRangeUnlocks:       "range_unlocks",
 	CtrReadGrants:         "read_grants",
 	CtrReqNacks:           "req_nacks",
+	CtrRingScanHops:       "ring_scan_hops",
 	CtrSelfUpgrades:       "self_upgrades",
 	CtrShadowInterpose:    "shadow_interpose",
 	CtrStaleGrants:        "stale_grants",

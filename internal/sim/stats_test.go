@@ -217,6 +217,7 @@ func TestCounterNameTableGolden(t *testing.T) {
 		CtrRangeUnlocks:       "range_unlocks",
 		CtrReadGrants:         "read_grants",
 		CtrReqNacks:           "req_nacks",
+		CtrRingScanHops:       "ring_scan_hops",
 		CtrSelfUpgrades:       "self_upgrades",
 		CtrShadowInterpose:    "shadow_interpose",
 		CtrStaleGrants:        "stale_grants",

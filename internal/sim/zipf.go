@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks 0..n-1 with probability proportional to 1/(rank+1)^s —
+// the access skew the scale scenarios use so a few hot objects see most of
+// the traffic while a long tail stays warm. Draws consume exactly one RNG
+// value each, so a generator's stream stays aligned no matter which ranks
+// come out; the distribution itself is a precomputed CDF (binary-searched),
+// keeping Draw O(log n) with no floating-point accumulation at draw time.
+type Zipf struct {
+	cdf []float64 // cdf[k] = P(rank <= k); cdf[n-1] == 1 exactly
+}
+
+// NewZipf builds the distribution over n ranks with exponent s. n must be
+// positive; s = 0 degenerates to uniform, larger s concentrates mass on the
+// low ranks (s ~ 1 is the classic object-popularity curve).
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("sim: Zipf needs at least one rank")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // close the interval against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// Draw returns one rank, consuming exactly one RNG draw.
+func (z *Zipf) Draw(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfGoldenDraws pins the first 32 draws of the 64-rank s=1.0
+// distribution for three seeds. The scale scenario generator derives every
+// access pattern from these streams, so the sequences are part of the
+// deterministic-results contract: a change here silently reshuffles every
+// scale cell. Changing them is a deliberate act reviewed as a diff.
+func TestZipfGoldenDraws(t *testing.T) {
+	golden := map[uint64][32]int{
+		1:     {1, 13, 17, 1, 0, 22, 26, 13, 2, 19, 5, 0, 0, 17, 35, 10, 0, 0, 5, 37, 4, 1, 12, 0, 0, 30, 6, 36, 2, 1, 1, 2},
+		42:    {2, 22, 23, 48, 20, 29, 0, 4, 1, 13, 3, 2, 35, 0, 0, 9, 2, 1, 63, 2, 3, 13, 2, 2, 2, 1, 8, 16, 8, 23, 0, 0},
+		12345: {8, 19, 0, 17, 0, 0, 63, 6, 19, 4, 20, 1, 0, 0, 5, 1, 0, 35, 8, 0, 27, 19, 13, 15, 29, 15, 39, 0, 1, 11, 0, 0},
+	}
+	for seed, want := range golden {
+		z := NewZipf(64, 1.0)
+		r := NewRNG(seed)
+		for i, w := range want {
+			if got := z.Draw(r); got != w {
+				t.Errorf("seed %d draw %d = %d, want %d", seed, i, got, w)
+			}
+		}
+	}
+}
+
+// TestZipfDistributionShape checks the draws actually follow the skew: with
+// s=1, rank 0 must dominate rank 15 by roughly its theoretical 16x factor,
+// and every rank must stay reachable.
+func TestZipfDistributionShape(t *testing.T) {
+	const n, draws = 16, 200000
+	z := NewZipf(n, 1.0)
+	r := NewRNG(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Errorf("rank %d never drawn in %d draws", k, draws)
+		}
+	}
+	ratio := float64(counts[0]) / float64(counts[15])
+	if ratio < 12 || ratio > 21 {
+		t.Errorf("rank0/rank15 ratio = %.1f, want ~16", ratio)
+	}
+}
+
+// TestZipfUniformWhenSZero: s=0 degenerates to uniform — each rank within a
+// few percent of draws/n.
+func TestZipfUniformWhenSZero(t *testing.T) {
+	const n, draws = 8, 80000
+	z := NewZipf(n, 0)
+	r := NewRNG(3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("rank %d drawn %d times, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+// TestZipfDrawBounds: every draw lands in [0, n), including the u→1 edge
+// (cdf[n-1] is pinned to exactly 1).
+func TestZipfDrawBounds(t *testing.T) {
+	z := NewZipf(5, 1.2)
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		if k := z.Draw(r); k < 0 || k >= 5 {
+			t.Fatalf("draw %d out of range", k)
+		}
+	}
+	if z.N() != 5 {
+		t.Fatalf("N = %d", z.N())
+	}
+}

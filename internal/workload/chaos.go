@@ -27,6 +27,11 @@ type ChaosResult struct {
 	// Recovery work done by the reliability layer.
 	Retransmits, DupsSuppressed, AcksSent, Nacks uint64
 
+	// RingScanHops counts global ring-scan forwarding hops — the O(n)
+	// fallback the hint caches exist to avoid. A healthy run keeps it near
+	// zero; faults and crashes push requests onto the ring.
+	RingScanHops int64
+
 	// Crash-stop degradation (crash-sweep cells; all zero on crash-free
 	// runs). Crashes/Restarts are executed plan fates; the rest aggregate
 	// the protocol counters across nodes: faults aborted with typed
@@ -85,6 +90,7 @@ func collectChaos(c *machine.Cluster, r *machine.Region, metric float64) (ChaosR
 		res.PagesLost += nd.Ctr.V[sim.CtrPagesLost]
 		res.CopiesDropped += nd.Ctr.V[sim.CtrCopiesDropped]
 		res.HintEvictions += nd.Ctr.V[sim.CtrHintEvictions]
+		res.RingScanHops += nd.Ctr.V[sim.CtrRingScanHops]
 	}
 	return res, nil
 }
