@@ -33,6 +33,8 @@ import (
 	"asvm/internal/exp"
 	"asvm/internal/explore"
 	"asvm/internal/machine"
+	"asvm/internal/workload"
+	"asvm/internal/xport"
 )
 
 func main() {
@@ -52,8 +54,19 @@ func main() {
 		lanes   = flag.Int("lanes", exp.SnapshotEngineLanes, "event lanes for -engine=parallel")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this path at exit")
+		rto     = flag.Duration("rto", 0, "chaos/crash sweeps: initial retransmit timeout (0 = calibrated 4ms)")
+		rtoMax  = flag.Duration("rtomax", 0, "chaos/crash sweeps: retransmit backoff cap (0 = calibrated 64ms)")
+		retries = flag.Int("retries", 0, "chaos/crash sweeps: retransmits before a peer is declared down (0 = calibrated 30)")
 	)
 	flag.Parse()
+
+	// Reliability-layer tuning for the chaos and crash sweeps. Zero values
+	// keep the calibrated defaults, so plain runs are unchanged.
+	workload.ReliableCfg = xport.ReliableConfig{
+		RTO:        *rto,
+		MaxRTO:     *rtoMax,
+		MaxRetries: *retries,
+	}
 
 	switch *engine {
 	case "serial":

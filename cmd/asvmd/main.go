@@ -1,0 +1,75 @@
+// Command asvmd runs one node of a real ASVM mesh: the same protocol
+// stack the simulator drives, on the wall clock, talking to its peers
+// over TCP. Every mesh process loads the same JSON config and picks out
+// its own node by ID:
+//
+//	asvmd -config mesh.json -node 2
+//
+// The config lists each node's transport and control addresses:
+//
+//	{
+//	  "region": "demo", "pages": 4, "home": 0,
+//	  "nodes": [
+//	    {"id": 0, "xport": "127.0.0.1:7000", "ctrl": "127.0.0.1:7100"},
+//	    {"id": 1, "xport": "127.0.0.1:7001", "ctrl": "127.0.0.1:7101"}
+//	  ]
+//	}
+//
+// The daemon serves shared-memory operations (read/write/lock) over the
+// control address until it receives a shutdown request or a signal. See
+// examples/netdemo for an orchestrated multi-process run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"asvm/internal/dsm"
+)
+
+func main() {
+	configPath := flag.String("config", "", "mesh config file (JSON)")
+	nodeID := flag.Int("node", -1, "this process's node ID")
+	flag.Parse()
+	if *configPath == "" || *nodeID < 0 {
+		fmt.Fprintln(os.Stderr, "usage: asvmd -config mesh.json -node N")
+		os.Exit(2)
+	}
+
+	cfg, err := dsm.LoadConfig(*configPath)
+	if err != nil {
+		log.Fatalf("asvmd: %v", err)
+	}
+	spec := cfg.Node(*nodeID)
+	if spec == nil {
+		log.Fatalf("asvmd: node %d is not in %s", *nodeID, *configPath)
+	}
+
+	n, err := dsm.Open(cfg, *nodeID)
+	if err != nil {
+		log.Fatalf("asvmd: %v", err)
+	}
+	defer n.Close()
+
+	ctrl, err := dsm.ServeCtrl(n, spec.Ctrl)
+	if err != nil {
+		log.Fatalf("asvmd: %v", err)
+	}
+	defer ctrl.Close()
+
+	log.Printf("asvmd: node %d up (xport %s, ctrl %s, region %q, %d pages, home %d)",
+		*nodeID, n.Addr(), ctrl.Addr(), cfg.Region, cfg.Pages, cfg.Home)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-ctrl.Shutdown:
+		log.Printf("asvmd: node %d shutting down (control request)", *nodeID)
+	case s := <-sig:
+		log.Printf("asvmd: node %d shutting down (%v)", *nodeID, s)
+	}
+}

@@ -1,0 +1,251 @@
+// netdemo runs the ASVM protocol across real OS processes. It spawns one
+// asvmd daemon per node on localhost (2-4 nodes), drives the Table-1
+// demo scenario through their control ports — first-touch writes, remote
+// read faults, invalidating writes, re-reads — then drains the mesh,
+// shuts the daemons down, and prints each operation's measured wall-clock
+// fault latency next to the latency the deterministic simulator predicts
+// for the identical scenario on 1996 Paragon hardware.
+//
+//	go run ./examples/netdemo -nodes 3
+//	go run ./examples/netdemo -nodes 2 -asvmd ./bin/asvmd
+//
+// Without -asvmd the demo re-executes itself in daemon mode, so a plain
+// `go run` works with no prebuilt binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"asvm/internal/dsm"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "mesh size (2-4 processes)")
+	asvmd := flag.String("asvmd", "", "path to an asvmd binary (default: re-exec this binary in -serve mode)")
+	serve := flag.Bool("serve", false, "internal: run as a mesh daemon instead of the orchestrator")
+	configPath := flag.String("config", "", "internal: mesh config for -serve")
+	nodeID := flag.Int("node", -1, "internal: node ID for -serve")
+	flag.Parse()
+
+	if *serve {
+		runDaemon(*configPath, *nodeID)
+		return
+	}
+	if *nodes < 2 || *nodes > 4 {
+		log.Fatalf("netdemo: -nodes must be 2-4, have %d", *nodes)
+	}
+	if err := orchestrate(*nodes, *asvmd); err != nil {
+		log.Fatalf("netdemo: %v", err)
+	}
+}
+
+// runDaemon is the -serve mode: one mesh node, exactly what cmd/asvmd
+// does, so the demo needs no second binary under `go run`.
+func runDaemon(configPath string, nodeID int) {
+	cfg, err := dsm.LoadConfig(configPath)
+	if err != nil {
+		log.Fatalf("netdemo daemon: %v", err)
+	}
+	spec := cfg.Node(nodeID)
+	if spec == nil {
+		log.Fatalf("netdemo daemon: node %d not in config", nodeID)
+	}
+	n, err := dsm.Open(cfg, nodeID)
+	if err != nil {
+		log.Fatalf("netdemo daemon: %v", err)
+	}
+	defer n.Close()
+	ctrl, err := dsm.ServeCtrl(n, spec.Ctrl)
+	if err != nil {
+		log.Fatalf("netdemo daemon: %v", err)
+	}
+	defer ctrl.Close()
+	log.Printf("netdemo daemon: node %d up (xport %s, ctrl %s)", nodeID, n.Addr(), ctrl.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-ctrl.Shutdown:
+	case <-sig:
+	}
+}
+
+// freeAddr reserves a localhost port by binding and releasing it. The
+// tiny race against another process grabbing it is acceptable for a demo.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer ln.Close()
+	return ln.Addr().String(), nil
+}
+
+func orchestrate(nodes int, asvmdPath string) error {
+	ops := dsm.DemoScenario(nodes)
+
+	cfg := &dsm.MeshConfig{Region: "netdemo", Pages: dsm.ScenarioPages(ops), Home: 0}
+	for i := 0; i < nodes; i++ {
+		xp, err := freeAddr()
+		if err != nil {
+			return err
+		}
+		ct, err := freeAddr()
+		if err != nil {
+			return err
+		}
+		cfg.Nodes = append(cfg.Nodes, dsm.NodeSpec{ID: i, Xport: xp, Ctrl: ct})
+	}
+
+	dir, err := os.MkdirTemp("", "netdemo")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfgPath := filepath.Join(dir, "mesh.json")
+	if err := cfg.WriteFile(cfgPath); err != nil {
+		return err
+	}
+
+	// One daemon process per node. Daemon logs go to our stderr so a
+	// crashing node is visible, not silent.
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		var cmd *exec.Cmd
+		if asvmdPath != "" {
+			cmd = exec.Command(asvmdPath, "-config", cfgPath, "-node", fmt.Sprint(i))
+		} else {
+			self, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			cmd = exec.Command(self, "-serve", "-config", cfgPath, "-node", fmt.Sprint(i))
+		}
+		cmd.Stderr = os.Stderr
+		cmd.Stdout = os.Stdout
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting node %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	fmt.Printf("netdemo: %d asvmd processes up, region %q (%d pages), home node %d\n",
+		nodes, cfg.Region, cfg.Pages, cfg.Home)
+
+	var clients []*dsm.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		c, err := dsm.DialCtrl(cfg.Nodes[i].Ctrl, 15*time.Second)
+		if err != nil {
+			return fmt.Errorf("node %d control: %w", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	// The scenario, one op at a time, drained between ops — the schedule
+	// under which the simulator's twin run takes identical protocol
+	// decisions, making the latency table like-for-like.
+	realLat := make([]time.Duration, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case "write":
+			lat, err := clients[op.Node].Write(op.Addr, op.Val)
+			if err != nil {
+				return fmt.Errorf("%s: %w", op.Label, err)
+			}
+			realLat[i] = lat
+		case "read":
+			v, lat, err := clients[op.Node].Read(op.Addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", op.Label, err)
+			}
+			if op.Check && v != op.Want {
+				return fmt.Errorf("%s: read %d, want %d", op.Label, v, op.Want)
+			}
+			realLat[i] = lat
+		}
+		if err := dsm.DrainMesh(clients, 3, 15*time.Second); err != nil {
+			return fmt.Errorf("after %s: %w", op.Label, err)
+		}
+	}
+
+	if err := dsm.DrainMesh(clients, 5, 15*time.Second); err != nil {
+		return err
+	}
+	fmt.Println("netdemo: clean drain — mesh quiescent, all values verified")
+
+	realCtrs := make(map[string]int64)
+	for _, c := range clients {
+		m, err := c.Counters()
+		if err != nil {
+			return err
+		}
+		for k, v := range m {
+			realCtrs[k] += v
+		}
+	}
+
+	for i, c := range clients {
+		if err := c.Shutdown(); err != nil {
+			return fmt.Errorf("shutting down node %d: %w", i, err)
+		}
+	}
+	for i, p := range procs {
+		if err := p.Wait(); err != nil {
+			return fmt.Errorf("node %d exited uncleanly: %w", i, err)
+		}
+	}
+	procs = nil
+	fmt.Println("netdemo: all daemons exited cleanly")
+
+	fmt.Println("netdemo: running the simulated twin (calibrated 1996 Paragon costs)...")
+	simRes, err := dsm.RunSimulated(nodes, ops)
+	if err != nil {
+		return fmt.Errorf("simulated twin: %w", err)
+	}
+
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "operation\treal (TCP localhost)\tsimulated (Paragon '96)")
+	for i, op := range ops {
+		fmt.Fprintf(tw, "%s\t%v\t%v\n", op.Label, realLat[i].Round(time.Microsecond), simRes.PerOp[i])
+	}
+	tw.Flush()
+
+	fmt.Println()
+	fmt.Printf("protocol counters (summed over nodes), real vs simulated:\n")
+	for _, k := range []string{"faults", "invalidations", "msgs", "nacks"} {
+		marker := ""
+		if realCtrs[k] != simRes.Counters[k] {
+			marker = "   <-- MISMATCH"
+		}
+		fmt.Printf("  %-14s real %5d   sim %5d%s\n", k, realCtrs[k], simRes.Counters[k], marker)
+	}
+	for _, k := range []string{"faults", "invalidations", "msgs", "nacks"} {
+		if realCtrs[k] != simRes.Counters[k] {
+			return fmt.Errorf("counter %q diverged: real %d, simulated %d", k, realCtrs[k], simRes.Counters[k])
+		}
+	}
+	fmt.Println("netdemo: real mesh and simulator agree on every protocol counter")
+	return nil
+}

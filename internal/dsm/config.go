@@ -1,0 +1,102 @@
+// Package dsm assembles one node of a *real* distributed-shared-memory
+// mesh: the same vm kernel, ASVM protocol runtime and pager the simulator
+// drives, re-hosted on the wall clock (internal/rt) and wired to its
+// peers over TCP (internal/xport/netx). It is the library behind
+// cmd/asvmd — a libdsm-style surface: Open a configured mesh node, then
+// Read/Write/Lock against the shared region while the ASVM protocol
+// resolves faults across processes.
+package dsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// NodeSpec locates one node of the mesh.
+type NodeSpec struct {
+	// ID is the node's ASVM identity (dense, 0..n-1, unique).
+	ID int `json:"id"`
+	// Xport is the address the node's netx transport listens on.
+	Xport string `json:"xport"`
+	// Ctrl is the address the node's control server listens on.
+	Ctrl string `json:"ctrl"`
+}
+
+// MeshConfig describes a whole mesh: every process loads the same config
+// and picks out its own NodeSpec by ID. One shared region for now — the
+// demo's scope; the protocol itself is multi-domain.
+type MeshConfig struct {
+	// Region names the shared memory object (reports only).
+	Region string `json:"region"`
+	// Pages is the region size.
+	Pages int64 `json:"pages"`
+	// Home is the node ID that speaks for the pager (the region's home).
+	Home int `json:"home"`
+	// Nodes lists every mesh member.
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// Validate checks the config is a coherent mesh description.
+func (c *MeshConfig) Validate() error {
+	if c.Pages <= 0 {
+		return fmt.Errorf("dsm: region needs a positive page count, have %d", c.Pages)
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("dsm: mesh has no nodes")
+	}
+	seen := make(map[int]bool)
+	homeOK := false
+	for _, n := range c.Nodes {
+		if n.ID < 0 {
+			return fmt.Errorf("dsm: negative node ID %d", n.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("dsm: duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		if n.ID == c.Home {
+			homeOK = true
+		}
+	}
+	if !homeOK {
+		return fmt.Errorf("dsm: home node %d is not in the mesh", c.Home)
+	}
+	return nil
+}
+
+// Node returns the spec for a node ID, or nil.
+func (c *MeshConfig) Node(id int) *NodeSpec {
+	for i := range c.Nodes {
+		if c.Nodes[i].ID == id {
+			return &c.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// LoadConfig reads and validates a mesh config file.
+func LoadConfig(path string) (*MeshConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c MeshConfig
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("dsm: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteFile marshals the config to a file (the demo orchestrator writes
+// one temp config all daemons share).
+func (c *MeshConfig) WriteFile(path string) error {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

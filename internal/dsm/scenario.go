@@ -1,0 +1,146 @@
+package dsm
+
+import (
+	"fmt"
+	"time"
+
+	"asvm/internal/machine"
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// A scenario is a fixed sequence of shared-memory operations run one at a
+// time, each drained before the next. Sequential-with-drain makes the
+// protocol's message schedule deterministic, so the same scenario run on
+// the real mesh and on the simulator must produce identical protocol
+// counters — that equality is what the loopback test pins, and what makes
+// the netdemo's real-vs-simulated latency table a like-for-like
+// comparison.
+
+// Op is one step of a scenario.
+type Op struct {
+	Label string  // for the latency report
+	Node  int     // node performing the op
+	Kind  string  // "read" or "write"
+	Addr  vm.Addr // address in the shared region
+	Val   uint64  // value to write
+	Want  uint64  // expected value (reads with Check)
+	Check bool    // verify a read's value
+}
+
+// DemoScenario is the Table-1-style walk the netdemo runs: for each of a
+// few pages, a first-touch write at one node (zero-fill fault at the
+// home), a read on every other node (read faults, building up a reader
+// list), a write at the last node (ownership movement plus an
+// invalidation round over the remaining readers), and a re-read at node
+// 0 (read fault from the new owner). Every fault class in the paper's
+// microbenchmark appears, on every participating node.
+func DemoScenario(nodes int) []Op {
+	const pages = 4
+	var ops []Op
+	writer := 1 % nodes
+	far := nodes - 1
+	for i := 0; i < pages; i++ {
+		addr := vm.Addr(i*vm.PageSize + 8)
+		v := uint64(1000*(i+1) + 1)
+		ops = append(ops, Op{
+			Label: fmt.Sprintf("p%d first write @n%d (zero-fill)", i, writer),
+			Node:  writer, Kind: "write", Addr: addr, Val: v})
+		for j := 0; j < nodes; j++ {
+			if j == writer {
+				continue
+			}
+			ops = append(ops, Op{
+				Label: fmt.Sprintf("p%d remote read @n%d (read fault)", i, j),
+				Node:  j, Kind: "read", Addr: addr, Want: v, Check: true})
+		}
+		ops = append(ops,
+			Op{Label: fmt.Sprintf("p%d remote write @n%d (invalidate)", i, far),
+				Node: far, Kind: "write", Addr: addr, Val: v + 1},
+			Op{Label: fmt.Sprintf("p%d re-read @n%d (read fault)", i, 0),
+				Node: 0, Kind: "read", Addr: addr, Want: v + 1, Check: true},
+		)
+	}
+	return ops
+}
+
+// ScenarioPages returns the page count a scenario touches (region size
+// for configs built around it).
+func ScenarioPages(ops []Op) int64 {
+	var max vm.Addr
+	for _, op := range ops {
+		if op.Addr > max {
+			max = op.Addr
+		}
+	}
+	return int64(max/vm.PageSize) + 1
+}
+
+// SimResult is the deterministic twin's outcome: per-op virtual
+// latencies, and the mesh-wide protocol counters.
+type SimResult struct {
+	PerOp    []time.Duration
+	Counters map[string]int64
+}
+
+// RunSimulated executes the scenario on the simulator — the identical
+// protocol code on the identical op schedule, with modelled 1996 Paragon
+// costs instead of real sockets. machine.DefaultParams calibration, data
+// tracked so read checks are real.
+func RunSimulated(nodes int, ops []Op) (*SimResult, error) {
+	p := machine.DefaultParams(nodes)
+	p.TrackData = true
+	c := machine.New(p)
+
+	nodeIdxs := make([]int, nodes)
+	for i := range nodeIdxs {
+		nodeIdxs[i] = i
+	}
+	r := c.NewSharedRegion("netdemo", vm.PageIdx(ScenarioPages(ops)), nodeIdxs)
+	tasks := make([]*vm.Task, nodes)
+	for i := range tasks {
+		t, err := c.TaskOn(i, fmt.Sprintf("dsm%d", i), r, 0)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+
+	res := &SimResult{Counters: make(map[string]int64)}
+	for _, op := range ops {
+		op := op
+		var lat time.Duration
+		var opErr error
+		c.Spawn(op.Label, func(pr *sim.Proc) {
+			start := pr.Now()
+			switch op.Kind {
+			case "write":
+				opErr = tasks[op.Node].WriteU64(pr, op.Addr, op.Val)
+			case "read":
+				v, err := tasks[op.Node].ReadU64(pr, op.Addr)
+				if err == nil && op.Check && v != op.Want {
+					err = fmt.Errorf("read %d, want %d", v, op.Want)
+				}
+				opErr = err
+			default:
+				opErr = fmt.Errorf("unknown op kind %q", op.Kind)
+			}
+			lat = time.Duration(pr.Now() - start)
+		})
+		c.Run() // drain: the next op starts from protocol quiescence
+		if opErr != nil {
+			return nil, fmt.Errorf("simulated %s: %w", op.Label, opErr)
+		}
+		res.PerOp = append(res.PerOp, lat)
+	}
+
+	for i := 0; i < nodes; i++ {
+		for _, name := range c.Kerns[i].Ctr.Names() {
+			res.Counters[name] += c.Kerns[i].Ctr.Get(name)
+		}
+		for _, name := range c.ASVMs[i].Ctr.Names() {
+			res.Counters[name] += c.ASVMs[i].Ctr.Get(name)
+		}
+	}
+	return res, nil
+}

@@ -400,6 +400,24 @@ func (e *Engine) flushBatch() {
 	e.batchPos = 0
 }
 
+// NextEventAt reports the virtual time of the earliest queued event, or
+// false when no events are queued. Only meaningful between runs (it does
+// not look inside a dispatch batch mid-run) and only on a serial engine —
+// the wall-clock runtime loop uses it to decide how long to sleep before
+// the next timer is due.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if e.par != nil && !e.par.retired {
+		panic("sim: NextEventAt on a parallel engine")
+	}
+	if e.batchPos < len(e.batch) {
+		return e.now, true
+	}
+	if e.q.len() == 0 {
+		return 0, false
+	}
+	return e.q.ev[0].at, true
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int {
 	n := e.q.len() + len(e.batch) - e.batchPos

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"asvm/internal/xport"
+)
+
+// A delay-heavy plan spanning the default 4ms RTO: with the calibrated
+// timeout some delayed messages race their own retransmissions; with a
+// much longer RTO they do not.
+func slowPlan() xport.FaultPlan {
+	return xport.FaultPlan{Default: xport.Rates{
+		Delay:    0.5,
+		DelayMin: 2 * time.Millisecond,
+		DelayMax: 20 * time.Millisecond,
+	}}
+}
+
+// The ReliableCfg knob: its zero value must leave chaos results
+// bit-identical (the sweeps' published numbers do not move), and a tuned
+// RTO must actually reach the reliability layer and change its recovery
+// behavior.
+func TestReliableCfgTunesRecovery(t *testing.T) {
+	defer func() { ReliableCfg = xport.ReliableConfig{} }()
+
+	sc := Table1Scenarios()[0]
+
+	ReliableCfg = xport.ReliableConfig{}
+	base, err := ChaosFault(sc, 1, slowPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ChaosFault(sc, 1, slowPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatalf("zero ReliableCfg not deterministic:\n%+v\n%+v", base, again)
+	}
+	if base.Retransmits == 0 {
+		t.Fatalf("plan produced no retransmits under the default 4ms RTO; the test exercises nothing: %+v", base)
+	}
+
+	// An RTO past the plan's maximum delay: no delayed message can race
+	// its own retransmission, so recovery work must drop.
+	ReliableCfg = xport.ReliableConfig{RTO: 100 * time.Millisecond}
+	slow, err := ChaosFault(sc, 1, slowPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Retransmits >= base.Retransmits {
+		t.Fatalf("100ms RTO retransmits (%d) not below default's (%d) — the knob did not reach the reliability layer",
+			slow.Retransmits, base.Retransmits)
+	}
+}

@@ -1,0 +1,150 @@
+// Package netx is the real-transport backend: an xport.Transport that
+// carries protocol messages between OS processes over TCP sockets (or any
+// net.Conn, e.g. net.Pipe in tests) instead of simulated delivery events.
+// The protocol stacks — ASVM's state machines, the pager, the forwarding
+// fallback chain — run against it unchanged: messages are serialized with
+// the codec each protocol registered in the xport wire-codec registry,
+// and every transport-level failure (unknown peer, dead peer, remote
+// process with no handler) surfaces as the same xport.Nack bounce the
+// simulated transports produce, so the fallback logic that survives
+// crashed nodes in simulation survives killed processes on a real mesh.
+//
+// What netx deliberately does NOT provide is the simulator's determinism:
+// real sockets deliver in real order. The deterministic twin of every
+// experiment stays on the simulated transports; netx is for running the
+// same protocol code where the latencies are measured, not modelled.
+package netx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"asvm/internal/mesh"
+)
+
+// wireVersion is the frame-format generation. The hello exchange rejects
+// mismatched peers instead of misparsing them; bump it on any change to
+// the frame layout below or to a registered message codec's golden frames.
+const wireVersion = 1
+
+// Frame kinds. Every frame on a connection is a u32 little-endian length
+// prefix followed by a body starting with one of these bytes.
+const (
+	frameHello  = 1 // u16 version | u32 sender node
+	frameMsg    = 2 // routed protocol message (layout below)
+	frameBounce = 3 // a frameMsg echoed back undeliverable: same layout
+)
+
+// A msg/bounce body after the kind byte:
+//
+//	u32 src | u32 dst | u16 proto-name length | proto name bytes |
+//	u32 payloadBytes | u32 encoded-message length | encoded message
+//
+// Proto *names* travel on the wire, never ProtoIDs: IDs are process-local
+// interning order, so each process maps the name back through its own
+// registry. payloadBytes is the sender's accounted protocol payload,
+// carried for byte statistics (netx models no costs).
+
+// defaultMaxFrame bounds a frame body. A page is 8 KB; headers are tens of
+// bytes; 1 MiB is generous headroom and a hard stop against a corrupt
+// length prefix allocating gigabytes.
+const defaultMaxFrame = 1 << 20
+
+// wireMsg is a parsed msg/bounce frame body.
+type wireMsg struct {
+	kind         byte
+	src, dst     mesh.NodeID
+	protoName    string
+	payloadBytes int
+	encoded      []byte
+}
+
+// appendFrame wraps body in a length prefix and appends to dst.
+func appendFrame(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// appendHello appends a complete hello frame.
+func appendHello(dst []byte, self mesh.NodeID) []byte {
+	var body [7]byte
+	body[0] = frameHello
+	binary.LittleEndian.PutUint16(body[1:3], wireVersion)
+	binary.LittleEndian.PutUint32(body[3:7], uint32(int32(self)))
+	return appendFrame(dst, body[:])
+}
+
+// appendMsgBody appends a msg/bounce frame *body* (no length prefix) to
+// dst. The body is built once at Send time and reused verbatim if the
+// receiver bounces it.
+func appendMsgBody(dst []byte, kind byte, src, dstNode mesh.NodeID, protoName string, payloadBytes int, encoded []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(src)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(dstNode)))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(protoName)))
+	dst = append(dst, protoName...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadBytes))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(encoded)))
+	return append(dst, encoded...)
+}
+
+// parseMsgBody parses a msg/bounce frame body (kind byte included).
+func parseMsgBody(body []byte) (wireMsg, error) {
+	var m wireMsg
+	if len(body) < 1+4+4+2 {
+		return m, fmt.Errorf("netx: short message frame (%d bytes)", len(body))
+	}
+	m.kind = body[0]
+	m.src = mesh.NodeID(int32(binary.LittleEndian.Uint32(body[1:5])))
+	m.dst = mesh.NodeID(int32(binary.LittleEndian.Uint32(body[5:9])))
+	nameLen := int(binary.LittleEndian.Uint16(body[9:11]))
+	rest := body[11:]
+	if len(rest) < nameLen+8 {
+		return m, fmt.Errorf("netx: truncated message frame")
+	}
+	m.protoName = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	m.payloadBytes = int(binary.LittleEndian.Uint32(rest[0:4]))
+	encLen := int(binary.LittleEndian.Uint32(rest[4:8]))
+	rest = rest[8:]
+	if len(rest) != encLen {
+		return m, fmt.Errorf("netx: message frame length mismatch (have %d, header says %d)", len(rest), encLen)
+	}
+	m.encoded = rest
+	return m, nil
+}
+
+// readFrame reads one length-prefixed frame body from r. maxFrame guards
+// the allocation implied by the length prefix.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("netx: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// readHello reads and validates the hello frame that must open every
+// connection, returning the peer's claimed node ID.
+func readHello(r io.Reader, maxFrame int) (mesh.NodeID, error) {
+	body, err := readFrame(r, maxFrame)
+	if err != nil {
+		return 0, fmt.Errorf("netx: reading hello: %w", err)
+	}
+	if len(body) != 7 || body[0] != frameHello {
+		return 0, fmt.Errorf("netx: connection did not open with a hello frame")
+	}
+	if v := binary.LittleEndian.Uint16(body[1:3]); v != wireVersion {
+		return 0, fmt.Errorf("netx: peer speaks wire version %d, this build speaks %d", v, wireVersion)
+	}
+	return mesh.NodeID(int32(binary.LittleEndian.Uint32(body[3:7]))), nil
+}

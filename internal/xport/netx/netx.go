@@ -1,0 +1,587 @@
+package netx
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asvm/internal/mesh"
+	"asvm/internal/xport"
+)
+
+// Exec serializes work onto the goroutine that owns the protocol engine.
+// rt.Loop implements it; socket readers and writer goroutines never touch
+// protocol state directly — every delivery and every Nack goes through
+// Inject, so the protocol core stays single-threaded exactly as it is
+// under the simulator.
+type Exec interface {
+	Inject(fn func())
+}
+
+// Config assembles a Transport for one node of a mesh.
+type Config struct {
+	// Self is this process's node identity; the only node handlers may be
+	// registered for.
+	Self mesh.NodeID
+
+	// Peers maps every *other* node to the address its process listens
+	// on. A destination absent from the map bounces immediately.
+	Peers map[mesh.NodeID]string
+
+	// Listen is the address to accept inbound connections on (":0" picks
+	// an ephemeral port; empty runs send-only, for tests that wire
+	// connections by hand with ServeConn).
+	Listen string
+
+	// Dial overrides outbound connection establishment (tests substitute
+	// net.Pipe). Nil means TCP with DialTimeout.
+	Dial func(addr string) (net.Conn, error)
+
+	// DialTimeout bounds a TCP dial attempt. Zero means 2s.
+	DialTimeout time.Duration
+
+	// RedialCooldown is how long a peer stays marked down after a failed
+	// dial or broken write; sends during the cooldown bounce immediately
+	// instead of blocking on dials that will fail. Zero means 1s.
+	RedialCooldown time.Duration
+
+	// MaxFrame bounds inbound frame bodies. Zero means 1 MiB.
+	MaxFrame int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.DialTimeout == 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.RedialCooldown == 0 {
+		out.RedialCooldown = time.Second
+	}
+	if out.MaxFrame == 0 {
+		out.MaxFrame = defaultMaxFrame
+	}
+	if out.Dial == nil {
+		timeout := out.DialTimeout
+		out.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return out
+}
+
+// Stats counts transport-level traffic and failures. All fields are
+// totals since Start; read a coherent snapshot with Transport.Stats.
+type Stats struct {
+	FramesSent, FramesRecv uint64
+	BytesSent, BytesRecv   uint64
+	BouncesSent            uint64 // inbound messages we echoed back undeliverable
+	BouncesRecv            uint64 // our messages a peer echoed back
+	LocalNacks             uint64 // sends that bounced without reaching a socket
+	Dials, DialFailures    uint64
+	DecodeErrors           uint64
+}
+
+// Transport is the TCP-backed xport.Transport. One per process; it speaks
+// for exactly one node (Config.Self).
+type Transport struct {
+	cfg  Config
+	exec Exec
+
+	mu       sync.RWMutex
+	handlers map[xport.ProtoID]xport.Handler
+	closed   bool
+
+	peers map[mesh.NodeID]*peerLink
+
+	ln      net.Listener
+	inbound sync.Map // net.Conn -> struct{}
+	wg      sync.WaitGroup
+
+	outstanding atomic.Int64
+
+	st struct {
+		framesSent, framesRecv atomic.Uint64
+		bytesSent, bytesRecv   atomic.Uint64
+		bouncesSent            atomic.Uint64
+		bouncesRecv            atomic.Uint64
+		localNacks             atomic.Uint64
+		dials, dialFailures    atomic.Uint64
+		decodeErrors           atomic.Uint64
+	}
+}
+
+// outFrame is one queued outbound message: the prebuilt frame body plus
+// what a local Nack needs if the peer turns out to be unreachable.
+type outFrame struct {
+	body  []byte
+	proto xport.ProtoID
+	dst   mesh.NodeID
+	m     interface{}
+}
+
+// peerLink is the outbound half of one peering: a queue drained by a
+// dedicated writer goroutine that owns the connection and its lifecycle.
+type peerLink struct {
+	id   mesh.NodeID
+	addr string
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         []outFrame
+	closed    bool
+	downUntil time.Time
+}
+
+// New builds a Transport. Call Start to begin accepting inbound
+// connections; outbound writers start lazily on first send.
+func New(exec Exec, cfg Config) *Transport {
+	t := &Transport{
+		cfg:      cfg.withDefaults(),
+		exec:     exec,
+		handlers: make(map[xport.ProtoID]xport.Handler),
+		peers:    make(map[mesh.NodeID]*peerLink),
+	}
+	for id, addr := range t.cfg.Peers {
+		t.AddPeer(id, addr)
+	}
+	return t
+}
+
+// AddPeer installs (or replaces the address of) a peer after
+// construction — daemons learn each other's ephemeral ports only once
+// every listener is up. Replacing an existing peer's address takes effect
+// on its next (re)dial.
+func (t *Transport) AddPeer(id mesh.NodeID, addr string) {
+	if id == t.cfg.Self {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if p, ok := t.peers[id]; ok {
+		p.mu.Lock()
+		p.addr = addr
+		p.mu.Unlock()
+		return
+	}
+	p := &peerLink{id: id, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	t.peers[id] = p
+	t.wg.Add(1)
+	go t.writer(p)
+}
+
+func (t *Transport) peer(id mesh.NodeID) *peerLink {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.peers[id]
+}
+
+// Name implements xport.Transport.
+func (t *Transport) Name() string { return "netx" }
+
+// Register implements xport.Transport. netx speaks for one node, so n
+// must be Self.
+func (t *Transport) Register(n mesh.NodeID, proto xport.ProtoID, h xport.Handler) {
+	if n != t.cfg.Self {
+		panic(fmt.Sprintf("netx: Register for node %d on node %d's transport", n, t.cfg.Self))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.handlers[proto]; dup {
+		panic(fmt.Sprintf("netx: duplicate handler for (%d, %v)", n, proto))
+	}
+	t.handlers[proto] = h
+}
+
+func (t *Transport) handler(proto xport.ProtoID) xport.Handler {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.handlers[proto]
+}
+
+// Send implements xport.Transport. Local destinations deliver through the
+// exec without touching a codec; remote destinations are encoded here, on
+// the caller's goroutine, and queued to the peer's writer. Every failure
+// mode — unknown peer, dead peer, remote bounce — resolves to the
+// standard Nack on the sender's own handler, so the protocol's forwarding
+// fallback chain works against killed processes exactly as it does
+// against crashed simulated nodes.
+func (t *Transport) Send(src, dst mesh.NodeID, proto xport.ProtoID, payloadBytes int, m interface{}) {
+	if src != t.cfg.Self {
+		panic(fmt.Sprintf("netx: Send from node %d on node %d's transport", src, t.cfg.Self))
+	}
+	if dst == t.cfg.Self {
+		h := t.handler(proto)
+		if h == nil {
+			// Sending to yourself on an unregistered channel: bounce, and
+			// with no handler to bounce to either, that is the contract's
+			// panic case.
+			panic(fmt.Sprintf("netx: message to unregistered (%d, %v) and sender has no handler", dst, proto))
+		}
+		t.outstanding.Add(1)
+		t.exec.Inject(func() {
+			t.outstanding.Add(-1)
+			h(src, m)
+		})
+		return
+	}
+
+	p := t.peer(dst)
+	if p == nil {
+		t.nackLocal(dst, proto, m)
+		return
+	}
+
+	codec := xport.LookupWireCodec(proto.Name())
+	if codec == nil {
+		panic(fmt.Sprintf("netx: no wire codec registered for channel %q", proto.Name()))
+	}
+	encoded, err := codec.AppendMsg(nil, m)
+	if err != nil {
+		panic(fmt.Sprintf("netx: encoding %T for channel %q: %v", m, proto.Name(), err))
+	}
+	body := appendMsgBody(nil, frameMsg, src, dst, proto.Name(), payloadBytes, encoded)
+
+	t.outstanding.Add(1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.outstanding.Add(-1)
+		t.nackLocal(dst, proto, m)
+		return
+	}
+	p.q = append(p.q, outFrame{body: body, proto: proto, dst: dst, m: m})
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// nackLocal bounces m back to the sender's own handler, per the Transport
+// contract. Panics only if the sender has no handler to tell.
+func (t *Transport) nackLocal(dst mesh.NodeID, proto xport.ProtoID, m interface{}) {
+	h := t.handler(proto)
+	if h == nil {
+		panic(fmt.Sprintf("netx: message to unreachable (%d, %v) and sender has no handler", dst, proto))
+	}
+	t.st.localNacks.Add(1)
+	t.outstanding.Add(1)
+	t.exec.Inject(func() {
+		t.outstanding.Add(-1)
+		h(dst, xport.Nack{Dst: dst, Proto: proto, Msg: m})
+	})
+}
+
+// writer drains one peer's queue onto its connection, dialing lazily and
+// bouncing everything queued whenever the peer proves unreachable.
+func (t *Transport) writer(p *peerLink) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	var wbuf []byte
+	for {
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			// Bounce whatever is still queued so no message silently
+			// vanishes at shutdown.
+			batch := p.q
+			p.q = nil
+			p.mu.Unlock()
+			t.failBatch(batch)
+			return
+		}
+		batch := p.q
+		p.q = nil
+		down := time.Now().Before(p.downUntil)
+		addr := p.addr
+		p.mu.Unlock()
+
+		if down {
+			t.failBatch(batch)
+			continue
+		}
+		if conn == nil {
+			t.st.dials.Add(1)
+			c, err := t.cfg.Dial(addr)
+			if err != nil {
+				t.st.dialFailures.Add(1)
+				t.markDown(p)
+				t.failBatch(batch)
+				continue
+			}
+			hello := appendHello(nil, t.cfg.Self)
+			if _, err := c.Write(hello); err != nil {
+				c.Close()
+				t.markDown(p)
+				t.failBatch(batch)
+				continue
+			}
+			conn = c
+			// Bounces for our messages come back on the connection they
+			// went out on; a dedicated reader turns them into local Nacks.
+			// It dies with the connection.
+			t.wg.Add(1)
+			go t.readBounces(c)
+		}
+		for i, f := range batch {
+			wbuf = appendFrame(wbuf[:0], f.body)
+			if _, err := conn.Write(wbuf); err != nil {
+				conn.Close()
+				conn = nil
+				t.markDown(p)
+				t.failBatch(batch[i:])
+				break
+			}
+			t.st.framesSent.Add(1)
+			t.st.bytesSent.Add(uint64(len(wbuf)))
+			t.outstanding.Add(-1)
+		}
+	}
+}
+
+func (t *Transport) markDown(p *peerLink) {
+	p.mu.Lock()
+	p.downUntil = time.Now().Add(t.cfg.RedialCooldown)
+	p.mu.Unlock()
+}
+
+// failBatch turns queued frames into local Nacks (peer unreachable).
+func (t *Transport) failBatch(batch []outFrame) {
+	for _, f := range batch {
+		t.outstanding.Add(-1)
+		t.nackLocal(f.dst, f.proto, f.m)
+	}
+}
+
+// Start begins accepting inbound connections on cfg.Listen. It is a
+// no-op for send-only configurations (empty Listen).
+func (t *Transport) Start() error {
+	if t.cfg.Listen == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", t.cfg.Listen)
+	if err != nil {
+		return err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.ServeConn(c)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the inbound listen address (useful with ":0"), or nil when
+// not listening.
+func (t *Transport) Addr() net.Addr {
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// ServeConn runs the inbound half of one connection to completion: hello,
+// then a stream of msg/bounce frames. Exported so tests can wire meshes
+// out of net.Pipe instead of sockets. Closes c before returning.
+func (t *Transport) ServeConn(c net.Conn) {
+	defer c.Close()
+	t.inbound.Store(c, struct{}{})
+	defer t.inbound.Delete(c)
+
+	if _, err := readHello(c, t.cfg.MaxFrame); err != nil {
+		return
+	}
+	var bounceBuf []byte
+	for {
+		body, err := readFrame(c, t.cfg.MaxFrame)
+		if err != nil {
+			return // EOF or broken conn: peer's problem to retry
+		}
+		t.st.framesRecv.Add(1)
+		t.st.bytesRecv.Add(uint64(4 + len(body)))
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case frameMsg:
+			wm, err := parseMsgBody(body)
+			if err != nil {
+				t.st.decodeErrors.Add(1)
+				return // framing is broken; nothing downstream is trustworthy
+			}
+			if !t.deliver(wm) {
+				// Undeliverable here: echo the frame back so the sender's
+				// transport raises the standard Nack. TCP is full duplex;
+				// this reader goroutine is the connection's only writer.
+				t.st.bouncesSent.Add(1)
+				wm.kind = frameBounce
+				body[0] = frameBounce
+				bounceBuf = appendFrame(bounceBuf[:0], body)
+				if _, err := c.Write(bounceBuf); err != nil {
+					return
+				}
+			}
+		case frameBounce:
+			t.st.bouncesRecv.Add(1)
+			wm, err := parseMsgBody(body)
+			if err != nil {
+				t.st.decodeErrors.Add(1)
+				return
+			}
+			t.bounceToSender(wm)
+		default:
+			t.st.decodeErrors.Add(1)
+			return
+		}
+	}
+}
+
+// deliver decodes an inbound message and hands it to the registered
+// handler via the exec. Returns false when this process cannot accept it
+// (wrong destination, no handler, no codec) — the caller bounces.
+func (t *Transport) deliver(wm wireMsg) bool {
+	if wm.dst != t.cfg.Self {
+		return false
+	}
+	proto := xport.RegisterProto(wm.protoName) // idempotent name->ID mapping
+	h := t.handler(proto)
+	if h == nil {
+		return false
+	}
+	codec := xport.LookupWireCodec(wm.protoName)
+	if codec == nil {
+		return false
+	}
+	m, err := codec.DecodeMsg(wm.encoded)
+	if err != nil {
+		t.st.decodeErrors.Add(1)
+		return false
+	}
+	src := wm.src
+	t.outstanding.Add(1)
+	t.exec.Inject(func() {
+		t.outstanding.Add(-1)
+		h(src, m)
+	})
+	return true
+}
+
+// readBounces drains the inbound half of an *outbound* connection, where
+// the only legitimate traffic is bounce frames for messages this process
+// sent. It exits when the connection dies.
+func (t *Transport) readBounces(c net.Conn) {
+	defer t.wg.Done()
+	for {
+		body, err := readFrame(c, t.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		if len(body) == 0 || body[0] != frameBounce {
+			continue
+		}
+		wm, err := parseMsgBody(body)
+		if err != nil {
+			t.st.decodeErrors.Add(1)
+			return
+		}
+		t.st.bouncesRecv.Add(1)
+		t.bounceToSender(wm)
+	}
+}
+
+// bounceToSender turns a bounce frame for one of our own messages back
+// into the standard local Nack.
+func (t *Transport) bounceToSender(wm wireMsg) {
+	if wm.src != t.cfg.Self {
+		return // not ours; drop
+	}
+	proto := xport.RegisterProto(wm.protoName)
+	codec := xport.LookupWireCodec(wm.protoName)
+	if codec == nil {
+		return
+	}
+	m, err := codec.DecodeMsg(wm.encoded)
+	if err != nil {
+		t.st.decodeErrors.Add(1)
+		return
+	}
+	t.nackLocal(wm.dst, proto, m)
+}
+
+// Outstanding reports messages accepted by Send whose fate is not yet
+// settled: queued to a writer, or injected but not yet executed. Zero
+// means the transport itself holds nothing — frames already on the wire
+// are invisible to both endpoints, which is why drain detection polls for
+// a stability window rather than trusting one zero reading.
+func (t *Transport) Outstanding() int { return int(t.outstanding.Load()) }
+
+// Stats returns a snapshot of the traffic counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		FramesSent:   t.st.framesSent.Load(),
+		FramesRecv:   t.st.framesRecv.Load(),
+		BytesSent:    t.st.bytesSent.Load(),
+		BytesRecv:    t.st.bytesRecv.Load(),
+		BouncesSent:  t.st.bouncesSent.Load(),
+		BouncesRecv:  t.st.bouncesRecv.Load(),
+		LocalNacks:   t.st.localNacks.Load(),
+		Dials:        t.st.dials.Load(),
+		DialFailures: t.st.dialFailures.Load(),
+		DecodeErrors: t.st.decodeErrors.Load(),
+	}
+}
+
+// Close shuts the transport down: the listener stops, inbound connections
+// close, writer goroutines bounce their queues and exit. Close waits for
+// all of them.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	peers := make([]*peerLink, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
+	t.inbound.Range(func(k, _ interface{}) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	t.wg.Wait()
+}
+
+var _ xport.Transport = (*Transport)(nil)
