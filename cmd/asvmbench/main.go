@@ -15,6 +15,7 @@
 //	asvmbench -chaos                 # degradation sweep under message faults
 //	asvmbench -crash                 # degradation sweep under node crashes
 //	asvmbench -scale                 # 64-1024 node zipf scale-out sweep
+//	asvmbench -exp kv                # portable kv workload (netdemo's sim twin)
 //	asvmbench -explore               # schedule-exploration smoke (asvmcheck)
 //	asvmbench -workers 1             # serial cells (for profiling a cell)
 //	asvmbench -json BENCH.json       # machine-readable perf snapshot only
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|crash|scale|all")
+		which   = flag.String("exp", "all", "experiment: table1|fig10|fig11|table2|table3|dist|ablations|chaos|crash|scale|kv|all")
 		chaos   = flag.Bool("chaos", false, "run the chaos degradation sweep (same as -exp chaos)")
 		crash   = flag.Bool("crash", false, "run the crash-stop degradation sweep (same as -exp crash)")
 		scale   = flag.Bool("scale", false, "run the 64-1024 node scale-out sweep (same as -exp scale)")
@@ -208,6 +209,11 @@ func main() {
 	// paper's evaluation envelope, so it never lands in results_full.txt.
 	if *which == "scale" {
 		run("scale", func() error { return exp.Scale(os.Stdout, *seed, *workers, *quick) })
+	}
+	// Opt-in: the kv workload demonstrates the portable application layer
+	// (the simulated twin of `netdemo -workload kv`), not a paper table.
+	if *which == "kv" {
+		run("kv", func() error { return exp.KV(os.Stdout, *seed, *workers, *quick) })
 	}
 	if all || *which == "ablations" {
 		run("ablation-forwarding", func() error { return exp.AblationForwarding(os.Stdout, 8, 6, *seed, *workers) })

@@ -15,9 +15,12 @@
 //	  ]
 //	}
 //
-// The daemon serves shared-memory operations (read/write/lock) over the
-// control address until it receives a shutdown request or a signal. See
-// examples/netdemo for an orchestrated multi-process run.
+// The daemon serves shared-memory operations (read/write/lock) plus the
+// quiet/counters/stats introspection ops over the control address until
+// it receives a shutdown request or a signal. Orchestrators drive a mesh
+// of daemons through the portable application layer (internal/app with
+// app/dsmhost wrapping the control clients); see examples/netdemo for an
+// orchestrated multi-process run of the table1 and kv workloads.
 package main
 
 import (

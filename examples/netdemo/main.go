@@ -1,12 +1,15 @@
 // netdemo runs the ASVM protocol across real OS processes. It spawns one
-// asvmd daemon per node on localhost (2-4 nodes), drives the Table-1
-// demo scenario through their control ports — first-touch writes, remote
-// read faults, invalidating writes, re-reads — then drains the mesh,
-// shuts the daemons down, and prints each operation's measured wall-clock
-// fault latency next to the latency the deterministic simulator predicts
-// for the identical scenario on 1996 Paragon hardware.
+// asvmd daemon per node on localhost (2-4 nodes) and drives a registered
+// portable workload (app.Workload) through their control ports — the
+// Table-1 walk by default, or the kv store with -workload kv — then
+// drains the mesh, shuts the daemons down, and prints each operation's
+// measured wall-clock fault latency next to the latency the deterministic
+// simulator predicts for the identical op stream on 1996 Paragon
+// hardware. Both runs go through the same app.Run on the same ops: only
+// the app.Env differs (dsmhost over TCP vs simhost over the engine).
 //
 //	go run ./examples/netdemo -nodes 3
+//	go run ./examples/netdemo -nodes 3 -workload kv
 //	go run ./examples/netdemo -nodes 2 -asvmd ./bin/asvmd
 //
 // Without -asvmd the demo re-executes itself in daemon mode, so a plain
@@ -22,15 +25,22 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/dsmhost"
+	"asvm/internal/app/simhost"
 	"asvm/internal/dsm"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 3, "mesh size (2-4 processes)")
+	workload := flag.String("workload", "table1",
+		fmt.Sprintf("registered workload to run (%s)", strings.Join(app.Names(), "|")))
+	seed := flag.Uint64("seed", 1, "workload generator seed")
 	asvmd := flag.String("asvmd", "", "path to an asvmd binary (default: re-exec this binary in -serve mode)")
 	serve := flag.Bool("serve", false, "internal: run as a mesh daemon instead of the orchestrator")
 	configPath := flag.String("config", "", "internal: mesh config for -serve")
@@ -44,7 +54,7 @@ func main() {
 	if *nodes < 2 || *nodes > 4 {
 		log.Fatalf("netdemo: -nodes must be 2-4, have %d", *nodes)
 	}
-	if err := orchestrate(*nodes, *asvmd); err != nil {
+	if err := orchestrate(*nodes, *workload, *seed, *asvmd); err != nil {
 		log.Fatalf("netdemo: %v", err)
 	}
 }
@@ -90,10 +100,22 @@ func freeAddr() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-func orchestrate(nodes int, asvmdPath string) error {
-	ops := dsm.DemoScenario(nodes)
+// parityCounters is the set the demo asserts to exact equality between
+// the real mesh and the simulated twin.
+var parityCounters = []string{
+	"faults", "invalidations", "msgs", "nacks",
+	"proto_transitions", "ring_scan_hops",
+}
 
-	cfg := &dsm.MeshConfig{Region: "netdemo", Pages: dsm.ScenarioPages(ops), Home: 0}
+func orchestrate(nodes int, workload string, seed uint64, asvmdPath string) error {
+	wl, ok := app.Lookup(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (have %s)", workload, strings.Join(app.Names(), ", "))
+	}
+	ops := wl.Ops(nodes, seed)
+	pages := wl.Pages(nodes)
+
+	cfg := &dsm.MeshConfig{Region: "netdemo", Pages: pages, Home: 0}
 	for i := 0; i < nodes; i++ {
 		xp, err := freeAddr()
 		if err != nil {
@@ -145,8 +167,8 @@ func orchestrate(nodes int, asvmdPath string) error {
 		}
 		procs = append(procs, cmd)
 	}
-	fmt.Printf("netdemo: %d asvmd processes up, region %q (%d pages), home node %d\n",
-		nodes, cfg.Region, cfg.Pages, cfg.Home)
+	fmt.Printf("netdemo: %d asvmd processes up, region %q (%d pages), home node %d, workload %q (%d ops)\n",
+		nodes, cfg.Region, cfg.Pages, cfg.Home, workload, len(ops))
 
 	var clients []*dsm.Client
 	defer func() {
@@ -162,47 +184,26 @@ func orchestrate(nodes int, asvmdPath string) error {
 		clients = append(clients, c)
 	}
 
-	// The scenario, one op at a time, drained between ops — the schedule
+	// The op stream, one op at a time, drained between ops — the schedule
 	// under which the simulator's twin run takes identical protocol
 	// decisions, making the latency table like-for-like.
-	realLat := make([]time.Duration, len(ops))
-	for i, op := range ops {
-		switch op.Kind {
-		case "write":
-			lat, err := clients[op.Node].Write(op.Addr, op.Val)
-			if err != nil {
-				return fmt.Errorf("%s: %w", op.Label, err)
-			}
-			realLat[i] = lat
-		case "read":
-			v, lat, err := clients[op.Node].Read(op.Addr)
-			if err != nil {
-				return fmt.Errorf("%s: %w", op.Label, err)
-			}
-			if op.Check && v != op.Want {
-				return fmt.Errorf("%s: read %d, want %d", op.Label, v, op.Want)
-			}
-			realLat[i] = lat
-		}
-		if err := dsm.DrainMesh(clients, 3, 15*time.Second); err != nil {
-			return fmt.Errorf("after %s: %w", op.Label, err)
-		}
-	}
-
-	if err := dsm.DrainMesh(clients, 5, 15*time.Second); err != nil {
+	env := dsmhost.FromClients(clients)
+	env.DrainTimeout = 15 * time.Second
+	realRes, err := app.Run(env, ops)
+	if err != nil {
 		return err
 	}
 	fmt.Println("netdemo: clean drain — mesh quiescent, all values verified")
 
-	realCtrs := make(map[string]int64)
-	for _, c := range clients {
-		m, err := c.Counters()
+	// Per-node transport/protocol ledger over the stats control op.
+	fmt.Println("netdemo: per-node ledger (frames / bytes / nacks / proto transitions / ring scan hops):")
+	for i, c := range clients {
+		st, err := c.Stats()
 		if err != nil {
-			return err
+			return fmt.Errorf("node %d stats: %w", i, err)
 		}
-		for k, v := range m {
-			realCtrs[k] += v
-		}
+		fmt.Printf("  node %d: %d frames, %d bytes, %d nacks, %d transitions, %d hops\n",
+			i, st.Frames, st.Bytes, st.Nacks, st.ProtoTransitions, st.RingScanHops)
 	}
 
 	for i, c := range clients {
@@ -219,7 +220,11 @@ func orchestrate(nodes int, asvmdPath string) error {
 	fmt.Println("netdemo: all daemons exited cleanly")
 
 	fmt.Println("netdemo: running the simulated twin (calibrated 1996 Paragon costs)...")
-	simRes, err := dsm.RunSimulated(nodes, ops)
+	simEnv, err := simhost.NewEnv(nodes, pages)
+	if err != nil {
+		return fmt.Errorf("simulated twin: %w", err)
+	}
+	simRes, err := app.Run(simEnv, ops)
 	if err != nil {
 		return fmt.Errorf("simulated twin: %w", err)
 	}
@@ -228,22 +233,22 @@ func orchestrate(nodes int, asvmdPath string) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "operation\treal (TCP localhost)\tsimulated (Paragon '96)")
 	for i, op := range ops {
-		fmt.Fprintf(tw, "%s\t%v\t%v\n", op.Label, realLat[i].Round(time.Microsecond), simRes.PerOp[i])
+		fmt.Fprintf(tw, "%s\t%v\t%v\n", op.Label, realRes.PerOp[i].Round(time.Microsecond), simRes.PerOp[i])
 	}
 	tw.Flush()
 
 	fmt.Println()
 	fmt.Printf("protocol counters (summed over nodes), real vs simulated:\n")
-	for _, k := range []string{"faults", "invalidations", "msgs", "nacks"} {
+	for _, k := range parityCounters {
 		marker := ""
-		if realCtrs[k] != simRes.Counters[k] {
+		if realRes.Counters[k] != simRes.Counters[k] {
 			marker = "   <-- MISMATCH"
 		}
-		fmt.Printf("  %-14s real %5d   sim %5d%s\n", k, realCtrs[k], simRes.Counters[k], marker)
+		fmt.Printf("  %-17s real %5d   sim %5d%s\n", k, realRes.Counters[k], simRes.Counters[k], marker)
 	}
-	for _, k := range []string{"faults", "invalidations", "msgs", "nacks"} {
-		if realCtrs[k] != simRes.Counters[k] {
-			return fmt.Errorf("counter %q diverged: real %d, simulated %d", k, realCtrs[k], simRes.Counters[k])
+	for _, k := range parityCounters {
+		if realRes.Counters[k] != simRes.Counters[k] {
+			return fmt.Errorf("counter %q diverged: real %d, simulated %d", k, realRes.Counters[k], simRes.Counters[k])
 		}
 	}
 	fmt.Println("netdemo: real mesh and simulator agree on every protocol counter")

@@ -1,0 +1,111 @@
+package app
+
+import (
+	"reflect"
+	"testing"
+
+	"asvm/internal/vm"
+)
+
+func TestRegistryHasBothWorkloads(t *testing.T) {
+	want := []string{"kv", "table1"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		wl, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", name)
+		}
+		if wl.Pages(3) <= 0 {
+			t.Errorf("%s: non-positive page count", name)
+		}
+		if len(wl.Ops(3, 1)) == 0 {
+			t.Errorf("%s: empty op stream", name)
+		}
+	}
+}
+
+func TestTable1OpsShape(t *testing.T) {
+	const nodes = 3
+	ops := table1Ops(nodes)
+	// Per page: 1 first write + (nodes-1) reads + 1 invalidating write +
+	// 1 re-read.
+	if want := table1Pages * (nodes + 2); len(ops) != want {
+		t.Fatalf("len(ops) = %d, want %d", len(ops), want)
+	}
+	if got := Pages(ops, vm.PageSize); got != table1Pages {
+		t.Fatalf("Pages = %d, want %d", got, table1Pages)
+	}
+	for _, op := range ops {
+		if op.Node < 0 || op.Node >= nodes {
+			t.Fatalf("%s: node %d out of range", op.Label, op.Node)
+		}
+		if op.Kind == OpRead && !op.Check {
+			t.Errorf("%s: table1 reads are all checked", op.Label)
+		}
+	}
+}
+
+func TestKVOpsDeterministicAndBalanced(t *testing.T) {
+	const nodes = 4
+	a := KVOps(nodes, 7)
+	b := KVOps(nodes, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("KVOps is not deterministic for a fixed seed")
+	}
+	if c := KVOps(nodes, 8); reflect.DeepEqual(a, c) {
+		t.Fatal("KVOps ignores the seed")
+	}
+
+	if got := Pages(a, vm.PageSize); got != kvPages {
+		t.Fatalf("Pages = %d, want %d", got, kvPages)
+	}
+
+	// Structural rules: every node issues ops; locks balance with unlocks
+	// on the same page range, never nested per node; reads are checked.
+	perNode := make([]int, nodes)
+	locked := make([]bool, nodes)
+	for _, op := range a {
+		perNode[op.Node]++
+		switch op.Kind {
+		case OpLock:
+			if locked[op.Node] {
+				t.Fatalf("%s: nested lock", op.Label)
+			}
+			if op.Hi != op.Lo+1 {
+				t.Fatalf("%s: kv locks one page, got [%d,%d)", op.Label, op.Lo, op.Hi)
+			}
+			locked[op.Node] = true
+		case OpUnlock:
+			if !locked[op.Node] {
+				t.Fatalf("%s: unlock without lock", op.Label)
+			}
+			locked[op.Node] = false
+		case OpRead:
+			if !op.Check {
+				t.Errorf("%s: kv gets are all checked", op.Label)
+			}
+		}
+	}
+	for n, held := range locked {
+		if held {
+			t.Errorf("node %d ends the stream holding a lock", n)
+		}
+	}
+	for n, c := range perNode {
+		if c < kvOpsPerNode {
+			t.Errorf("node %d issued %d ops, want >= %d", n, c, kvOpsPerNode)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpRead: "read", OpWrite: "write", OpLock: "lock", OpUnlock: "unlock",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dsmhost
+
+import (
+	"testing"
+
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
+	"asvm/internal/dsm"
+)
+
+// The parity tests are the portable layer's correctness anchor: the same
+// registered workload, through the same app.Run, on a full mesh of real
+// dsm nodes (separate engines, wall-clock loops, net.Pipe wires) and on
+// the deterministic simulator. Sequential-with-drain execution makes the
+// protocol's decisions identical on both, so the protocol counters must
+// match exactly — same faults, same invalidation rounds, same messages,
+// same state transitions, only the clock and the wire differ.
+
+// parityCounters is the counter set pinned to exact equality between the
+// twins.
+var parityCounters = []string{
+	"faults", "invalidations", "msgs", "nacks",
+	"proto_transitions", "ring_scan_hops",
+}
+
+// runTwins executes a registered workload on both backends and pins
+// counter parity, returning the real mesh's result.
+func runTwins(t *testing.T, name string, nodes int, seed uint64) *app.Result {
+	t.Helper()
+	wl, ok := app.Lookup(name)
+	if !ok {
+		t.Fatalf("workload %q is not registered", name)
+	}
+	ops := wl.Ops(nodes, seed)
+	pages := wl.Pages(nodes)
+
+	mesh, stop, err := dsm.PipeMesh(nodes, pages)
+	if err != nil {
+		t.Fatalf("pipe mesh: %v", err)
+	}
+	t.Cleanup(stop)
+	realRes, err := app.Run(FromNodes(mesh), ops)
+	if err != nil {
+		t.Fatalf("real mesh run: %v", err)
+	}
+
+	simEnv, err := simhost.NewEnv(nodes, pages)
+	if err != nil {
+		t.Fatalf("sim env: %v", err)
+	}
+	simRes, err := app.Run(simEnv, ops)
+	if err != nil {
+		t.Fatalf("simulated twin: %v", err)
+	}
+
+	if len(realRes.PerOp) != len(ops) || len(simRes.PerOp) != len(ops) {
+		t.Fatalf("per-op latencies: real %d, sim %d, want %d",
+			len(realRes.PerOp), len(simRes.PerOp), len(ops))
+	}
+	for _, ctr := range parityCounters {
+		if realRes.Counters[ctr] != simRes.Counters[ctr] {
+			t.Errorf("counter %q: real mesh %d, simulated %d\nreal: %v\nsim:  %v",
+				ctr, realRes.Counters[ctr], simRes.Counters[ctr],
+				realRes.Counters, simRes.Counters)
+		}
+	}
+	return realRes
+}
+
+func TestTable1ParityLoopback(t *testing.T) {
+	res := runTwins(t, "table1", 3, 1)
+	if res.Counters["faults"] == 0 {
+		t.Error("table1 produced no faults — it tested nothing")
+	}
+	if res.Counters["invalidations"] == 0 {
+		t.Error("table1 produced no invalidation rounds — coverage lost")
+	}
+}
+
+func TestKVParityLoopback(t *testing.T) {
+	res := runTwins(t, "kv", 3, 1)
+	if res.Counters["faults"] == 0 {
+		t.Error("kv produced no faults — it tested nothing")
+	}
+}

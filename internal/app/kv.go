@@ -1,0 +1,93 @@
+package app
+
+import (
+	"fmt"
+
+	"asvm/internal/sim"
+	"asvm/internal/vm"
+)
+
+// The kv workload is the seam-proving application the portable layer
+// exists for: a shared-page key-value store hit by per-node client op
+// streams. Keys stripe across a handful of pages (adjacent keys land on
+// different pages, so every client's working set spans the whole region),
+// clients interleave round-robin, and each client mixes gets, puts, and
+// occasional range-locked puts from its own seeded stream. A get carries
+// the value the generator's model says the store must hold at that point
+// — including zero for never-written keys (zero-fill faults) — so both
+// backends verify real data movement, not just fault accounting.
+
+const (
+	kvPages      = 4
+	kvKeys       = 16 // kvKeys/kvPages slots of 8 bytes per page
+	kvOpsPerNode = 8
+)
+
+// kvSeedSalt spreads per-client generator streams across the RNG space
+// (golden-ratio multiplier, the usual hash constant).
+const kvSeedSalt = 0x9E3779B97F4A7C15
+
+func init() {
+	Register(Workload{
+		Name:  "kv",
+		Pages: func(nodes int) int64 { return kvPages },
+		Ops:   KVOps,
+	})
+}
+
+// kvAddr stripes key k across the region's pages.
+func kvAddr(k int) int64 {
+	return int64((k%kvPages)*vm.PageSize + (k/kvPages)*8)
+}
+
+// KVOps generates the kv op stream for an n-node mesh: per-node client
+// streams interleaved round-robin into one deterministic global sequence.
+// Exported so tests can pin the generator's structural properties.
+func KVOps(nodes int, seed uint64) []Op {
+	rngs := make([]*sim.RNG, nodes)
+	for n := range rngs {
+		rngs[n] = sim.NewRNG(seed ^ (uint64(n)+1)*kvSeedSalt)
+	}
+	model := make(map[int]uint64, kvKeys)
+
+	var ops []Op
+	put := func(node, i, k int, locked bool) {
+		rng := rngs[node]
+		val := uint64(1 + rng.Intn(1_000_000))
+		kind := "put"
+		if locked {
+			kind = "locked put"
+			pg := int64(k % kvPages)
+			ops = append(ops, Op{
+				Label: fmt.Sprintf("kv n%d#%d lock p%d", node, i, pg),
+				Node:  node, Kind: OpLock, Lo: pg, Hi: pg + 1})
+			defer func() {
+				ops = append(ops, Op{
+					Label: fmt.Sprintf("kv n%d#%d unlock p%d", node, i, pg),
+					Node:  node, Kind: OpUnlock, Lo: pg, Hi: pg + 1})
+			}()
+		}
+		ops = append(ops, Op{
+			Label: fmt.Sprintf("kv n%d#%d %s k%d=%d", node, i, kind, k, val),
+			Node:  node, Kind: OpWrite, Addr: kvAddr(k), Val: val})
+		model[k] = val
+	}
+	for i := 0; i < kvOpsPerNode; i++ {
+		for node := 0; node < nodes; node++ {
+			rng := rngs[node]
+			k := rng.Intn(kvKeys)
+			switch x := rng.Intn(10); {
+			case x < 5: // get: verified against the model (0 = zero-fill)
+				ops = append(ops, Op{
+					Label: fmt.Sprintf("kv n%d#%d get k%d", node, i, k),
+					Node:  node, Kind: OpRead, Addr: kvAddr(k),
+					Want: model[k], Check: true})
+			case x < 9:
+				put(node, i, k, false)
+			default: // locked put: the range lock rides ownership
+				put(node, i, k, true)
+			}
+		}
+	}
+	return ops
+}

@@ -1,0 +1,50 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload is one registered portable op-stream workload: a deterministic
+// generator parameterized by mesh size and seed. The registry is the
+// single catalogue both front ends draw from — asvmbench runs a workload
+// on the simulator, the netdemo runs the identical stream across real OS
+// processes, and the loopback tests pin counter parity between the two.
+type Workload struct {
+	Name string
+	// Pages returns the shared-region size the workload needs on an
+	// n-node mesh.
+	Pages func(nodes int) int64
+	// Ops generates the deterministic op stream for an n-node mesh.
+	Ops func(nodes int, seed uint64) []Op
+}
+
+var registry = map[string]Workload{}
+
+// Register adds a workload to the catalogue; duplicate names are a
+// programming error.
+func Register(w Workload) {
+	if w.Name == "" || w.Pages == nil || w.Ops == nil {
+		panic("app: incomplete workload registration")
+	}
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("app: workload %q registered twice", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Lookup returns a registered workload by name.
+func Lookup(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,54 @@
+package app
+
+import (
+	"fmt"
+
+	"asvm/internal/vm"
+)
+
+// The Table-1-style walk the netdemo runs: for each of a few pages, a
+// first-touch write at one node (zero-fill fault at the home), a read on
+// every other node (read faults, building up a reader list), a write at
+// the last node (ownership movement plus an invalidation round over the
+// remaining readers), and a re-read at node 0 (read fault from the new
+// owner). Every fault class in the paper's microbenchmark appears, on
+// every participating node. The stream is seed-independent: it is a fixed
+// walk, not a sampled one.
+
+const table1Pages = 4
+
+func init() {
+	Register(Workload{
+		Name:  "table1",
+		Pages: func(nodes int) int64 { return table1Pages },
+		Ops:   func(nodes int, seed uint64) []Op { return table1Ops(nodes) },
+	})
+}
+
+func table1Ops(nodes int) []Op {
+	var ops []Op
+	writer := 1 % nodes
+	far := nodes - 1
+	for i := 0; i < table1Pages; i++ {
+		addr := int64(i*vm.PageSize + 8)
+		v := uint64(1000*(i+1) + 1)
+		ops = append(ops, Op{
+			Label: fmt.Sprintf("p%d first write @n%d (zero-fill)", i, writer),
+			Node:  writer, Kind: OpWrite, Addr: addr, Val: v})
+		for j := 0; j < nodes; j++ {
+			if j == writer {
+				continue
+			}
+			ops = append(ops, Op{
+				Label: fmt.Sprintf("p%d remote read @n%d (read fault)", i, j),
+				Node:  j, Kind: OpRead, Addr: addr, Want: v, Check: true})
+		}
+		ops = append(ops,
+			Op{Label: fmt.Sprintf("p%d remote write @n%d (invalidate)", i, far),
+				Node: far, Kind: OpWrite, Addr: addr, Val: v + 1},
+			Op{Label: fmt.Sprintf("p%d re-read @n%d (read fault)", i, 0),
+				Node: 0, Kind: OpRead, Addr: addr, Want: v + 1, Check: true},
+		)
+	}
+	return ops
+}

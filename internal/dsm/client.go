@@ -91,10 +91,21 @@ func (c *Client) Quiet() (quiet bool, frames uint64, err error) {
 	return resp.Quiet, resp.Frames, err
 }
 
+// QuietFrames is Quiet under the QuietPoller seam's name, so a []*Client
+// mesh drains through the same loop as in-process []*Node meshes.
+func (c *Client) QuietFrames() (bool, uint64, error) { return c.Quiet() }
+
 // Counters fetches the node's merged protocol counters.
 func (c *Client) Counters() (map[string]int64, error) {
 	resp, err := c.roundTrip(CtrlRequest{Op: "counters"})
 	return resp.Counters, err
+}
+
+// Stats fetches the node's transport ledger and headline protocol
+// counters (frames, bytes, local nacks, protocol-state transitions, ring
+// scan hops).
+func (c *Client) Stats() (CtrlResponse, error) {
+	return c.roundTrip(CtrlRequest{Op: "stats"})
 }
 
 // Shutdown asks the daemon to exit cleanly.
@@ -103,28 +114,67 @@ func (c *Client) Shutdown() error {
 	return err
 }
 
+// QuietPoller is the drain-detection seam: one mesh member that can
+// report "locally quiet right now" plus its monotone total frame count.
+// Client implements it over the control plane, Node in-process; tests
+// implement it with fakes to pin the timeout path.
+type QuietPoller interface {
+	QuietFrames() (quiet bool, frames uint64, err error)
+}
+
+// ErrDrainTimeout reports a mesh that never reached a stable quiescent
+// window: how long the drain polled, and how long before giving up the
+// frame total last moved (0 means it was still moving on the final poll —
+// genuine ongoing traffic rather than a stuck not-quiet node).
+type ErrDrainTimeout struct {
+	Waited       time.Duration
+	LastActivity time.Duration
+}
+
+func (e ErrDrainTimeout) Error() string {
+	return fmt.Sprintf("dsm: mesh did not drain within %v (last frame activity %v before giving up)",
+		e.Waited, e.LastActivity)
+}
+
 // DrainMesh waits until every node reports quiet AND total frame traffic
 // has stopped moving for stableRounds consecutive polls. One quiet
 // reading per node is not enough: a frame in flight on the wire is
 // invisible to both endpoints, so drain is only believable when nothing
-// has changed anywhere for a window.
+// has changed anywhere for a window. On timeout the returned error is an
+// ErrDrainTimeout.
 func DrainMesh(clients []*Client, stableRounds int, timeout time.Duration) error {
+	pollers := make([]QuietPoller, len(clients))
+	for i, c := range clients {
+		pollers[i] = c
+	}
+	return DrainPollers(pollers, stableRounds, timeout)
+}
+
+// DrainPollers is DrainMesh over the seam: the same stability-window
+// logic for any mix of control-plane clients, in-process nodes, or
+// fakes.
+func DrainPollers(pollers []QuietPoller, stableRounds int, timeout time.Duration) error {
 	if stableRounds < 2 {
 		stableRounds = 2
 	}
-	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	deadline := start.Add(timeout)
+	lastChange := start
 	var lastFrames uint64
 	stable := 0
 	for {
 		allQuiet := true
 		var frames uint64
-		for _, c := range clients {
-			q, f, err := c.Quiet()
+		for _, c := range pollers {
+			q, f, err := c.QuietFrames()
 			if err != nil {
 				return fmt.Errorf("dsm: drain poll: %w", err)
 			}
 			allQuiet = allQuiet && q
 			frames += f
+		}
+		if frames != lastFrames {
+			lastChange = time.Now()
 		}
 		if allQuiet && frames == lastFrames {
 			stable++
@@ -136,7 +186,10 @@ func DrainMesh(clients []*Client, stableRounds int, timeout time.Duration) error
 		}
 		lastFrames = frames
 		if time.Now().After(deadline) {
-			return fmt.Errorf("dsm: mesh did not drain within %v (quiet=%v, frames still moving)", timeout, allQuiet)
+			return ErrDrainTimeout{
+				Waited:       time.Since(start),
+				LastActivity: time.Since(lastChange),
+			}
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

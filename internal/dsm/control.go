@@ -36,6 +36,11 @@ type CtrlResponse struct {
 	Frames    uint64           `json:"frames,omitempty"`
 	Bytes     uint64           `json:"bytes,omitempty"`
 	Nacks     uint64           `json:"nacks,omitempty"`
+	// stats only: the protocol-health counters a mesh operator watches —
+	// page state-machine transitions and global ring-scan hops (the O(n)
+	// fallback the hint caches exist to keep rare).
+	ProtoTransitions int64 `json:"proto_transitions,omitempty"`
+	RingScanHops     int64 `json:"ring_scan_hops,omitempty"`
 }
 
 // CtrlServer serves the control protocol for one Node.
@@ -150,10 +155,13 @@ func (s *CtrlServer) handle(req CtrlRequest) CtrlResponse {
 		return CtrlResponse{OK: true, Counters: n.Counters()}
 	case "stats":
 		st := n.TransportStats()
+		ctrs := n.Counters()
 		return CtrlResponse{OK: true,
-			Frames: st.FramesSent + st.FramesRecv,
-			Bytes:  st.BytesSent + st.BytesRecv,
-			Nacks:  st.LocalNacks}
+			Frames:           st.FramesSent + st.FramesRecv,
+			Bytes:            st.BytesSent + st.BytesRecv,
+			Nacks:            st.LocalNacks,
+			ProtoTransitions: ctrs["proto_transitions"],
+			RingScanHops:     ctrs["ring_scan_hops"]}
 	case "shutdown":
 		return CtrlResponse{OK: true}
 	default:

@@ -1,0 +1,48 @@
+package dsm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// neverQuiet models a node whose traffic never stops: not locally quiet,
+// and the frame total moves on every poll, so no stability window can
+// ever form.
+type neverQuiet struct{ frames uint64 }
+
+func (f *neverQuiet) QuietFrames() (bool, uint64, error) {
+	f.frames++
+	return false, f.frames, nil
+}
+
+// stillQuiet models a fully drained node: quiet, frame total frozen.
+type stillQuiet struct{}
+
+func (stillQuiet) QuietFrames() (bool, uint64, error) { return true, 42, nil }
+
+func TestDrainPollersTimeoutIsTyped(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	err := DrainPollers([]QuietPoller{&neverQuiet{}, stillQuiet{}}, 3, timeout)
+	if err == nil {
+		t.Fatal("drain of a never-quiescing mesh returned nil")
+	}
+	var dt ErrDrainTimeout
+	if !errors.As(err, &dt) {
+		t.Fatalf("drain error is %T (%v), want ErrDrainTimeout", err, err)
+	}
+	if dt.Waited < timeout {
+		t.Errorf("Waited = %v, want >= %v", dt.Waited, timeout)
+	}
+	// The fake's frame total moved on every poll, so the last activity
+	// must be recent relative to the whole wait.
+	if dt.LastActivity > dt.Waited {
+		t.Errorf("LastActivity %v exceeds Waited %v", dt.LastActivity, dt.Waited)
+	}
+}
+
+func TestDrainPollersQuietMesh(t *testing.T) {
+	if err := DrainPollers([]QuietPoller{stillQuiet{}, stillQuiet{}}, 3, 5*time.Second); err != nil {
+		t.Fatalf("drain of a quiet mesh: %v", err)
+	}
+}

@@ -1,151 +1,62 @@
 package dsm
 
 import (
-	"fmt"
-	"net"
-	"sync"
 	"testing"
 	"time"
 )
 
-// The loopback test is the tentpole's correctness anchor: a full mesh of
-// real dsm Nodes — separate engines, wall-clock loops, socket reader and
-// writer goroutines — wired together with net.Pipe, running the Table-1
-// demo scenario. The values read must be the values written, the mesh
-// must drain cleanly, and the protocol counters must match a simulated
-// run of the identical scenario exactly: same code, same decisions, only
-// the clock and the wire are real.
+// The scenario-level parity tests (real mesh vs simulated twin through
+// the portable app layer) live in app/dsmhost, which imports this
+// package. What belongs here is the machinery underneath them: the
+// net.Pipe mesh builder, the drain loop, and the control plane.
 
 // pipeMesh opens an n-node dsm mesh connected by net.Pipe.
 func pipeMesh(t *testing.T, n int, pages int64) []*Node {
 	t.Helper()
-	cfg := &MeshConfig{Region: "loopback", Pages: pages, Home: 0}
-	for i := 0; i < n; i++ {
-		cfg.Nodes = append(cfg.Nodes, NodeSpec{ID: i, Xport: fmt.Sprintf("pipe:%d", i)})
+	nodes, stop, err := PipeMesh(n, pages)
+	if err != nil {
+		t.Fatalf("pipe mesh: %v", err)
 	}
-
-	var mu sync.Mutex
-	transports := make(map[string]*Node)
-	testDial = func(addr string) (net.Conn, error) {
-		mu.Lock()
-		target := transports[addr]
-		mu.Unlock()
-		if target == nil {
-			return nil, fmt.Errorf("pipeMesh: no node at %q", addr)
-		}
-		c1, c2 := net.Pipe()
-		go target.tr.ServeConn(c2)
-		return c1, nil
-	}
-	t.Cleanup(func() { testDial = nil })
-
-	nodes := make([]*Node, n)
-	for i := 0; i < n; i++ {
-		nd, err := Open(cfg, i)
-		if err != nil {
-			t.Fatalf("opening node %d: %v", i, err)
-		}
-		t.Cleanup(nd.Close)
-		mu.Lock()
-		transports[fmt.Sprintf("pipe:%d", i)] = nd
-		mu.Unlock()
-		nodes[i] = nd
-	}
+	t.Cleanup(stop)
 	return nodes
 }
 
 // drainNodes waits until every node is locally quiet and total frame
-// traffic stops moving — the same stability-window logic DrainMesh uses
-// over the control plane, applied in-process.
+// traffic stops moving — DrainPollers over the in-process seam.
 func drainNodes(t *testing.T, nodes []*Node, timeout time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	var last uint64
-	stable := 0
-	for {
-		quiet := true
-		var frames uint64
-		for _, nd := range nodes {
-			quiet = quiet && nd.Quiet()
-			st := nd.TransportStats()
-			frames += st.FramesSent + st.FramesRecv
-		}
-		if quiet && frames == last {
-			if stable++; stable >= 3 {
-				return
-			}
-		} else {
-			stable = 0
-		}
-		last = frames
-		if time.Now().After(deadline) {
-			t.Fatalf("mesh did not drain within %v", timeout)
-		}
-		time.Sleep(10 * time.Millisecond)
+	pollers := make([]QuietPoller, len(nodes))
+	for i, nd := range nodes {
+		pollers[i] = nd
+	}
+	if err := DrainPollers(pollers, 3, timeout); err != nil {
+		t.Fatalf("mesh did not drain: %v", err)
 	}
 }
 
-func TestLoopbackScenarioMatchesSimulation(t *testing.T) {
-	const n = 3
-	ops := DemoScenario(n)
-	nodes := pipeMesh(t, n, ScenarioPages(ops))
-
-	// Real run: each op on its node, drained to quiescence before the
-	// next — the schedule under which protocol decisions are
-	// deterministic on both hosts.
-	for _, op := range ops {
-		switch op.Kind {
-		case "write":
-			if _, err := nodes[op.Node].Write(op.Addr, op.Val); err != nil {
-				t.Fatalf("%s: %v", op.Label, err)
-			}
-		case "read":
-			v, _, err := nodes[op.Node].Read(op.Addr)
-			if err != nil {
-				t.Fatalf("%s: %v", op.Label, err)
-			}
-			if op.Check && v != op.Want {
-				t.Fatalf("%s: read %d, want %d", op.Label, v, op.Want)
-			}
-		}
-		drainNodes(t, nodes, 10*time.Second)
+// A minimal end-to-end data-plane check at the Node API: the value
+// written on one node is the value read on another, and the mesh drains.
+func TestPipeMeshReadYourWrites(t *testing.T) {
+	nodes := pipeMesh(t, 2, 4)
+	if _, err := nodes[0].Write(8, 41); err != nil {
+		t.Fatalf("write: %v", err)
 	}
-
-	real := make(map[string]int64)
-	for _, nd := range nodes {
-		for k, v := range nd.Counters() {
-			real[k] += v
-		}
-	}
-
-	sim, err := RunSimulated(n, ops)
+	drainNodes(t, nodes, 10*time.Second)
+	v, _, err := nodes[1].Read(8)
 	if err != nil {
-		t.Fatalf("simulated twin: %v", err)
+		t.Fatalf("read: %v", err)
 	}
-
-	// The load-bearing protocol counters must agree exactly: the mesh ran
-	// the same faults, the same invalidation rounds, the same message
-	// count as the simulator — same code, same decisions.
-	for _, ctr := range []string{"faults", "invalidations", "msgs", "nacks"} {
-		if real[ctr] != sim.Counters[ctr] {
-			t.Errorf("counter %q: real mesh %d, simulated %d\nreal: %v\nsim:  %v",
-				ctr, real[ctr], sim.Counters[ctr], real, sim.Counters)
-		}
+	if v != 41 {
+		t.Fatalf("read %d, want 41", v)
 	}
-	if real["faults"] == 0 {
-		t.Error("scenario produced no faults — it tested nothing")
-	}
-	if real["invalidations"] == 0 {
-		t.Error("scenario produced no invalidation rounds — coverage lost")
-	}
+	drainNodes(t, nodes, 10*time.Second)
 }
 
 // The control plane end to end, in-process: a CtrlServer fronting a pipe
 // mesh node, driven through a Client over real TCP.
 func TestControlPlane(t *testing.T) {
 	const n = 2
-	ops := DemoScenario(n)
-	nodes := pipeMesh(t, n, ScenarioPages(ops))
+	nodes := pipeMesh(t, n, 4)
 
 	srvs := make([]*CtrlServer, n)
 	clients := make([]*Client, n)
@@ -195,6 +106,23 @@ func TestControlPlane(t *testing.T) {
 	}
 	if ctrs["faults"] == 0 {
 		t.Errorf("node 0 reports no faults after a write: %v", ctrs)
+	}
+
+	// The stats reply surfaces the protocol-health counters: an ownership
+	// transfer has happened, so pages changed protocol state somewhere.
+	var transitions int64
+	for _, c := range clients {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatalf("ctrl stats: %v", err)
+		}
+		if st.Frames == 0 {
+			t.Error("stats reports zero frames after cross-node traffic")
+		}
+		transitions += st.ProtoTransitions
+	}
+	if transitions == 0 {
+		t.Error("stats reports zero proto_transitions after an ownership transfer")
 	}
 
 	// Shutdown request closes the server's Shutdown gate.

@@ -23,8 +23,8 @@ import (
 const regionSeq = 1_000_001
 
 // testDial, when non-nil, replaces outbound connection establishment for
-// every Node subsequently Opened — the loopback test wires a whole mesh
-// out of net.Pipe ends instead of sockets. Never set outside tests.
+// every Node subsequently Opened — PipeMesh wires a whole mesh out of
+// net.Pipe ends instead of sockets. Never set outside test scaffolding.
 var testDial func(addr string) (net.Conn, error)
 
 // opTimeout bounds one Read/Write/Lock against a mesh that has lost the
@@ -217,6 +217,14 @@ func (n *Node) Quiet() bool {
 		quiet = n.eng.Pending() == 0
 	})
 	return ok && quiet && n.tr.Outstanding() == 0
+}
+
+// QuietFrames implements QuietPoller in-process: local drain state plus
+// total frame traffic, the same pair the control plane's quiet op
+// reports.
+func (n *Node) QuietFrames() (bool, uint64, error) {
+	st := n.TransportStats()
+	return n.Quiet(), st.FramesSent + st.FramesRecv, nil
 }
 
 // Counters returns the node's merged protocol counters: the kernel's

@@ -1,0 +1,56 @@
+package dsm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PipeMesh opens an n-node in-process mesh wired with net.Pipe instead of
+// sockets: full Nodes — separate engines, wall-clock loops, socket reader
+// and writer goroutines — with outbound dials intercepted to land in the
+// target node's transport directly. It is test scaffolding, exported
+// because the app/dsmhost parity tests live outside this package (they
+// need both this mesh and the simulator twin, and dsmhost imports dsm).
+// The returned stop function closes every node and restores real dialing;
+// only one PipeMesh may be live in a process at a time.
+func PipeMesh(n int, pages int64) ([]*Node, func(), error) {
+	cfg := &MeshConfig{Region: "loopback", Pages: pages, Home: 0}
+	for i := 0; i < n; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeSpec{ID: i, Xport: fmt.Sprintf("pipe:%d", i)})
+	}
+
+	var mu sync.Mutex
+	transports := make(map[string]*Node)
+	testDial = func(addr string) (net.Conn, error) {
+		mu.Lock()
+		target := transports[addr]
+		mu.Unlock()
+		if target == nil {
+			return nil, fmt.Errorf("dsm: pipe mesh has no node at %q", addr)
+		}
+		c1, c2 := net.Pipe()
+		go target.tr.ServeConn(c2)
+		return c1, nil
+	}
+
+	var nodes []*Node
+	stop := func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		testDial = nil
+	}
+	for i := 0; i < n; i++ {
+		nd, err := Open(cfg, i)
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("dsm: pipe mesh node %d: %w", i, err)
+		}
+		mu.Lock()
+		transports[fmt.Sprintf("pipe:%d", i)] = nd
+		mu.Unlock()
+		nodes = append(nodes, nd)
+	}
+	return nodes, stop, nil
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
+)
+
+// The kv experiment runs the portable kv workload (internal/app) on the
+// simulator: the same registered op stream the netdemo drives across real
+// TCP processes, here under modelled 1996 Paragon costs. Opt-in — never
+// part of "all" — because it demonstrates the portable application layer,
+// not a table from the paper, so it never lands in results_full.txt.
+
+// kvCellResult is one drained kv cell's simulated metrics. No field is
+// wall-clock derived, so a rendered row is byte-identical across worker
+// counts and engines.
+type kvCellResult struct {
+	Nodes int
+	Ops   int
+	Total time.Duration
+	Max   time.Duration
+	Ctrs  map[string]int64
+}
+
+func runKVCell(nodes int, seed uint64) (kvCellResult, error) {
+	wl, ok := app.Lookup("kv")
+	if !ok {
+		return kvCellResult{}, fmt.Errorf("kv workload not registered")
+	}
+	ops := wl.Ops(nodes, seed)
+	env, err := simhost.NewEnv(nodes, wl.Pages(nodes))
+	if err != nil {
+		return kvCellResult{}, err
+	}
+	res, err := app.Run(env, ops)
+	if err != nil {
+		return kvCellResult{}, err
+	}
+	out := kvCellResult{Nodes: nodes, Ops: len(ops), Ctrs: res.Counters}
+	for _, d := range res.PerOp {
+		out.Total += d
+		if d > out.Max {
+			out.Max = d
+		}
+	}
+	return out, nil
+}
+
+// KV runs the kv workload across a small node sweep and renders the
+// summary: op counts, virtual latency aggregates, and the protocol
+// ledger per cell — the numbers `examples/netdemo -workload kv` prints
+// next to its wall-clock measurements.
+func KV(w io.Writer, seed uint64, workers int, quick bool) error {
+	nodeCounts := []int{2, 3, 4}
+	if quick {
+		nodeCounts = []int{3}
+	}
+	results, err := RunCells(workers, len(nodeCounts), func(i int) (kvCellResult, error) {
+		res, err := runKVCell(nodeCounts[i], seed)
+		if err != nil {
+			return kvCellResult{}, fmt.Errorf("kv cell (%d nodes): %w", nodeCounts[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "KV store on the portable application layer (simulated twin of `netdemo -workload kv`)")
+	fmt.Fprintln(w, "(per-node client streams over striped keys, checked gets, occasional range-locked puts; latencies virtual)")
+	fmt.Fprintf(w, "%6s %5s %9s %9s %7s %7s %7s %6s %8s %6s\n",
+		"nodes", "ops", "total", "max", "faults", "inval", "msgs", "nacks", "transit", "hops")
+	for _, r := range results {
+		fmt.Fprintf(w, "%6d %5d %9s %9s %7d %7d %7d %6d %8d %6d\n",
+			r.Nodes, r.Ops, ms(r.Total), ms(r.Max),
+			r.Ctrs["faults"], r.Ctrs["invalidations"], r.Ctrs["msgs"], r.Ctrs["nacks"],
+			r.Ctrs["proto_transitions"], r.Ctrs["ring_scan_hops"])
+	}
+	return nil
+}

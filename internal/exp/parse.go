@@ -9,7 +9,7 @@ import (
 // order the experiments run. "all" runs the paper-reproduction set (chaos
 // and crash stay opt-in; see cmd/asvmbench).
 var expNames = []string{
-	"table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos", "crash", "scale", "all",
+	"table1", "fig10", "fig11", "table2", "table3", "dist", "ablations", "chaos", "crash", "scale", "kv", "all",
 }
 
 // ExpNames returns the valid -exp selectors in run order.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
 	"asvm/internal/asvm"
 	"asvm/internal/machine"
 	"asvm/internal/sim"
@@ -181,49 +183,57 @@ func RunScaleCell(cell ScaleCell) (ScaleResult, error) {
 	p.ASVM.HopBound = cell.HopBound
 	c := machine.New(p)
 
-	regions := make([]*machine.Region, cell.Objects)
-	for o := range regions {
+	specs := make([]simhost.Spec, cell.Objects)
+	for o := range specs {
 		idxs := make([]int, cell.Nodes)
 		for i := range idxs {
 			idxs[i] = (o + i) % cell.Nodes
 		}
-		regions[o] = c.NewSharedRegion(fmt.Sprintf("s%d", o),
-			vm.PageIdx(cell.PagesPerObject), idxs)
+		specs[o] = simhost.Spec{
+			Name:  fmt.Sprintf("s%d", o),
+			Pages: int64(cell.PagesPerObject),
+			Nodes: idxs,
+		}
+	}
+	w, err := simhost.NewWorld(c, specs)
+	if err != nil {
+		return ScaleResult{}, err
 	}
 
 	series := sim.NewSeries("fault")
-	errs := make([]error, cell.Nodes)
 	touches := 0
 	for n := 0; n < cell.Nodes; n++ {
-		n := n
-		task := c.Kerns[n].NewTask(fmt.Sprintf("t%d", n))
-		for o, r := range regions {
-			base := vm.Addr(o * cell.PagesPerObject * vm.PageSize)
-			if _, err := task.Map.MapObject(base, r.Obj(n), 0, r.SizePages,
-				vm.ProtWrite, vm.InheritShare); err != nil {
-				return ScaleResult{}, err
-			}
+		if err := w.Prepare(n); err != nil {
+			return ScaleResult{}, err
 		}
 		ops := GenScaleOps(cell, n)
-		c.SpawnOn(n, "scale", func(pr *sim.Proc) {
+		w.GoOn(n, "scale", func(h app.Host) error {
 			for _, op := range ops {
-				if op.Kind != OpTouch {
-					continue
-				}
-				want := vm.ProtRead
-				if op.Write {
-					want = vm.ProtWrite
-				}
-				addr := vm.Addr((op.Obj*cell.PagesPerObject + op.Page) * vm.PageSize)
-				t0 := pr.Now()
-				if _, err := task.Touch(pr, addr, want); err != nil {
-					errs[n] = err
-					return
-				}
-				if d := pr.Now() - t0; d > 0 {
-					series.Add(d)
+				switch op.Kind {
+				case OpOpen:
+					if err := h.Open(op.Obj); err != nil {
+						return err
+					}
+				case OpClose:
+					if err := h.Close(op.Obj); err != nil {
+						return err
+					}
+				case OpTouch:
+					off := int64(op.Page * vm.PageSize)
+					t0 := h.Now()
+					if op.Write {
+						if err := h.Write(op.Obj, off, 0); err != nil {
+							return err
+						}
+					} else if _, err := h.Read(op.Obj, off); err != nil {
+						return err
+					}
+					if d := h.Now() - t0; d > 0 {
+						series.Add(d)
+					}
 				}
 			}
+			return nil
 		})
 		for _, op := range ops {
 			if op.Kind == OpTouch {
@@ -231,17 +241,16 @@ func RunScaleCell(cell ScaleCell) (ScaleResult, error) {
 			}
 		}
 	}
-	end := c.Run()
-	for _, err := range errs {
-		if err != nil {
-			return ScaleResult{}, err
-		}
+	if err := w.Run(); err != nil {
+		return ScaleResult{}, err
 	}
+	end := c.Eng.Now()
 
 	if n := c.Eng.Pending(); n != 0 {
 		return ScaleResult{}, fmt.Errorf("scale: %d events still pending after drain", n)
 	}
-	for _, r := range regions {
+	for o := 0; o < cell.Objects; o++ {
+		r := w.Region(o)
 		var err error
 		if cell.SamplePages > 0 {
 			err = asvm.CheckInvariantsSampled(c.ASVMCluster(), r.ASVMInfo(),

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
 	"asvm/internal/machine"
 	"asvm/internal/sim"
 	"asvm/internal/vm"
@@ -203,72 +205,87 @@ func runEM3DRegion(c *machine.Cluster, cfg EM3DConfig) (time.Duration, *machine.
 		return 0, nil, fmt.Errorf("workload: %d cells not divisible by %d nodes", cfg.Cells, cfg.Nodes)
 	}
 	regionPages := vm.PageIdx((cfg.DatasetBytes() + vm.PageSize - 1) / vm.PageSize)
+	w, err := simhost.NewWorld(c, []simhost.Spec{{Name: "em3d", Pages: int64(regionPages)}})
+	if err != nil {
+		return 0, nil, err
+	}
+	bar := w.NewBarrier()
+	plans := planEM3D(cfg)
+
 	all := make([]int, cfg.Nodes)
 	for i := range all {
 		all[i] = i
 	}
-	region := c.NewSharedRegion("em3d", regionPages, all)
-	bar := c.NewBarrier(all)
-	plans := planEM3D(cfg)
-
-	tasks := make([]*vm.Task, cfg.Nodes)
-	for n := range all {
-		t, err := c.TaskOn(n, fmt.Sprintf("em3d%d", n), region, 0)
-		if err != nil {
-			return 0, nil, err
-		}
-		tasks[n] = t
+	if err := w.Prepare(all...); err != nil {
+		return 0, nil, err
 	}
 
 	// Initialization phase: every node touches its own block (excluded
 	// from the measured time, like the paper).
-	initBar := c.NewBarrier(all)
+	initBar := w.NewBarrier()
 	starts := make([]sim.Time, cfg.Nodes)
 	ends := make([]sim.Time, cfg.Nodes)
-	errs := make([]error, cfg.Nodes)
 	for n := range all {
 		n := n
 		plan := plans[n]
-		task := tasks[n]
-		c.SpawnOn(n, fmt.Sprintf("em3d%d", n), func(p *sim.Proc) {
-			touch := func(pages []vm.PageIdx, want vm.Prot) bool {
+		w.GoOn(n, fmt.Sprintf("em3d%d", n), func(h app.Host) error {
+			touch := func(pages []vm.PageIdx, write bool) error {
 				for _, pg := range pages {
-					if _, err := task.Touch(p, vm.Addr(pg)*vm.PageSize, want); err != nil {
-						errs[n] = err
-						return false
+					off := int64(pg) * vm.PageSize
+					if write {
+						if err := h.Write(0, off, 0); err != nil {
+							return err
+						}
+					} else if _, err := h.Read(0, off); err != nil {
+						return err
 					}
 				}
-				return true
+				return nil
 			}
-			if !touch(plan.writeE, vm.ProtWrite) || !touch(plan.writeH, vm.ProtWrite) {
-				return
+			if err := touch(plan.writeE, true); err != nil {
+				return err
 			}
-			initBar.Await(p, n)
-			starts[n] = p.Now()
+			if err := touch(plan.writeH, true); err != nil {
+				return err
+			}
+			if err := h.Barrier(initBar); err != nil {
+				return err
+			}
+			starts[n] = h.Now()
 			for iter := 0; iter < cfg.Iters; iter++ {
 				// E phase: new E from H neighbours.
-				if !touch(plan.readE, vm.ProtRead) || !touch(plan.writeE, vm.ProtWrite) {
-					return
+				if err := touch(plan.readE, false); err != nil {
+					return err
 				}
-				p.Sleep(time.Duration(plan.updatesE) * cfg.PerCellCompute)
-				bar.Await(p, n)
+				if err := touch(plan.writeE, true); err != nil {
+					return err
+				}
+				h.Sleep(time.Duration(plan.updatesE) * cfg.PerCellCompute)
+				if err := h.Barrier(bar); err != nil {
+					return err
+				}
 				// H phase: new H from E neighbours.
-				if !touch(plan.readH, vm.ProtRead) || !touch(plan.writeH, vm.ProtWrite) {
-					return
+				if err := touch(plan.readH, false); err != nil {
+					return err
 				}
-				p.Sleep(time.Duration(plan.updatesH) * cfg.PerCellCompute)
-				bar.Await(p, n)
+				if err := touch(plan.writeH, true); err != nil {
+					return err
+				}
+				h.Sleep(time.Duration(plan.updatesH) * cfg.PerCellCompute)
+				if err := h.Barrier(bar); err != nil {
+					return err
+				}
 			}
-			ends[n] = p.Now()
+			ends[n] = h.Now()
+			return nil
 		})
 	}
-	c.Run()
+	if err := w.Run(); err != nil {
+		return 0, nil, err
+	}
 	var last sim.Time
 	var first sim.Time
 	for n := range all {
-		if errs[n] != nil {
-			return 0, nil, errs[n]
-		}
 		if ends[n] == 0 {
 			return 0, nil, fmt.Errorf("workload: em3d node %d never finished (deadlock?)", n)
 		}
@@ -279,5 +296,5 @@ func runEM3DRegion(c *machine.Cluster, cfg EM3DConfig) (time.Duration, *machine.
 			last = ends[n]
 		}
 	}
-	return last - first, region, nil
+	return last - first, w.Region(0), nil
 }

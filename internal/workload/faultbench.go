@@ -1,15 +1,18 @@
 // Package workload implements the paper's three measurement workloads:
 // the basic page-fault latency microbenchmarks (Table 1, Figures 10/11),
 // the mapped-file transfer benchmark (Table 2, Figures 12/13), and the
-// EM3D application (Table 3).
+// EM3D application (Table 3). Every workload body programs against the
+// portable app.Host API; this package supplies the simulator harness
+// around it (cluster assembly, measurement, validation).
 package workload
 
 import (
 	"fmt"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
 	"asvm/internal/machine"
-	"asvm/internal/sim"
 	"asvm/internal/vm"
 )
 
@@ -74,16 +77,11 @@ func MeasureFault(sys machine.System, sc FaultScenario, seed uint64) (time.Durat
 func measureFaultOn(c *machine.Cluster, sc FaultScenario) (time.Duration, *machine.Region, error) {
 	n := c.P.Nodes
 
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	r := c.NewSharedRegion("bench", 4, all)
-
-	writer, err := c.TaskOn(1, "writer", r, 0)
+	w, err := simhost.NewWorld(c, []simhost.Spec{{Name: "bench", Pages: 4}})
 	if err != nil {
 		return 0, nil, err
 	}
+
 	// Extra reading nodes beyond the writer's own copy (and beyond the
 	// faulter's, when it holds one).
 	extra := 0
@@ -96,72 +94,67 @@ func measureFaultOn(c *machine.Cluster, sc FaultScenario) (time.Duration, *machi
 			extra = 0
 		}
 	}
-	readers := make([]*vm.Task, extra)
-	for i := range readers {
-		readers[i], err = c.TaskOn(2+i, "reader", r, 0)
-		if err != nil {
-			return 0, nil, err
-		}
+	readerNodes := make([]int, extra)
+	for i := range readerNodes {
+		readerNodes[i] = 2 + i
 	}
 	faulterNode := n - 1
-	faulter, err := c.TaskOn(faulterNode, "faulter", r, 0)
-	if err != nil {
+	if err := w.Prepare(1); err != nil {
+		return 0, nil, err
+	}
+	if err := w.Prepare(readerNodes...); err != nil {
+		return 0, nil, err
+	}
+	if err := w.Prepare(faulterNode); err != nil {
 		return 0, nil, err
 	}
 
 	var lat time.Duration
-	var benchErr error
-	c.Spawn("bench", func(p *sim.Proc) {
+	w.Go(1, "bench", func(h app.Host) error {
 		// The initial writer dirties the page (and keeps its copy).
-		if err := writer.WriteU64(p, 0, 1); err != nil {
-			benchErr = err
-			return
+		if err := h.Write(0, 0, 1); err != nil {
+			return err
 		}
 		// Establish additional read copies.
-		for _, rt := range readers {
-			if _, err := rt.ReadU64(p, 0); err != nil {
-				benchErr = err
-				return
+		for _, rn := range readerNodes {
+			if _, err := h.On(rn).Read(0, 0); err != nil {
+				return err
 			}
 		}
+		faulter := h.On(faulterNode)
 		if sc.FaulterHasCopy {
-			if _, err := faulter.ReadU64(p, 0); err != nil {
-				benchErr = err
-				return
+			if _, err := faulter.Read(0, 0); err != nil {
+				return err
 			}
-		}
-		want := vm.ProtRead
-		if sc.Write {
-			want = vm.ProtWrite
 		}
 		if !sc.Write && sc.SecondReader {
 			// The first reader's fault cleans the page; measure the next
-			// node's read.
-			second, err := c.TaskOn(faulterNode-1, "first", r, 0)
-			if err != nil {
-				benchErr = err
-				return
-			}
-			if _, err := second.ReadU64(p, 0); err != nil {
-				benchErr = err
-				return
+			// node's read (its task springs into existence here, exactly
+			// like the direct-driving era's mid-run TaskOn).
+			if _, err := h.On(faulterNode-1).Read(0, 0); err != nil {
+				return err
 			}
 		}
-		t0 := p.Now()
-		if _, err := faulter.Touch(p, 0, want); err != nil {
-			benchErr = err
-			return
+		t0 := h.Now()
+		if sc.Write {
+			if err := faulter.Write(0, 0, 2); err != nil {
+				return err
+			}
+		} else {
+			if _, err := faulter.Read(0, 0); err != nil {
+				return err
+			}
 		}
-		lat = p.Now() - t0
+		lat = h.Now() - t0
+		return nil
 	})
-	c.Run()
-	if benchErr != nil {
-		return 0, nil, benchErr
+	if err := w.Run(); err != nil {
+		return 0, nil, err
 	}
 	if lat == 0 {
 		return 0, nil, fmt.Errorf("workload: scenario %q measured no fault", sc.Name)
 	}
-	return lat, r, nil
+	return lat, w.Region(0), nil
 }
 
 // MeasureWriteFaultVsReaders sweeps Figure 10: write-fault (and upgrade)
@@ -199,47 +192,43 @@ func MeasureChainFault(sys machine.System, chain int, seed uint64) (time.Duratio
 	p.TrackData = true
 	c := machine.New(p)
 
-	parent := c.Kerns[0].NewTask("parent")
-	region := c.Kerns[0].NewAnonymous(regionPages)
-	if _, err := parent.Map.MapObject(0, region, 0, regionPages, vm.ProtWrite, vm.InheritCopy); err != nil {
+	w, err := simhost.NewWorld(c, []simhost.Spec{
+		{Name: "chain", Pages: regionPages, Nodes: []int{0}, Private: true},
+	})
+	if err != nil {
 		return 0, err
 	}
 
 	var mean time.Duration
-	var benchErr error
-	c.Spawn("bench", func(p *sim.Proc) {
+	w.Go(0, "bench", func(h app.Host) error {
 		for i := 0; i < regionPages; i++ {
-			if err := parent.WriteU64(p, vm.Addr(i*vm.PageSize), uint64(i+1)); err != nil {
-				benchErr = err
-				return
+			if err := h.Write(0, int64(i*vm.PageSize), uint64(i+1)); err != nil {
+				return err
 			}
 		}
-		cur := parent
+		cur := h
 		for i := 1; i <= chain; i++ {
-			child, err := c.RemoteFork(cur, i, fmt.Sprintf("child%d", i))
+			child, err := cur.Fork(i, fmt.Sprintf("child%d", i))
 			if err != nil {
-				benchErr = err
-				return
+				return err
 			}
 			cur = child
 		}
-		t0 := p.Now()
+		t0 := cur.Now()
 		for i := 0; i < regionPages; i++ {
-			v, err := cur.ReadU64(p, vm.Addr(i*vm.PageSize))
+			v, err := cur.Read(0, int64(i*vm.PageSize))
 			if err != nil {
-				benchErr = err
-				return
+				return err
 			}
 			if v != uint64(i+1) {
-				benchErr = fmt.Errorf("workload: chain content corrupted: page %d = %d", i, v)
-				return
+				return fmt.Errorf("workload: chain content corrupted: page %d = %d", i, v)
 			}
 		}
-		mean = (p.Now() - t0) / regionPages
+		mean = (cur.Now() - t0) / regionPages
+		return nil
 	})
-	c.Run()
-	if benchErr != nil {
-		return 0, benchErr
+	if err := w.Run(); err != nil {
+		return 0, err
 	}
 	return mean, nil
 }

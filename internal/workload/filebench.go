@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
 	"asvm/internal/machine"
-	"asvm/internal/sim"
 	"asvm/internal/vm"
 )
 
@@ -25,6 +26,22 @@ func FileClusterSize(nNodes int) int {
 	return total
 }
 
+// fileUsers returns the client node indices for the benchmarks (node 0 —
+// the I/O node — stays off the client list except in the 1-node corner).
+func fileUsers(total, nNodes int) []int {
+	users := make([]int, nNodes)
+	for i := range users {
+		users[i] = i + 1
+		if users[i] >= total {
+			users[i] = 0
+		}
+	}
+	if nNodes == 1 {
+		users = []int{1}
+	}
+	return users
+}
+
 // MeasureFileWrite reproduces Table 2's write rows: nNodes map the same
 // (initially empty) 4 MB file and each writes a disjoint section using
 // asynchronous writes (dirty pages are not forced out). Returned is the
@@ -41,54 +58,45 @@ func MeasureFileWrite(sys machine.System, nNodes int, seed uint64) (float64, err
 // have FileClusterSize(nNodes) nodes), returning the rate and the file
 // region for protocol-state validation.
 func fileWriteOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, error) {
-	total := c.P.Nodes
-
-	users := make([]int, nNodes)
-	for i := range users {
-		users[i] = i + 1
-		if users[i] >= total {
-			users[i] = 0
-		}
+	users := fileUsers(c.P.Nodes, nNodes)
+	w, err := simhost.NewWorld(c, []simhost.Spec{
+		{Name: "bench", Pages: FileBenchPages, Nodes: users, File: true},
+	})
+	if err != nil {
+		return 0, nil, err
 	}
-	if nNodes == 1 {
-		users = []int{1}
+	if err := w.Prepare(users...); err != nil {
+		return 0, nil, err
 	}
-	r, _ := c.NewMappedFile("bench", FileBenchPages, users, false)
 
 	perNode := FileBenchPages / nNodes
 	times := make([]time.Duration, nNodes)
-	errs := make([]error, nNodes)
 	for i, nIdx := range users {
-		i, nIdx := i, nIdx
-		task, err := c.TaskOn(nIdx, fmt.Sprintf("w%d", i), r, 0)
-		if err != nil {
-			return 0, nil, err
-		}
-		c.SpawnOn(nIdx, "writer", func(p *sim.Proc) {
-			t0 := p.Now()
+		i := i
+		w.GoOn(nIdx, "writer", func(h app.Host) error {
+			t0 := h.Now()
 			base := i * perNode
 			for pg := 0; pg < perNode; pg++ {
-				if _, err := task.Touch(p, vm.Addr((base+pg)*vm.PageSize), vm.ProtWrite); err != nil {
-					errs[i] = err
-					return
+				if err := h.Write(0, int64((base+pg)*vm.PageSize), 0); err != nil {
+					return err
 				}
 			}
-			times[i] = p.Now() - t0
+			times[i] = h.Now() - t0
+			return nil
 		})
 	}
-	c.Run()
+	if err := w.Run(); err != nil {
+		return 0, nil, err
+	}
 	var sumRate float64
 	for i := range times {
-		if errs[i] != nil {
-			return 0, nil, errs[i]
-		}
 		if times[i] == 0 {
 			return 0, nil, fmt.Errorf("workload: writer %d made no progress", i)
 		}
 		bytes := float64(perNode * vm.PageSize)
 		sumRate += bytes / times[i].Seconds() / 1e6
 	}
-	return sumRate / float64(nNodes), r, nil
+	return sumRate / float64(nNodes), w.Region(0), nil
 }
 
 // MeasureFileRead reproduces Table 2's read rows: nNodes read the entire
@@ -112,43 +120,45 @@ func fileReadOn(c *machine.Cluster, nNodes int) (float64, *machine.Region, error
 	if nNodes == 1 {
 		users = []int{1}
 	}
-	r, _ := c.NewMappedFile("bench", FileBenchPages, users, true)
+	w, err := simhost.NewWorld(c, []simhost.Spec{
+		{Name: "bench", Pages: FileBenchPages, Nodes: users, File: true, Preload: true},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := w.Prepare(users...); err != nil {
+		return 0, nil, err
+	}
 
 	times := make([]time.Duration, nNodes)
-	errs := make([]error, nNodes)
 	for i, nIdx := range users {
-		i, nIdx := i, nIdx
-		task, err := c.TaskOn(nIdx, fmt.Sprintf("r%d", i), r, 0)
-		if err != nil {
-			return 0, nil, err
-		}
-		c.SpawnOn(nIdx, "reader", func(p *sim.Proc) {
-			t0 := p.Now()
+		i := i
+		w.GoOn(nIdx, "reader", func(h app.Host) error {
+			t0 := h.Now()
 			// Stagger starting offsets so nodes don't convoy on the same
 			// page, like independent readers would.
 			start := (i * FileBenchPages) / max(nNodes, 1)
 			for k := 0; k < FileBenchPages; k++ {
 				pg := (start + k) % FileBenchPages
-				if _, err := task.Touch(p, vm.Addr(pg*vm.PageSize), vm.ProtRead); err != nil {
-					errs[i] = err
-					return
+				if _, err := h.Read(0, int64(pg*vm.PageSize)); err != nil {
+					return err
 				}
 			}
-			times[i] = p.Now() - t0
+			times[i] = h.Now() - t0
+			return nil
 		})
 	}
-	c.Run()
+	if err := w.Run(); err != nil {
+		return 0, nil, err
+	}
 	var sumRate float64
 	for i := range times {
-		if errs[i] != nil {
-			return 0, nil, errs[i]
-		}
 		if times[i] == 0 {
 			return 0, nil, fmt.Errorf("workload: reader %d made no progress", i)
 		}
 		sumRate += float64(FileBenchBytes) / times[i].Seconds() / 1e6
 	}
-	return sumRate / float64(nNodes), r, nil
+	return sumRate / float64(nNodes), w.Region(0), nil
 }
 
 func max(a, b int) int {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"asvm/internal/app"
+	"asvm/internal/app/simhost"
 	"asvm/internal/machine"
 	"asvm/internal/sim"
 	"asvm/internal/vm"
@@ -63,8 +65,11 @@ func RunSOROn(c *machine.Cluster, cfg SORConfig) (time.Duration, error) {
 	for i := range all {
 		all[i] = i
 	}
-	region := c.NewSharedRegion("sor", regionPages, all)
-	bar := c.NewBarrier(all)
+	w, err := simhost.NewWorld(c, []simhost.Spec{{Name: "sor", Pages: int64(regionPages)}})
+	if err != nil {
+		return 0, err
+	}
+	bar := w.NewBarrier()
 
 	rowsPer := cfg.Rows / cfg.Nodes
 	rowPages := func(row int) (vm.PageIdx, vm.PageIdx) {
@@ -84,7 +89,6 @@ func RunSOROn(c *machine.Cluster, cfg SORConfig) (time.Duration, error) {
 
 	starts := make([]sim.Time, cfg.Nodes)
 	ends := make([]sim.Time, cfg.Nodes)
-	errs := make([]error, cfg.Nodes)
 	for n := range all {
 		n := n
 		first, last := n*rowsPer, (n+1)*rowsPer-1
@@ -98,45 +102,55 @@ func RunSOROn(c *machine.Cluster, cfg SORConfig) (time.Duration, error) {
 		}
 		compute := time.Duration(rowsPer*cfg.Cols) * cfg.PerElemCompute
 
-		task, err := c.TaskOn(n, fmt.Sprintf("sor%d", n), region, 0)
-		if err != nil {
+		if err := w.Prepare(n); err != nil {
 			return 0, err
 		}
-		c.SpawnOn(n, fmt.Sprintf("sor%d", n), func(p *sim.Proc) {
-			touch := func(pages []vm.PageIdx, want vm.Prot) bool {
+		w.GoOn(n, fmt.Sprintf("sor%d", n), func(h app.Host) error {
+			touch := func(pages []vm.PageIdx, write bool) error {
 				for _, pg := range pages {
-					if _, err := task.Touch(p, vm.Addr(pg)*vm.PageSize, want); err != nil {
-						errs[n] = err
-						return false
+					off := int64(pg) * vm.PageSize
+					if write {
+						if err := h.Write(0, off, 0); err != nil {
+							return err
+						}
+					} else if _, err := h.Read(0, off); err != nil {
+						return err
 					}
 				}
-				return true
+				return nil
 			}
-			if !touch(own, vm.ProtWrite) {
-				return
+			if err := touch(own, true); err != nil {
+				return err
 			}
-			bar.Await(p, n)
-			starts[n] = p.Now()
+			if err := h.Barrier(bar); err != nil {
+				return err
+			}
+			starts[n] = h.Now()
 			for iter := 0; iter < cfg.Iters; iter++ {
 				// Red sweep then black sweep: read neighbour halos, update
 				// own rows.
 				for half := 0; half < 2; half++ {
-					if !touch(halo, vm.ProtRead) || !touch(own, vm.ProtWrite) {
-						return
+					if err := touch(halo, false); err != nil {
+						return err
 					}
-					p.Sleep(compute / 2)
-					bar.Await(p, n)
+					if err := touch(own, true); err != nil {
+						return err
+					}
+					h.Sleep(compute / 2)
+					if err := h.Barrier(bar); err != nil {
+						return err
+					}
 				}
 			}
-			ends[n] = p.Now()
+			ends[n] = h.Now()
+			return nil
 		})
 	}
-	c.Run()
+	if err := w.Run(); err != nil {
+		return 0, err
+	}
 	var first, last sim.Time
 	for n := range all {
-		if errs[n] != nil {
-			return 0, errs[n]
-		}
 		if ends[n] == 0 {
 			return 0, fmt.Errorf("workload: sor node %d never finished", n)
 		}
